@@ -1,0 +1,52 @@
+// Ablation: signature hash width (Section 4.2). The paper hashes
+// signatures into 4-byte values and claims the resulting extra false
+// positives are negligible; this library defaults to 64-bit hashes.
+// Narrow PartEnum's signatures to 32 / 24 / 16 bits and measure the added
+// false-positive candidates — negligible at 32 bits, visible below.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "bench_schemes.h"
+#include "core/predicate.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+int main() {
+  std::printf("=== Ablation: signature hash width (Section 4.2) ===\n\n");
+  SetCollection input = AddressTokenSets(Scaled(20000));
+  double gamma = 0.85;
+  JaccardPredicate predicate(gamma);
+  auto made = MakeJaccardScheme(Algo::kPartEnum, input, gamma);
+  if (!made.ok()) {
+    std::printf("scheme: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-8s %14s %14s %12s %10s\n", "bits", "collisions",
+              "candidates", "false_pos", "results");
+  uint64_t results64 = 0;
+  for (int bits : {64, 32, 24, 16}) {
+    SignatureSchemePtr scheme = made->scheme;
+    if (bits < 64) {
+      scheme = std::make_shared<NarrowedScheme>(made->scheme, bits);
+    }
+    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    if (bits == 64) results64 = result.stats.results;
+    std::printf("%-8d %14llu %14llu %12llu %10llu%s\n", bits,
+                static_cast<unsigned long long>(
+                    result.stats.signature_collisions),
+                static_cast<unsigned long long>(result.stats.candidates),
+                static_cast<unsigned long long>(
+                    result.stats.false_positives),
+                static_cast<unsigned long long>(result.stats.results),
+                result.stats.results == results64 ? "" : "  RESULTS DIFFER");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(hash collisions only merge signatures, so results are identical\n"
+      " at every width; 32 bits adds negligible false positives — the\n"
+      " paper's claim — while 16 bits visibly inflates the candidate set)\n");
+  return 0;
+}

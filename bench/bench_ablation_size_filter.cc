@@ -1,0 +1,82 @@
+// Ablation: size-based filtering (Section 5), the augmentation the paper
+// applied to prefix filter before comparing against it ("The performance
+// of the original prefix filter as proposed in [6] was very poor relative
+// to LSH and our algorithms"). Compare PF with and without the interval
+// tags on the address workload, and show the inverted-index baselines'
+// count-time size check for completeness of the picture.
+
+#include "bench_common.h"
+
+#include "baselines/prefix_filter.h"
+#include "baselines/probe_count.h"
+#include "core/predicate.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+namespace {
+
+// A workload with a *wide* set-size spread (5..100, Zipf-skewed element
+// frequencies): this is where size filtering pays — without it, a small
+// set's rare-token prefix collides with arbitrarily large sets.
+SetCollection WideSizeSets(size_t n, uint64_t seed = 17) {
+  Rng rng(seed);
+  ZipfSampler zipf(20000, 0.6);
+  std::vector<std::vector<ElementId>> sets;
+  sets.reserve(n + n / 20);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t size = 5 + rng.Uniform(96);
+    std::vector<ElementId> s;
+    s.reserve(size);
+    for (uint32_t j = 0; j < size; ++j) s.push_back(zipf.Sample(rng));
+    sets.push_back(std::move(s));
+  }
+  for (size_t i = 0; i < n / 20; ++i) {  // planted near-duplicates
+    std::vector<ElementId> dup = sets[rng.Uniform(static_cast<uint32_t>(n))];
+    if (dup.size() > 5) dup.pop_back();
+    sets.push_back(std::move(dup));
+  }
+  return SetCollection::FromVectors(sets);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: size-based filtering (Section 5) ===\n\n");
+  PrintTimeHeader();
+  for (size_t size : {Scaled(5000), Scaled(20000)}) {
+    SetCollection input = WideSizeSets(size);
+    for (double gamma : {0.9, 0.8}) {
+      auto predicate = std::make_shared<JaccardPredicate>(gamma);
+      char threshold[16];
+      std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
+      for (bool size_filter : {false, true}) {
+        PrefixFilterParams params;
+        params.size_filter = size_filter;
+        auto scheme = PrefixFilterScheme::Create(predicate, input, params);
+        if (!scheme.ok()) continue;
+        JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+        PrintTimeRow(size, threshold,
+                     size_filter ? "PF(size-filtered)" : "PF(original)",
+                     result.stats);
+      }
+      for (bool size_filter : {false, true}) {
+        InvertedIndexJoinOptions options;
+        options.size_filter = size_filter;
+        JoinResult result =
+            ProbeCountSelfJoin(input, *predicate, options);
+        PrintTimeRow(size, threshold,
+                     size_filter ? "ProbeCount(size-f)" : "ProbeCount",
+                     result.stats);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(expected: size filtering cuts PF candidates sharply on this\n"
+      " wide-size workload — the paper applied it before every PF\n"
+      " comparison because the unaugmented original \"was very poor\")\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Anchor translation unit for bench_common.h (header-only helpers) plus
+// the scheme factories shared by the figure benches.
+
+#include "bench_common.h"
+
+#include "bench_schemes.h"
+
+namespace ssjoin::bench {
+
+Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
+                                          const SetCollection& input,
+                                          double gamma, double lsh_delta) {
+  SchemeUnderTest out;
+  switch (algo) {
+    case Algo::kPartEnum: {
+      PartEnumJaccardParams params;
+      params.gamma = gamma;
+      params.max_set_size = input.max_set_size();
+      // Tune the per-interval (n1, n2) shape on a sample, as the paper
+      // does ("we used the optimal settings of parameters").
+      uint32_t avg = static_cast<uint32_t>(input.average_set_size() + 0.5);
+      uint32_t k = PartEnumJaccardScheme::EquisizedHammingThreshold(
+          std::max(1u, avg), gamma);
+      AdvisorOptions advisor;
+      advisor.sample_size = 1000;
+      advisor.max_signatures_per_set = 512;
+      auto choice = ChoosePartEnumParams(input, k, input.size(), advisor);
+      if (choice.ok()) {
+        PartEnumParams tuned = choice->params;
+        params.chooser = [tuned](uint32_t threshold) {
+          PartEnumParams p = tuned;
+          p.k = threshold;
+          return p;
+        };
+      }
+      auto scheme = PartEnumJaccardScheme::Create(params);
+      if (!scheme.ok()) return scheme.status();
+      out.scheme = std::make_shared<PartEnumJaccardScheme>(
+          std::move(scheme).value());
+      out.label = "PEN";
+      return out;
+    }
+    case Algo::kLsh: {
+      auto choice = ChooseLshParams(input, gamma, lsh_delta, 6);
+      LshParams params = choice.ok()
+                             ? choice->params
+                             : LshParams::ForAccuracy(gamma, lsh_delta, 3);
+      auto scheme = LshScheme::Create(params);
+      if (!scheme.ok()) return scheme.status();
+      out.scheme = std::make_shared<LshScheme>(std::move(scheme).value());
+      char label[32];
+      std::snprintf(label, sizeof(label), "LSH(%.2f)", 1.0 - lsh_delta);
+      out.label = label;
+      return out;
+    }
+    case Algo::kPrefixFilter: {
+      auto predicate = std::make_shared<JaccardPredicate>(gamma);
+      auto scheme = PrefixFilterScheme::Create(predicate, input);
+      if (!scheme.ok()) return scheme.status();
+      out.scheme = std::make_shared<PrefixFilterScheme>(
+          std::move(scheme).value());
+      out.label = "PF";
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace ssjoin::bench

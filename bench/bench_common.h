@@ -1,0 +1,151 @@
+// Shared plumbing for the per-figure/table bench harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// Section 8 in a stable text format: the workload, the parameter grid,
+// and the reported series match the paper; absolute numbers reflect this
+// machine. Input sizes default to a scaled-down grid that preserves the
+// paper's 1x/5x/10x ratios; set SSJOIN_BENCH_SCALE=<float> to grow or
+// shrink everything (1.0 = defaults, 50.0 ~= the paper's original sizes).
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/ssjoin.h"
+#include "data/collection.h"
+#include "data/generators.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::bench {
+
+/// Global size multiplier from SSJOIN_BENCH_SCALE (default 1.0).
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("SSJOIN_BENCH_SCALE");
+    if (!env) return 1.0;
+    double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t base) {
+  double v = static_cast<double>(base) * Scale();
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+/// The paper's input-size grid (100K / 500K / 1M), scaled down 50x by
+/// default so the full suite runs in minutes.
+inline std::vector<size_t> PaperSizeGrid() {
+  return {Scaled(2000), Scaled(10000), Scaled(20000)};
+}
+
+/// The paper's similarity-threshold grid.
+inline std::vector<double> PaperGammaGrid() { return {0.9, 0.85, 0.8}; }
+
+/// Tokenized synthetic address data (stand-in for the paper's proprietary
+/// address dataset; see DESIGN.md Section 1). The paper also ran the
+/// jaccard experiments on DBLP with "qualitatively similar" results; set
+/// SSJOIN_BENCH_DATA=dblp to rerun every address-based bench on the
+/// DBLP-like workload instead.
+inline SetCollection AddressTokenSets(size_t n, uint64_t seed = 7) {
+  const char* kind = std::getenv("SSJOIN_BENCH_DATA");
+  WordTokenizer tokenizer;
+  if (kind && std::string(kind) == "dblp") {
+    DblpOptions options;
+    options.num_strings = n;
+    options.duplicate_fraction = 0.10;
+    options.max_typos = 2;
+    options.seed = seed;
+    return tokenizer.TokenizeAll(GenerateDblpStrings(options));
+  }
+  AddressOptions options;
+  options.num_strings = n;
+  options.duplicate_fraction = 0.10;
+  options.max_typos = 3;
+  options.seed = seed;
+  return tokenizer.TokenizeAll(GenerateAddressStrings(options));
+}
+
+/// Raw address strings for the edit-distance benches.
+inline std::vector<std::string> AddressStrings(size_t n,
+                                               uint64_t seed = 7) {
+  AddressOptions options;
+  options.num_strings = n;
+  options.duplicate_fraction = 0.10;
+  options.max_typos = 3;
+  options.seed = seed;
+  return GenerateAddressStrings(options);
+}
+
+/// The paper's synthetic workload (Section 8.1): equi-sized 50-element
+/// sets from a 10000-element domain plus planted near-duplicates.
+inline SetCollection SyntheticSets(size_t n, uint64_t seed = 8) {
+  UniformSetOptions options;
+  options.num_sets = n;
+  options.set_size = 50;
+  options.domain_size = 10000;
+  options.similar_fraction = 0.02;
+  options.mutations = 2;
+  options.seed = seed;
+  return GenerateUniformSets(options);
+}
+
+/// One row of phase-time output (the stacked bars of Figures 12/18/19).
+inline void PrintTimeHeader() {
+  std::printf("%-10s %-9s %-22s %10s %10s %10s %10s %12s %10s\n", "size",
+              "gamma/k", "algorithm", "siggen_s", "candpair_s", "post_s",
+              "total_s", "candidates", "results");
+}
+
+inline void PrintTimeRow(size_t size, const std::string& threshold,
+                         const std::string& algo, const JoinStats& stats) {
+  std::printf("%-10zu %-9s %-22s %10.3f %10.3f %10.3f %10.3f %12llu %10llu\n",
+              size, threshold.c_str(), algo.c_str(), stats.siggen_seconds,
+              stats.candpair_seconds, stats.postfilter_seconds,
+              stats.TotalSeconds(),
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.results));
+  std::fflush(stdout);
+}
+
+inline void PrintF2Header() {
+  std::printf("%-10s %-9s %-22s %14s %14s %14s\n", "size", "gamma",
+              "algorithm", "signatures", "collisions", "F2");
+}
+
+inline void PrintF2Row(size_t size, const std::string& threshold,
+                       const std::string& algo, const JoinStats& stats) {
+  std::printf(
+      "%-10zu %-9s %-22s %14llu %14llu %14llu\n", size, threshold.c_str(),
+      algo.c_str(),
+      static_cast<unsigned long long>(stats.signatures_r +
+                                      stats.signatures_s),
+      static_cast<unsigned long long>(stats.signature_collisions),
+      static_cast<unsigned long long>(stats.F2()));
+  std::fflush(stdout);
+}
+
+/// Least-squares slope of log(y) vs log(x) — the scaling exponent read
+/// off the paper's log-log Figure 14.
+inline double LogLogSlope(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    double lx = std::log(x[i]);
+    double ly = std::log(y[i] > 0 ? y[i] : 1.0);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  return denom == 0 ? 0 : (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace ssjoin::bench

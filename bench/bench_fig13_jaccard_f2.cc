@@ -1,0 +1,36 @@
+// Figure 13: the F2 (intermediate-result size) of signatures for the
+// Figure 12 grid. The paper's point: F2 closely tracks the actual running
+// times, so relative performance is implementation-independent.
+
+#include "bench_common.h"
+#include "bench_schemes.h"
+#include "core/predicate.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 13: jaccard SSJoin F2 size, address data ===\n\n");
+  PrintF2Header();
+  for (size_t size : PaperSizeGrid()) {
+    SetCollection input = AddressTokenSets(size);
+    for (double gamma : PaperGammaGrid()) {
+      JaccardPredicate predicate(gamma);
+      for (Algo algo : {Algo::kPartEnum, Algo::kLsh, Algo::kPrefixFilter}) {
+        auto made = MakeJaccardScheme(algo, input, gamma);
+        if (!made.ok()) continue;
+        JoinResult result =
+            SignatureSelfJoin(input, *made->scheme, predicate);
+        char threshold[16];
+        std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
+        PrintF2Row(size, threshold, made->label, result.stats);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Check (paper Section 8.1): F2 should order the algorithms the same\n"
+      "way as the Figure 12 wall-clock times.\n");
+  return 0;
+}

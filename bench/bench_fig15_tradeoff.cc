@@ -1,0 +1,67 @@
+// Figure 15: the tradeoff between the number of signatures and filtering
+// effectiveness. For varying (n1, n2) with (n2 - k2) held constant, plot
+// the total number of signatures (NumSign) and the number of signature
+// collisions (F2 - NumSign). The paper's x-axis runs
+// (11,1),(10,3),(9,3),(8,3),(7,3),(6,3),(5,4),(4,4),(3,5),(2,7): as n1
+// falls, signatures rise and collisions collapse.
+
+#include "bench_common.h"
+#include "core/partenum.h"
+#include "core/predicate.h"
+#include "core/ssjoin.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 15: signatures vs collisions across (n1, n2) ===\n\n");
+  // Synthetic equi-sized workload at gamma 0.8 => hamming k = 11, as in
+  // Table 1 / Figure 15.
+  SetCollection input = SyntheticSets(Scaled(10000));
+  uint32_t k = 11;
+  HammingPredicate predicate(k);
+
+  // The paper's sweep (n1, n2): signature count grows toward the right.
+  const std::pair<uint32_t, uint32_t> shapes[] = {
+      {11, 1}, {10, 3}, {9, 3}, {8, 3}, {7, 3},
+      {6, 3},  {5, 4},  {4, 4}, {3, 5}, {2, 7}};
+
+  std::printf("%-10s %-14s %-16s %-16s %-12s\n", "(n1,n2)", "sigs/set",
+              "NumSign", "F2-NumSign", "candidates");
+  for (auto [n1, n2] : shapes) {
+    PartEnumParams params;
+    params.k = k;
+    params.n1 = n1;
+    params.n2 = n2;
+    if (!params.Validate().ok()) {
+      // (11,1) has n1*n2 = 11 <= k+1: bump n2 to the smallest valid value
+      // (the paper's (11,1) point corresponds to pure partitioning, which
+      // needs n1*n2 > k+1; with k=11 and n1=11 that is n2=2... keep the
+      // spirit: one signature per first-level partition).
+      params.n2 = (k + 1) / params.n1 + 1;
+    }
+    auto scheme = PartEnumScheme::Create(params);
+    if (!scheme.ok()) {
+      std::printf("(%u,%u) skipped: %s\n", n1, n2,
+                  scheme.status().ToString().c_str());
+      continue;
+    }
+    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    uint64_t num_sign = result.stats.signatures_r * 2;
+    uint64_t collisions = result.stats.F2() - num_sign;
+    char shape[16];
+    std::snprintf(shape, sizeof(shape), "(%u,%u)", params.n1, params.n2);
+    std::printf("%-10s %-14llu %-16llu %-16llu %-12llu\n", shape,
+                static_cast<unsigned long long>(
+                    params.SignaturesPerSet()),
+                static_cast<unsigned long long>(num_sign),
+                static_cast<unsigned long long>(collisions),
+                static_cast<unsigned long long>(result.stats.candidates));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(paper Figure 15: moving right, NumSign rises monotonically while\n"
+      " collisions fall by orders of magnitude)\n");
+  return 0;
+}

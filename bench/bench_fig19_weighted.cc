@@ -1,0 +1,79 @@
+// Figure 19: weighted jaccard SSJoin with IDF weights on address tokens,
+// WEN (WtEnum) vs LSH(0.95) vs PF, paper size/gamma grid. Expected shape:
+// WEN significantly ahead of LSH (it exploits the IDF frequency
+// information), WEN's cost NOT rising steeply as gamma falls (unlike
+// PartEnum), PF scaling quadratically.
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/lsh.h"
+#include "baselines/prefix_filter.h"
+#include "bench_common.h"
+#include "core/wtenum.h"
+#include "text/idf.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 19: weighted jaccard SSJoin (IDF), address data ===\n\n");
+  PrintTimeHeader();
+  for (size_t size : PaperSizeGrid()) {
+    SetCollection input = AddressTokenSets(size);
+    IdfWeights idf = IdfWeights::Compute(input);
+    // Capture by pointer-stable copies for the shared WeightFunction.
+    auto idf_ptr = std::make_shared<IdfWeights>(std::move(idf));
+    WeightFunction weights = [idf_ptr](ElementId e) {
+      return idf_ptr->Weight(e) + 0.01;
+    };
+    double min_ws = std::numeric_limits<double>::infinity();
+    for (SetId id = 0; id < input.size(); ++id) {
+      if (input.set_size(id) == 0) continue;
+      min_ws = std::min(min_ws, WeightedSize(input.set(id), weights));
+    }
+
+    for (double gamma : PaperGammaGrid()) {
+      WeightedJaccardPredicate predicate(gamma, weights);
+      char threshold[16];
+      std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
+
+      {  // WEN
+        WtEnumParams params;
+        params.pruning_threshold = idf_ptr->DefaultPruningThreshold();
+        auto scheme = WtEnumScheme::CreateJaccard(weights, weights, gamma,
+                                                  min_ws, params);
+        if (scheme.ok()) {
+          JoinResult result =
+              SignatureSelfJoin(input, *scheme, predicate);
+          PrintTimeRow(size, threshold, "WEN", result.stats);
+        }
+      }
+      {  // LSH(0.95) with weighted minhashes
+        LshParams params = LshParams::ForAccuracy(gamma, 0.05, 3);
+        auto scheme = WeightedLshScheme::Create(params, weights);
+        if (scheme.ok()) {
+          JoinResult result =
+              SignatureSelfJoin(input, *scheme, predicate);
+          PrintTimeRow(size, threshold, "LSH(0.95)", result.stats);
+        }
+      }
+      {  // PF: weighted prefix filter (IDF-ordered prefixes + weighted
+         // size filtering).
+        auto scheme = WeightedPrefixFilterScheme::Create(
+            gamma, weights, input, min_ws);
+        if (scheme.ok()) {
+          JoinResult result =
+              SignatureSelfJoin(input, *scheme, predicate);
+          PrintTimeRow(size, threshold, "PF", result.stats);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(paper Figure 19: WEN clearly fastest — it exploits IDF frequency\n"
+      " information — and does not degrade steeply at lower gamma)\n");
+  return 0;
+}

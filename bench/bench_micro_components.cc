@@ -1,0 +1,219 @@
+// Component micro-benchmarks (google-benchmark): the primitives whose
+// costs compose into the figure-level results — signature generation per
+// scheme, banded edit distance, minhashing, tokenization, intersection
+// kernels, and the AMS sketch.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/lsh.h"
+#include "baselines/prefix_filter.h"
+#include "core/partenum.h"
+#include "core/partenum_jaccard.h"
+#include "core/wtenum.h"
+#include "data/generators.h"
+#include "text/edit_distance.h"
+#include "text/idf.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+#include "util/ams_sketch.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+SetCollection MakeSets(size_t n, uint32_t size, uint32_t domain) {
+  UniformSetOptions options;
+  options.num_sets = n;
+  options.set_size = size;
+  options.domain_size = domain;
+  options.similar_fraction = 0;
+  return GenerateUniformSets(options);
+}
+
+void BM_PartEnumSignatures(benchmark::State& state) {
+  SetCollection sets = MakeSets(256, 50, 10000);
+  PartEnumParams params;
+  params.k = 11;
+  params.n1 = static_cast<uint32_t>(state.range(0));
+  params.n2 = static_cast<uint32_t>(state.range(1));
+  auto scheme = PartEnumScheme::Create(params);
+  if (!scheme.ok()) {
+    state.SkipWithError("invalid params");
+    return;
+  }
+  std::vector<Signature> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    scheme->Generate(sets.set(i++ % sets.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartEnumSignatures)->Args({6, 3})->Args({4, 4})->Args({2, 7});
+
+void BM_PartEnumJaccardSignatures(benchmark::State& state) {
+  SetCollection sets = MakeSets(256, 20, 10000);
+  PartEnumJaccardParams params;
+  params.gamma = 0.85;
+  params.max_set_size = 20;
+  auto scheme = PartEnumJaccardScheme::Create(params);
+  std::vector<Signature> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    scheme->Generate(sets.set(i++ % sets.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartEnumJaccardSignatures);
+
+void BM_PrefixFilterSignatures(benchmark::State& state) {
+  SetCollection sets = MakeSets(2000, 20, 10000);
+  auto predicate = std::make_shared<JaccardPredicate>(0.85);
+  auto scheme = PrefixFilterScheme::Create(predicate, sets);
+  std::vector<Signature> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    scheme->Generate(sets.set(i++ % sets.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixFilterSignatures);
+
+void BM_LshSignatures(benchmark::State& state) {
+  SetCollection sets = MakeSets(256, 50, 10000);
+  LshParams params = LshParams::ForAccuracy(0.85, 0.05, 3);
+  auto scheme = LshScheme::Create(params);
+  std::vector<Signature> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    scheme->Generate(sets.set(i++ % sets.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LshSignatures);
+
+void BM_WtEnumSignatures(benchmark::State& state) {
+  SetCollection sets = MakeSets(512, 12, 3000);
+  IdfWeights idf = IdfWeights::Compute(sets);
+  auto idf_ptr = std::make_shared<IdfWeights>(std::move(idf));
+  WeightFunction weights = [idf_ptr](ElementId e) {
+    return idf_ptr->Weight(e) + 0.01;
+  };
+  WtEnumParams params;
+  params.pruning_threshold = idf_ptr->DefaultPruningThreshold();
+  auto scheme = WtEnumScheme::CreateOverlap(weights, weights, 10.0, params);
+  std::vector<Signature> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    scheme->Generate(sets.set(i++ % sets.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WtEnumSignatures);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  AddressOptions options;
+  options.num_strings = 512;
+  std::vector<std::string> strings = GenerateAddressStrings(options);
+  uint32_t k = static_cast<uint32_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = strings[i % strings.size()];
+    const std::string& b = strings[(i + 1) % strings.size()];
+    benchmark::DoNotOptimize(BoundedEditDistance(a, b, k));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_FullEditDistance(benchmark::State& state) {
+  AddressOptions options;
+  options.num_strings = 512;
+  std::vector<std::string> strings = GenerateAddressStrings(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(strings[i % strings.size()],
+                                          strings[(i + 1) % strings.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullEditDistance);
+
+void BM_MinHash(benchmark::State& state) {
+  SetCollection sets = MakeSets(256, 50, 100000);
+  MinHasher hasher(16, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hasher.MinHash(sets.set(i % sets.size()), i % 16));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinHash);
+
+void BM_Tokenize(benchmark::State& state) {
+  AddressOptions options;
+  options.num_strings = 512;
+  std::vector<std::string> strings = GenerateAddressStrings(options);
+  WordTokenizer tokenizer;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(strings[i++ % strings.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_QgramBags(benchmark::State& state) {
+  AddressOptions options;
+  options.num_strings = 512;
+  std::vector<std::string> strings = GenerateAddressStrings(options);
+  QgramExtractor extractor(
+      QgramOptions{.q = static_cast<uint32_t>(state.range(0))});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(strings[i++ % strings.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QgramBags)->Arg(1)->Arg(3);
+
+void BM_SortedIntersection(benchmark::State& state) {
+  SetCollection sets = MakeSets(256, 50, 10000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionSize(
+        sets.set(i % sets.size()), sets.set((i + 1) % sets.size())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SortedIntersection);
+
+void BM_AmsSketchAdd(benchmark::State& state) {
+  AmsSketch sketch(16, 5);
+  Rng rng(1);
+  for (auto _ : state) {
+    sketch.Add(rng.Next64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsSketchAdd);
+
+}  // namespace
+}  // namespace ssjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Scheme factories shared by the figure benches: build PEN / LSH / PF for
+// a jaccard workload with the paper's tuning methodology (optimal
+// parameters chosen by estimated F2 on a sample).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/lsh.h"
+#include "baselines/prefix_filter.h"
+#include "core/parameter_advisor.h"
+#include "core/partenum_jaccard.h"
+#include "core/signature_scheme.h"
+#include "util/status.h"
+
+namespace ssjoin::bench {
+
+enum class Algo { kPartEnum, kLsh, kPrefixFilter };
+
+struct SchemeUnderTest {
+  std::shared_ptr<const SignatureScheme> scheme;
+  std::string label;
+};
+
+/// Builds the scheme for `algo` over `input` at jaccard threshold
+/// `gamma`. LSH accuracy = 1 - lsh_delta (the paper runs LSH(0.95)).
+Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
+                                          const SetCollection& input,
+                                          double gamma,
+                                          double lsh_delta = 0.05);
+
+}  // namespace ssjoin::bench

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Builds everything, runs the full test suite, and regenerates every
+# table/figure of the paper's evaluation (bench_output.txt) plus the test
+# log (test_output.txt).
+#
+# Usage:
+#   scripts/reproduce.sh              # scaled-down grid (minutes)
+#   SSJOIN_BENCH_SCALE=50 scripts/reproduce.sh   # the paper's full sizes
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "##### $(basename "$b")"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,13 @@
+#include "baselines/identity_scheme.h"
+
+namespace ssjoin {
+
+void IdentityScheme::Generate(std::span<const ElementId> set,
+                              std::vector<Signature>* out) const {
+  out->reserve(out->size() + set.size());
+  for (ElementId e : set) {
+    out->push_back(static_cast<Signature>(e));
+  }
+}
+
+}  // namespace ssjoin

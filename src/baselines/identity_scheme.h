@@ -1,0 +1,33 @@
+// The identity signature scheme (paper Section 3.3).
+//
+// Sign(s) = s: every element of the set is a signature. This is the
+// conceptual signature scheme behind the Probe-Count and Pair-Count
+// algorithms of Sarawagi & Kirpal [22]. Two sets become a candidate pair
+// iff they share at least one element — complete for every predicate that
+// requires a positive intersection, but with the poorest filtering
+// effectiveness of all schemes (frequent elements generate huge candidate
+// buckets), which is exactly the behaviour the paper's comparison sections
+// rely on.
+//
+// The dedicated inverted-index implementations (with count thresholds and
+// early termination) live in baselines/probe_count.h; this adapter exists
+// to run the identity scheme through the shared Figure-2 driver for
+// apples-to-apples F2 accounting.
+
+#pragma once
+
+#include "core/signature_scheme.h"
+
+namespace ssjoin {
+
+class IdentityScheme final : public SignatureScheme {
+ public:
+  IdentityScheme() = default;
+
+  std::string Name() const override { return "Identity"; }
+
+  void Generate(std::span<const ElementId> set,
+                std::vector<Signature>* out) const override;
+};
+
+}  // namespace ssjoin

@@ -1,0 +1,103 @@
+#include "baselines/lsh.h"
+
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+uint32_t LshParams::RequiredRepetitions(double gamma, double delta,
+                                        uint32_t g) {
+  assert(gamma > 0.0 && gamma <= 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  assert(g >= 1);
+  double p = std::pow(gamma, g);  // per-repetition collision probability
+  if (p >= 1.0) return 1;
+  double l = std::log(delta) / std::log(1.0 - p);
+  return static_cast<uint32_t>(std::max(1.0, std::ceil(l - 1e-12)));
+}
+
+LshParams LshParams::ForAccuracy(double gamma, double delta, uint32_t g,
+                                 uint64_t seed) {
+  LshParams params;
+  params.g = g;
+  params.l = RequiredRepetitions(gamma, delta, g);
+  params.seed = seed;
+  return params;
+}
+
+Result<LshScheme> LshScheme::Create(const LshParams& params) {
+  if (params.g == 0) return Status::InvalidArgument("LSH: g must be >= 1");
+  if (params.l == 0) return Status::InvalidArgument("LSH: l must be >= 1");
+  if (static_cast<uint64_t>(params.g) * params.l > (1ULL << 20)) {
+    return Status::InvalidArgument("LSH: g*l unreasonably large");
+  }
+  return LshScheme(params);
+}
+
+LshScheme::LshScheme(const LshParams& params)
+    : params_(params),
+      hasher_(std::make_unique<MinHasher>(params.g * params.l, params.seed)) {
+}
+
+std::string LshScheme::Name() const {
+  std::ostringstream os;
+  os << "LSH(g=" << params_.g << ",l=" << params_.l << ")";
+  return os.str();
+}
+
+void LshScheme::Generate(std::span<const ElementId> set,
+                         std::vector<Signature>* out) const {
+  out->reserve(out->size() + params_.l);
+  for (uint32_t rep = 0; rep < params_.l; ++rep) {
+    // Signature = hash of (repetition index, g concatenated minhashes).
+    SequenceHasher hasher(params_.seed);
+    hasher.Add(rep);
+    for (uint32_t i = 0; i < params_.g; ++i) {
+      hasher.Add(hasher_->MinHash(set, rep * params_.g + i));
+    }
+    out->push_back(hasher.Finish());
+  }
+}
+
+Result<WeightedLshScheme> WeightedLshScheme::Create(const LshParams& params,
+                                                    WeightFunction weights) {
+  if (params.g == 0) return Status::InvalidArgument("LSH: g must be >= 1");
+  if (params.l == 0) return Status::InvalidArgument("LSH: l must be >= 1");
+  if (!weights) {
+    return Status::InvalidArgument("WeightedLSH: weight function is null");
+  }
+  return WeightedLshScheme(params, std::move(weights));
+}
+
+WeightedLshScheme::WeightedLshScheme(const LshParams& params,
+                                     WeightFunction weights)
+    : params_(params),
+      weights_(std::move(weights)),
+      hasher_(std::make_unique<WeightedMinHasher>(params.g * params.l,
+                                                  params.seed)) {}
+
+std::string WeightedLshScheme::Name() const {
+  std::ostringstream os;
+  os << "WLSH(g=" << params_.g << ",l=" << params_.l << ")";
+  return os.str();
+}
+
+void WeightedLshScheme::Generate(std::span<const ElementId> set,
+                                 std::vector<Signature>* out) const {
+  std::vector<double> weights(set.size());
+  for (size_t i = 0; i < set.size(); ++i) weights[i] = weights_(set[i]);
+  out->reserve(out->size() + params_.l);
+  for (uint32_t rep = 0; rep < params_.l; ++rep) {
+    SequenceHasher hasher(params_.seed);
+    hasher.Add(rep);
+    for (uint32_t i = 0; i < params_.g; ++i) {
+      hasher.Add(hasher_->MinHash(set, weights, rep * params_.g + i));
+    }
+    out->push_back(hasher.Finish());
+  }
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,95 @@
+// LSH-based signature scheme (paper Section 3.3, algorithms of [8,15,19]).
+//
+// For jaccard SSJoins, each signature is a concatenation of g minhashes
+// and there are l such signatures. A pair with Js = gamma shares at least
+// one signature with probability 1 - (1 - gamma^g)^l; to achieve a false
+// negative rate of delta at similarity gamma, l ≈ (1/gamma^g) ln(1/delta)
+// repetitions suffice (the paper's formula). LSH is *approximate*: missed
+// pairs are expected by design — IsExact() returns false and the test
+// suite asserts observed recall against the configured rate instead of
+// exactness.
+//
+// The weighted variant concatenates weighted minhashes and serves the
+// Figure 19 weighted-jaccard experiments.
+
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/minhash.h"
+#include "core/signature_scheme.h"
+#include "core/weighted.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// LSH tuning knobs.
+struct LshParams {
+  /// Minhashes concatenated per signature (the paper's g). Controls
+  /// filtering effectiveness.
+  uint32_t g = 3;
+  /// Number of signatures per set (the paper's l). Controls the false
+  /// negative rate for fixed g.
+  uint32_t l = 10;
+  uint64_t seed = 0x9E3779B9;
+
+  /// Probability that a pair with jaccard similarity `js` shares at least
+  /// one signature: 1 - (1 - js^g)^l.
+  double CollisionProbability(double js) const {
+    return 1.0 - std::pow(1.0 - std::pow(js, g), l);
+  }
+
+  /// The l achieving false-negative rate `delta` at threshold `gamma` for
+  /// the given g (paper Section 3.3: l = (1/gamma^g) log(1/delta), here in
+  /// the exact form l = ceil(ln(delta) / ln(1 - gamma^g))).
+  static uint32_t RequiredRepetitions(double gamma, double delta, uint32_t g);
+
+  /// Parameters achieving false-negative rate `delta` at threshold
+  /// `gamma` with the given g.
+  static LshParams ForAccuracy(double gamma, double delta, uint32_t g,
+                               uint64_t seed = 0x9E3779B9);
+};
+
+/// \brief Classic minhash LSH scheme for (unweighted) jaccard.
+class LshScheme final : public SignatureScheme {
+ public:
+  static Result<LshScheme> Create(const LshParams& params);
+
+  std::string Name() const override;
+  bool IsExact() const override { return false; }
+
+  void Generate(std::span<const ElementId> set,
+                std::vector<Signature>* out) const override;
+
+  const LshParams& params() const { return params_; }
+
+ private:
+  LshScheme(const LshParams& params);
+
+  LshParams params_;
+  std::unique_ptr<MinHasher> hasher_;
+};
+
+/// \brief Weighted-jaccard LSH via weighted minhashes. Element weights
+/// come from a WeightFunction shared by both join sides (e.g. IDF).
+class WeightedLshScheme final : public SignatureScheme {
+ public:
+  static Result<WeightedLshScheme> Create(const LshParams& params,
+                                          WeightFunction weights);
+
+  std::string Name() const override;
+  bool IsExact() const override { return false; }
+
+  void Generate(std::span<const ElementId> set,
+                std::vector<Signature>* out) const override;
+
+ private:
+  WeightedLshScheme(const LshParams& params, WeightFunction weights);
+
+  LshParams params_;
+  WeightFunction weights_;
+  std::unique_ptr<WeightedMinHasher> hasher_;
+};
+
+}  // namespace ssjoin

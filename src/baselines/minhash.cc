@@ -1,0 +1,77 @@
+#include "baselines/minhash.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace ssjoin {
+
+namespace {
+constexpr uint64_t kEmptySetMinhash = 0xE397'7A5E'7000'0001ULL;
+}  // namespace
+
+MinHasher::MinHasher(uint32_t count, uint64_t seed) : count_(count) {
+  assert(count > 0);
+  Rng rng(seed);
+  seeds_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) seeds_.push_back(rng.Next64());
+}
+
+uint64_t MinHasher::MinHash(std::span<const ElementId> set,
+                            uint32_t i) const {
+  assert(i < count_);
+  if (set.empty()) return kEmptySetMinhash;
+  uint64_t best_key = std::numeric_limits<uint64_t>::max();
+  ElementId best_e = 0;
+  for (ElementId e : set) {
+    uint64_t key = SeededHash32(e, seeds_[i]);
+    if (key < best_key) {
+      best_key = key;
+      best_e = e;
+    }
+  }
+  return best_e;
+}
+
+std::vector<uint64_t> MinHasher::MinHashes(
+    std::span<const ElementId> set) const {
+  std::vector<uint64_t> out(count_);
+  for (uint32_t i = 0; i < count_; ++i) out[i] = MinHash(set, i);
+  return out;
+}
+
+WeightedMinHasher::WeightedMinHasher(uint32_t count, uint64_t seed)
+    : count_(count) {
+  assert(count > 0);
+  Rng rng(seed);
+  seeds_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) seeds_.push_back(rng.Next64());
+}
+
+uint64_t WeightedMinHasher::MinHash(std::span<const ElementId> set,
+                                    std::span<const double> weights,
+                                    uint32_t i) const {
+  assert(i < count_);
+  assert(set.size() == weights.size());
+  if (set.empty()) return kEmptySetMinhash;
+  double best_clock = std::numeric_limits<double>::infinity();
+  ElementId best_e = 0;
+  for (size_t p = 0; p < set.size(); ++p) {
+    assert(weights[p] > 0);
+    // U in (0, 1], derived from the shared per-element hash so that both
+    // sets draw the same uniform for the same element.
+    uint64_t h = SeededHash32(set[p], seeds_[i]);
+    double u = (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+    double clock = -std::log(u) / weights[p];
+    if (clock < best_clock) {
+      best_clock = clock;
+      best_e = set[p];
+    }
+  }
+  return best_e;
+}
+
+}  // namespace ssjoin

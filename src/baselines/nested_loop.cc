@@ -1,0 +1,32 @@
+#include "baselines/nested_loop.h"
+
+namespace ssjoin {
+
+std::vector<SetPair> NestedLoopJoin(const SetCollection& r,
+                                    const SetCollection& s,
+                                    const Predicate& predicate) {
+  std::vector<SetPair> out;
+  for (SetId i = 0; i < r.size(); ++i) {
+    for (SetId j = 0; j < s.size(); ++j) {
+      if (predicate.Evaluate(r.set(i), s.set(j))) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;  // loop order is already sorted
+}
+
+std::vector<SetPair> NestedLoopSelfJoin(const SetCollection& input,
+                                        const Predicate& predicate) {
+  std::vector<SetPair> out;
+  for (SetId i = 0; i < input.size(); ++i) {
+    for (SetId j = i + 1; j < input.size(); ++j) {
+      if (predicate.Evaluate(input.set(i), input.set(j))) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,27 @@
+// Brute-force exact SSJoin.
+//
+// O(|R| * |S|) pairwise evaluation of the predicate. Not an algorithm from
+// the paper — it is the ground truth every signature scheme's output is
+// validated against in the test suite, and the "quadratic lower bound"
+// reference point in scaling discussions.
+
+#pragma once
+
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/types.h"
+#include "data/collection.h"
+
+namespace ssjoin {
+
+/// All pairs (r, s) in R x S with pred(r, s), sorted.
+std::vector<SetPair> NestedLoopJoin(const SetCollection& r,
+                                    const SetCollection& s,
+                                    const Predicate& predicate);
+
+/// All pairs (a, b), a < b, within `input` with pred(a, b), sorted.
+std::vector<SetPair> NestedLoopSelfJoin(const SetCollection& input,
+                                        const Predicate& predicate);
+
+}  // namespace ssjoin

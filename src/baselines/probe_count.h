@@ -1,0 +1,48 @@
+// Probe-Count and Pair-Count (Sarawagi & Kirpal [22]).
+//
+// The previous exact algorithms the paper compares against conceptually
+// (Section 3.3: identity signature scheme). Both build an inverted index
+// mapping elements to the sets containing them:
+//   - Pair-Count accumulates, for each probe set, the exact overlap count
+//     with every set sharing an element (a hash-map counter over the
+//     probe's postings), then applies the predicate to the counts.
+//   - Probe-Count avoids counting through the longest lists: with overlap
+//     threshold t, at most t-1 postings lists are designated "long"; every
+//     qualifying partner must appear in a short list, so candidates are
+//     gathered from short lists only and completed by binary-searching the
+//     long lists (the MergeOpt strategy of [22]).
+//
+// Both are exact and monolithic (not run through the Figure-2 driver);
+// their stats map the phases as: SigGen = index construction, CandPair =
+// counting/merging, PostFilter = predicate evaluation on counts.
+
+#pragma once
+
+#include "core/predicate.h"
+#include "core/ssjoin.h"
+#include "data/collection.h"
+
+namespace ssjoin {
+
+struct InvertedIndexJoinOptions {
+  /// Skip partners whose size is outside predicate.JoinableSizes — the
+  /// size-based filtering of Section 5 applied at count time.
+  bool size_filter = true;
+};
+
+/// Pair-Count self-join: exact counts via per-probe hash-map counters.
+JoinResult PairCountSelfJoin(const SetCollection& input,
+                             const Predicate& predicate,
+                             const InvertedIndexJoinOptions& options = {});
+
+/// Probe-Count self-join: MergeOpt short/long list split per probe.
+JoinResult ProbeCountSelfJoin(const SetCollection& input,
+                              const Predicate& predicate,
+                              const InvertedIndexJoinOptions& options = {});
+
+/// Pair-Count binary join (index R, probe S).
+JoinResult PairCountJoin(const SetCollection& r, const SetCollection& s,
+                         const Predicate& predicate,
+                         const InvertedIndexJoinOptions& options = {});
+
+}  // namespace ssjoin

@@ -1,0 +1,64 @@
+// General-predicate SSJoin (paper Section 6).
+//
+// The jaccard construction of Section 5 generalizes to any predicate that
+// yields (1) bounds on the sizes of joinable partners and (2) a hamming
+// bound for joinable pairs — both of which core/predicate.h derives
+// mechanically from the predicate's MinOverlap. GeneralPartEnumScheme
+// packages that: size intervals from BuildJoinableSizeIntervals, one
+// hamming PartEnum instance per interval with threshold
+// MaxHammingForSizeRange(I_{i-1} ∪ I_i), and interval tags.
+//
+// This is the scheme that handles, e.g., |r∩s| >= 0.9 * max(|r|, |s|) —
+// a predicate LSH has no locality-sensitive hash family for (one of the
+// paper's arguments for exact schemes).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/partenum.h"
+#include "core/predicate.h"
+#include "core/signature_scheme.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+struct GeneralPartEnumParams {
+  /// Upper bound on input set sizes.
+  uint32_t max_set_size = 0;
+  uint64_t seed = 0x9E3779B9;
+  /// Picks (n1, n2) per interval threshold (default PartEnumParams::Default).
+  std::function<PartEnumParams(uint32_t k)> chooser;
+};
+
+class GeneralPartEnumScheme final : public SignatureScheme {
+ public:
+  /// Builds the scheme for `predicate`. Fails if the predicate admits
+  /// unbounded hamming distance within some interval (nothing to filter
+  /// on) — the Section 6 condition.
+  static Result<GeneralPartEnumScheme> Create(
+      std::shared_ptr<const Predicate> predicate,
+      const GeneralPartEnumParams& params);
+
+  std::string Name() const override;
+
+  void Generate(std::span<const ElementId> set,
+                std::vector<Signature>* out) const override;
+
+  const std::vector<SizeRange>& intervals() const { return intervals_; }
+
+  /// Per-sub-instance hamming thresholds (exposed for tests).
+  std::vector<uint32_t> InstanceThresholds() const;
+
+ private:
+  GeneralPartEnumScheme() = default;
+
+  std::shared_ptr<const Predicate> predicate_;
+  uint32_t max_set_size_ = 0;
+  std::vector<SizeRange> intervals_;
+  std::vector<std::unique_ptr<PartEnumScheme>> instances_;
+};
+
+}  // namespace ssjoin

@@ -1,0 +1,216 @@
+#include "core/parameter_advisor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/ams_sketch.h"
+
+namespace ssjoin {
+
+namespace {
+
+// Sample-signature statistics: total count S and pairwise collision count
+// C = sum_v C(c_v, 2) over signature values v.
+struct SampleStats {
+  uint64_t signatures = 0;
+  double collisions = 0;
+};
+
+SampleStats ComputeSampleStats(const SetCollection& sample,
+                               const SignatureScheme& scheme,
+                               const AdvisorOptions& options) {
+  SampleStats stats;
+  std::vector<Signature> all;
+  std::vector<Signature> scratch;
+  AmsSketch sketch(16, 5, options.seed);
+  for (SetId id = 0; id < sample.size(); ++id) {
+    scratch.clear();
+    scheme.Generate(sample.set(id), &scratch);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+    stats.signatures += scratch.size();
+    if (options.use_ams_sketch) {
+      for (Signature sig : scratch) sketch.Add(sig);
+    } else {
+      all.insert(all.end(), scratch.begin(), scratch.end());
+    }
+  }
+  if (options.use_ams_sketch) {
+    // F2 = sum c_v^2 = 2C + S  =>  C = (F2 - S) / 2.
+    double f2 = sketch.Estimate();
+    stats.collisions =
+        std::max(0.0, (f2 - static_cast<double>(stats.signatures)) / 2.0);
+  } else {
+    std::sort(all.begin(), all.end());
+    size_t i = 0;
+    while (i < all.size()) {
+      size_t j = i;
+      while (j < all.size() && all[j] == all[i]) ++j;
+      double c = static_cast<double>(j - i);
+      stats.collisions += c * (c - 1) / 2.0;
+      i = j;
+    }
+  }
+  return stats;
+}
+
+double Extrapolate(const SampleStats& stats, size_t sample_size,
+                   size_t target_size) {
+  if (sample_size == 0) return 0;
+  double scale = static_cast<double>(target_size) /
+                 static_cast<double>(sample_size);
+  // Self-join intermediate-result size (Section 3.2, matching JoinStats):
+  // 2 * sum|Sign| + collisions, with the signature term scaling linearly
+  // and the pairwise collision term quadratically.
+  return 2.0 * static_cast<double>(stats.signatures) * scale +
+         stats.collisions * scale * scale;
+}
+
+}  // namespace
+
+double EstimateSchemeF2(const SetCollection& input,
+                        const SignatureScheme& scheme,
+                        size_t target_input_size,
+                        const AdvisorOptions& options) {
+  if (target_input_size == 0) target_input_size = input.size();
+  SetCollection sample = input.Sample(options.sample_size, options.seed);
+  SampleStats stats = ComputeSampleStats(sample, scheme, options);
+  return Extrapolate(stats, sample.size(), target_input_size);
+}
+
+std::vector<PartEnumChoice> EvaluatePartEnumParams(
+    const SetCollection& input, uint32_t k, size_t target_input_size,
+    const AdvisorOptions& options) {
+  if (target_input_size == 0) target_input_size = input.size();
+  SetCollection sample = input.Sample(options.sample_size, options.seed);
+  std::vector<PartEnumChoice> choices;
+  for (const PartEnumParams& params : PartEnumParams::EnumerateValid(
+           k, options.max_signatures_per_set, options.seed)) {
+    auto scheme = PartEnumScheme::Create(params);
+    if (!scheme.ok()) continue;
+    SampleStats stats = ComputeSampleStats(sample, *scheme, options);
+    PartEnumChoice choice;
+    choice.params = params;
+    choice.signatures_per_set = params.SignaturesPerSet();
+    choice.estimated_f2 =
+        Extrapolate(stats, sample.size(), target_input_size);
+    choices.push_back(choice);
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const PartEnumChoice& a, const PartEnumChoice& b) {
+              // Ties (common when the sample shows no collisions) go to
+              // the cheaper configuration.
+              if (a.estimated_f2 != b.estimated_f2) {
+                return a.estimated_f2 < b.estimated_f2;
+              }
+              return a.signatures_per_set < b.signatures_per_set;
+            });
+  return choices;
+}
+
+Result<PartEnumChoice> ChoosePartEnumParams(const SetCollection& input,
+                                            uint32_t k,
+                                            size_t target_input_size,
+                                            const AdvisorOptions& options) {
+  std::vector<PartEnumChoice> choices =
+      EvaluatePartEnumParams(input, k, target_input_size, options);
+  if (choices.empty()) {
+    return Status::NotFound(
+        "no valid PartEnum setting within the signature budget for k=" +
+        std::to_string(k));
+  }
+  return choices.front();
+}
+
+std::vector<LshChoice> EvaluateLshParams(const SetCollection& input,
+                                         double gamma, double delta,
+                                         uint32_t max_g,
+                                         size_t target_input_size,
+                                         const AdvisorOptions& options) {
+  if (target_input_size == 0) target_input_size = input.size();
+  SetCollection sample = input.Sample(options.sample_size, options.seed);
+  std::vector<LshChoice> choices;
+  for (uint32_t g = 1; g <= max_g; ++g) {
+    LshParams params = LshParams::ForAccuracy(gamma, delta, g, options.seed);
+    if (params.l > options.max_signatures_per_set) continue;
+    auto scheme = LshScheme::Create(params);
+    if (!scheme.ok()) continue;
+    SampleStats stats = ComputeSampleStats(sample, *scheme, options);
+    LshChoice choice;
+    choice.params = params;
+    choice.estimated_f2 =
+        Extrapolate(stats, sample.size(), target_input_size);
+    choices.push_back(choice);
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const LshChoice& a, const LshChoice& b) {
+              if (a.estimated_f2 != b.estimated_f2) {
+                return a.estimated_f2 < b.estimated_f2;
+              }
+              return a.params.l < b.params.l;
+            });
+  return choices;
+}
+
+std::vector<WtEnumChoice> EvaluateWtEnumPruningThresholds(
+    const SetCollection& input, const WeightFunction& size_weights,
+    const WeightFunction& order_weights, double overlap_threshold,
+    const std::vector<double>& candidates, size_t target_input_size,
+    const AdvisorOptions& options) {
+  if (target_input_size == 0) target_input_size = input.size();
+  SetCollection sample = input.Sample(options.sample_size, options.seed);
+  std::vector<WtEnumChoice> choices;
+  for (double th : candidates) {
+    WtEnumParams params;
+    params.pruning_threshold = th;
+    params.seed = options.seed;
+    auto scheme = WtEnumScheme::CreateOverlap(size_weights, order_weights,
+                                              overlap_threshold, params);
+    if (!scheme.ok()) continue;
+    SampleStats stats = ComputeSampleStats(sample, *scheme, options);
+    if (scheme->overflowed()) continue;  // TH too high for this data
+    WtEnumChoice choice;
+    choice.pruning_threshold = th;
+    choice.estimated_f2 =
+        Extrapolate(stats, sample.size(), target_input_size);
+    choices.push_back(choice);
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const WtEnumChoice& a, const WtEnumChoice& b) {
+              if (a.estimated_f2 != b.estimated_f2) {
+                return a.estimated_f2 < b.estimated_f2;
+              }
+              return a.pruning_threshold < b.pruning_threshold;
+            });
+  return choices;
+}
+
+Result<WtEnumChoice> ChooseWtEnumPruningThreshold(
+    const SetCollection& input, const WeightFunction& size_weights,
+    const WeightFunction& order_weights, double overlap_threshold,
+    const std::vector<double>& candidates, size_t target_input_size,
+    const AdvisorOptions& options) {
+  std::vector<WtEnumChoice> choices = EvaluateWtEnumPruningThresholds(
+      input, size_weights, order_weights, overlap_threshold, candidates,
+      target_input_size, options);
+  if (choices.empty()) {
+    return Status::NotFound(
+        "no WtEnum pruning threshold within the enumeration budget");
+  }
+  return choices.front();
+}
+
+Result<LshChoice> ChooseLshParams(const SetCollection& input, double gamma,
+                                  double delta, uint32_t max_g,
+                                  size_t target_input_size,
+                                  const AdvisorOptions& options) {
+  std::vector<LshChoice> choices = EvaluateLshParams(
+      input, gamma, delta, max_g, target_input_size, options);
+  if (choices.empty()) {
+    return Status::NotFound("no valid LSH setting within the budget");
+  }
+  return choices.front();
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,114 @@
+// Optimal-parameter selection (paper Sections 3.2, 4.3, 8; Table 1).
+//
+// PartEnum trades signatures-per-set against filtering effectiveness via
+// (n1, n2); no single setting is good for all input sizes — the paper's
+// near-linear scaling comes precisely from re-tuning as the input grows
+// (Section 8, Table 1). The paper tunes by estimating the Section 3.2
+// intermediate-result size
+//     F2 = sum |Sign(r)| + sum |Sign(s)| + sum |Sign(r) ∩ Sign(s)|
+// for candidate settings, noting that (a) F2 closely tracks wall time and
+// (b) for self-joins it is within a factor 2 of the F2 frequency moment of
+// the signature multiset, estimable from a sample (via AMS [1]).
+//
+// The advisor does exactly that: for each candidate setting it generates
+// signatures for a sample of n sets, computes the sample's signature count
+// S and collision count C (exactly, or via the AMS sketch), and
+// extrapolates to the full input of N sets as
+//     F2_est = 2 S (N/n) + 2 C (N/n)^2
+// (signature terms scale linearly, pairwise collisions quadratically).
+// The argmin over settings is the chosen configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/lsh.h"
+#include "core/partenum.h"
+#include "core/wtenum.h"
+#include "data/collection.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+struct AdvisorOptions {
+  /// Sets sampled for estimation (the whole input if smaller).
+  size_t sample_size = 2000;
+  /// Candidate settings whose signatures/set exceed this are skipped.
+  uint64_t max_signatures_per_set = 4096;
+  /// Estimate collision counts with the AMS sketch instead of exactly.
+  /// Exact is the default: on a 2000-set sample it is cheap and
+  /// deterministic; the sketch demonstrates the paper's limited-memory
+  /// route and is exercised by tests/benches.
+  bool use_ams_sketch = false;
+  uint64_t seed = 0x9E3779B9;
+};
+
+/// One evaluated candidate setting.
+struct PartEnumChoice {
+  PartEnumParams params;
+  double estimated_f2 = 0;
+  uint64_t signatures_per_set = 0;
+};
+
+/// Evaluates all valid (n1, n2) for a hamming PartEnum with threshold `k`
+/// against (a sample of) `input`, extrapolating to `target_input_size`
+/// sets. Returns candidates sorted by estimated F2 (best first).
+/// target_input_size = 0 means input.size().
+std::vector<PartEnumChoice> EvaluatePartEnumParams(
+    const SetCollection& input, uint32_t k, size_t target_input_size,
+    const AdvisorOptions& options = {});
+
+/// The best setting from EvaluatePartEnumParams.
+Result<PartEnumChoice> ChoosePartEnumParams(
+    const SetCollection& input, uint32_t k, size_t target_input_size = 0,
+    const AdvisorOptions& options = {});
+
+/// Estimated-F2 evaluation for LSH: for each g in [1, max_g], l is fixed
+/// by the accuracy target (LshParams::ForAccuracy) and the F2 estimate is
+/// computed as above. Returns candidates sorted by estimated F2.
+struct LshChoice {
+  LshParams params;
+  double estimated_f2 = 0;
+};
+
+std::vector<LshChoice> EvaluateLshParams(const SetCollection& input,
+                                         double gamma, double delta,
+                                         uint32_t max_g,
+                                         size_t target_input_size = 0,
+                                         const AdvisorOptions& options = {});
+
+Result<LshChoice> ChooseLshParams(const SetCollection& input, double gamma,
+                                  double delta, uint32_t max_g = 8,
+                                  size_t target_input_size = 0,
+                                  const AdvisorOptions& options = {});
+
+/// Estimates the full-input F2 of an arbitrary scheme from a sample.
+/// Exposed for the Figure 13/14 benches and tests.
+double EstimateSchemeF2(const SetCollection& input,
+                        const SignatureScheme& scheme,
+                        size_t target_input_size,
+                        const AdvisorOptions& options = {});
+
+/// WtEnum's TH knob ("a parameter that can be used to control WTENUM",
+/// Section 7) trades signatures per set (lower TH = shorter, fewer
+/// prefixes) against filtering effectiveness. Evaluates candidate TH
+/// values for an intersection-mode WtEnum by the same sampled-F2 method.
+struct WtEnumChoice {
+  double pruning_threshold = 0;
+  double estimated_f2 = 0;
+};
+
+std::vector<WtEnumChoice> EvaluateWtEnumPruningThresholds(
+    const SetCollection& input, const WeightFunction& size_weights,
+    const WeightFunction& order_weights, double overlap_threshold,
+    const std::vector<double>& candidates, size_t target_input_size = 0,
+    const AdvisorOptions& options = {});
+
+Result<WtEnumChoice> ChooseWtEnumPruningThreshold(
+    const SetCollection& input, const WeightFunction& size_weights,
+    const WeightFunction& order_weights, double overlap_threshold,
+    const std::vector<double>& candidates, size_t target_input_size = 0,
+    const AdvisorOptions& options = {});
+
+}  // namespace ssjoin

@@ -1,0 +1,184 @@
+#include "core/partenum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+namespace {
+
+constexpr uint64_t kSignatureCap = std::numeric_limits<uint64_t>::max();
+
+// C(n, r) with saturation (values beyond any practical signature budget
+// just need to compare as "too big").
+uint64_t BinomialSaturating(uint64_t n, uint64_t r) {
+  if (r > n) return 0;
+  r = std::min(r, n - r);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= r; ++i) {
+    // result *= (n - r + i) / i, in an order that stays integral.
+    uint64_t numerator = n - r + i;
+    if (result > kSignatureCap / numerator) return kSignatureCap;
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+// Tag mixed into the signature hash before each second-level partition's
+// elements, so partition boundaries are unambiguous in the hashed stream.
+constexpr uint64_t kPartitionTag = 0x5353'4a6f'696e'2d50ULL;  // "SSJoin-P"
+
+}  // namespace
+
+uint64_t PartEnumParams::SignaturesPerSet() const {
+  uint64_t per_first_level = BinomialSaturating(n2, n2 - k2());
+  if (per_first_level == kSignatureCap) return kSignatureCap;
+  if (per_first_level != 0 && n1 > kSignatureCap / per_first_level) {
+    return kSignatureCap;
+  }
+  return static_cast<uint64_t>(n1) * per_first_level;
+}
+
+Status PartEnumParams::Validate() const {
+  if (n1 == 0) return Status::InvalidArgument("PartEnum: n1 must be >= 1");
+  if (n2 == 0) return Status::InvalidArgument("PartEnum: n2 must be >= 1");
+  if (n1 > k + 1) {
+    return Status::InvalidArgument(
+        "PartEnum: requires n1 <= k + 1 (got n1=" + std::to_string(n1) +
+        ", k=" + std::to_string(k) + ")");
+  }
+  if (static_cast<uint64_t>(n1) * n2 <= static_cast<uint64_t>(k) + 1) {
+    return Status::InvalidArgument(
+        "PartEnum: requires n1 * n2 > k + 1 (got n1=" + std::to_string(n1) +
+        ", n2=" + std::to_string(n2) + ", k=" + std::to_string(k) + ")");
+  }
+  // n1*n2 > k+1 implies n2 > k2, so (n2 - k2)-subsets are non-empty.
+  assert(n2 > k2());
+  return Status::OK();
+}
+
+PartEnumParams PartEnumParams::Default(uint32_t k) {
+  PartEnumParams params;
+  params.k = k;
+  params.n1 = std::max<uint32_t>(1, (k + 2) / 2);  // ceil((k+1)/2) => k2 <= 1
+  params.n2 = 4;
+  return params;
+}
+
+std::vector<PartEnumParams> PartEnumParams::EnumerateValid(
+    uint32_t k, uint64_t max_signatures, uint64_t seed) {
+  std::vector<PartEnumParams> out;
+  for (uint32_t n1 = 1; n1 <= k + 1; ++n1) {
+    uint32_t min_n2 = (k + 1) / n1 + 1;  // smallest n2 with n1*n2 > k+1
+    PartEnumParams base;
+    base.k = k;
+    base.n1 = n1;
+    base.seed = seed;
+    uint32_t prev_k2 = std::numeric_limits<uint32_t>::max();
+    for (uint32_t n2 = min_n2;; ++n2) {
+      PartEnumParams params = base;
+      params.n2 = n2;
+      if (params.SignaturesPerSet() > max_signatures) {
+        // Signature count is monotonically nondecreasing in n2 for fixed
+        // k2; but k2 is fixed by n1 alone, so once we exceed the budget we
+        // are done with this n1.
+        break;
+      }
+      // Skip degenerate repeats where increasing n2 changed nothing
+      // structurally (k2 == 0 means one all-partitions subset; larger n2
+      // only fragments the set further, which *does* change filtering, so
+      // keep those).
+      (void)prev_k2;
+      prev_k2 = params.k2();
+      if (params.Validate().ok()) out.push_back(params);
+      if (n2 >= 31) break;  // PartEnumScheme's subset masks are 32-bit
+    }
+  }
+  return out;
+}
+
+Result<PartEnumScheme> PartEnumScheme::Create(const PartEnumParams& params) {
+  SSJOIN_RETURN_NOT_OK(params.Validate());
+  if (params.n2 > 31) {
+    return Status::InvalidArgument(
+        "PartEnum: n2 > 31 unsupported (subset masks are 32-bit); no "
+        "sensible configuration needs it");
+  }
+  if (params.SignaturesPerSet() > (1ULL << 24)) {
+    return Status::InvalidArgument(
+        "PartEnum: configuration generates more than 2^24 signatures per "
+        "set; choose smaller n2 or larger n1");
+  }
+  return PartEnumScheme(params);
+}
+
+PartEnumScheme::PartEnumScheme(const PartEnumParams& params)
+    : params_(params), k2_(params.k2()) {
+  // Enumerate all (n2 - k2)-subsets of {0..n2-1} as bitmasks (Gosper).
+  uint32_t size = params_.n2 - k2_;
+  uint32_t mask = (1u << size) - 1;
+  uint32_t limit = 1u << params_.n2;
+  while (mask < limit) {
+    subset_masks_.push_back(mask);
+    if (mask == 0) break;  // size == 0 cannot happen (validated), guard anyway
+    uint32_t c = mask & (~mask + 1);
+    uint32_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  assert(subset_masks_.size() ==
+         BinomialSaturating(params_.n2, params_.n2 - k2_));
+}
+
+std::string PartEnumScheme::Name() const {
+  std::ostringstream os;
+  os << "PEN(k=" << params_.k << ",n1=" << params_.n1 << ",n2=" << params_.n2
+     << ")";
+  return os.str();
+}
+
+uint32_t PartEnumScheme::PartitionOf(ElementId e) const {
+  uint64_t h = Mix64(params_.seed ^ Mix64(e));
+  return static_cast<uint32_t>(h % (static_cast<uint64_t>(params_.n1) *
+                                    params_.n2));
+}
+
+void PartEnumScheme::Generate(std::span<const ElementId> set,
+                              std::vector<Signature>* out) const {
+  uint32_t n1 = params_.n1;
+  uint32_t n2 = params_.n2;
+  // Bucket elements by second-level partition. Iterating the sorted set
+  // keeps each bucket sorted, so equal projections hash equally.
+  std::vector<std::vector<ElementId>> buckets(
+      static_cast<size_t>(n1) * n2);
+  for (ElementId e : set) {
+    buckets[PartitionOf(e)].push_back(e);
+  }
+  out->reserve(out->size() + static_cast<size_t>(n1) * subset_masks_.size());
+  for (uint32_t i = 0; i < n1; ++i) {
+    for (uint32_t mask : subset_masks_) {
+      // Signature <v[P], P> with P = union of partitions p_ij, j in mask,
+      // sparse-encoded as hash(i, mask, elements of v within P).
+      SequenceHasher hasher(params_.seed);
+      hasher.Add(i);
+      hasher.Add(mask);
+      uint32_t remaining = mask;
+      while (remaining != 0) {
+        uint32_t j = static_cast<uint32_t>(std::countr_zero(remaining));
+        remaining &= remaining - 1;
+        hasher.Add(kPartitionTag ^ j);
+        for (ElementId e :
+             buckets[static_cast<size_t>(i) * n2 + j]) {
+          hasher.Add(e);
+        }
+      }
+      out->push_back(hasher.Finish());
+    }
+  }
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,88 @@
+// PartEnum for jaccard SSJoins (paper Section 5, Figure 6).
+//
+// Two observations reduce jaccard to hamming:
+//   - equi-sized sets: Js(r,s) >= gamma  <=>  Hd(r,s) <= 2l(1-gamma)/(1+gamma)
+//     where l is the common size;
+//   - in general, Lemma 1 bounds the size ratio of joinable pairs:
+//     gamma <= |r|/|s| <= 1/gamma.
+//
+// The scheme partitions the positive integers into size intervals
+// I_i = [l_i, r_i] with r_i = floor(l_i / gamma) and l_{i+1} = r_i + 1.
+// A set of size in I_i conceptually belongs to sub-instances i and i+1;
+// sub-instance i covers sets with sizes in I_{i-1} ∪ I_i and runs a
+// hamming PartEnum with threshold k_i = floor(2 (1-gamma)/(1+gamma) r_i).
+// Tagging each signature with its sub-instance index implements the
+// size-based filtering without materializing the sub-collections.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/partenum.h"
+#include "core/predicate.h"
+#include "core/signature_scheme.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Parameters of the jaccard PartEnum scheme.
+struct PartEnumJaccardParams {
+  /// Jaccard threshold gamma in (0, 1].
+  double gamma = 0.9;
+  /// Upper bound on input set sizes; intervals are built up to it.
+  uint32_t max_set_size = 0;
+  /// Seed shared by all per-interval hamming instances.
+  uint64_t seed = 0x9E3779B9;
+  /// Picks (n1, n2) for a given per-interval hamming threshold k.
+  /// Defaults to PartEnumParams::Default. The parameter advisor supplies a
+  /// tuned chooser (Table 1 / Section 8 "optimal settings of parameters").
+  std::function<PartEnumParams(uint32_t k)> chooser;
+};
+
+/// \brief The Figure 6 signature scheme: size intervals + tagged hamming
+/// PartEnum signatures.
+class PartEnumJaccardScheme final : public SignatureScheme {
+ public:
+  static Result<PartEnumJaccardScheme> Create(
+      const PartEnumJaccardParams& params);
+
+  std::string Name() const override;
+
+  void Generate(std::span<const ElementId> set,
+                std::vector<Signature>* out) const override;
+
+  /// The size intervals I_1, I_2, ... covering [1, max_set_size]
+  /// (steps (a)/(b) of Figure 6). Exposed for tests (paper Example 5).
+  static std::vector<SizeRange> BuildIntervals(double gamma,
+                                               uint32_t max_set_size);
+
+  /// Hamming threshold of sub-instance i (step (c) of Figure 6):
+  /// k_i = floor(2 (1-gamma)/(1+gamma) * r_i).
+  static uint32_t IntervalThreshold(double gamma, uint32_t interval_right);
+
+  /// Equi-sized special case (Section 5 first paragraph): the hamming
+  /// threshold equivalent to jaccard gamma at common set size l.
+  static uint32_t EquisizedHammingThreshold(uint32_t set_size, double gamma);
+
+  const std::vector<SizeRange>& intervals() const { return intervals_; }
+
+  /// Index of the interval containing `size` (sizes in [1, max_set_size]).
+  size_t IntervalIndex(uint32_t size) const;
+
+  /// Total signatures a set of size `size` will receive.
+  uint64_t SignaturesForSize(uint32_t size) const;
+
+ private:
+  PartEnumJaccardScheme() = default;
+
+  double gamma_ = 0;
+  uint32_t max_set_size_ = 0;
+  std::vector<SizeRange> intervals_;
+  // instances_[i] serves sub-instance i (covering I_{i-1} ∪ I_i); there is
+  // one extra trailing instance for the i+1 tags of the last interval.
+  std::vector<std::unique_ptr<PartEnumScheme>> instances_;
+};
+
+}  // namespace ssjoin

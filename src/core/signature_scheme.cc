@@ -1,0 +1,18 @@
+#include "core/signature_scheme.h"
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+void NarrowedScheme::Generate(std::span<const ElementId> set,
+                              std::vector<Signature>* out) const {
+  size_t before = out->size();
+  base_->Generate(set, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    // Re-mix before narrowing so that structured low bits (e.g. raw
+    // element ids from the identity scheme) spread over the kept bits.
+    (*out)[i] = NarrowHash(Mix64((*out)[i]), bits_);
+  }
+}
+
+}  // namespace ssjoin

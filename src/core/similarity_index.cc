@@ -1,0 +1,66 @@
+#include "core/similarity_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssjoin {
+
+SimilarityIndex::SimilarityIndex(SignatureSchemePtr scheme,
+                                 std::shared_ptr<const Predicate> predicate)
+    : scheme_(std::move(scheme)), predicate_(std::move(predicate)) {
+  assert(scheme_ != nullptr);
+  assert(predicate_ != nullptr);
+}
+
+SetId SimilarityIndex::Insert(std::span<const ElementId> set) {
+  SetId id = static_cast<SetId>(stored_.size());
+  stored_.push_back(Entry{stored_elements_.size(),
+                          static_cast<uint32_t>(set.size())});
+  stored_elements_.insert(stored_elements_.end(), set.begin(), set.end());
+
+  std::vector<Signature> sigs;
+  scheme_->Generate(set, &sigs);
+  std::sort(sigs.begin(), sigs.end());
+  sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+  for (Signature sig : sigs) postings_[sig].push_back(id);
+  ++stats_.inserted;
+  return id;
+}
+
+void SimilarityIndex::InsertAll(const SetCollection& collection) {
+  for (SetId id = 0; id < collection.size(); ++id) {
+    Insert(collection.set(id));
+  }
+}
+
+std::vector<SetId> SimilarityIndex::Lookup(
+    std::span<const ElementId> probe) const {
+  ++stats_.lookups;
+  std::vector<Signature> sigs;
+  scheme_->Generate(probe, &sigs);
+  std::sort(sigs.begin(), sigs.end());
+  sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+
+  std::vector<SetId> candidates;
+  for (Signature sig : sigs) {
+    auto it = postings_.find(sig);
+    if (it == postings_.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(),
+                      it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  stats_.candidates += candidates.size();
+
+  std::vector<SetId> results;
+  for (SetId id : candidates) {
+    if (predicate_->Evaluate(set(id), probe)) {
+      results.push_back(id);
+    }
+  }
+  stats_.results += results.size();
+  return results;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,262 @@
+#include "core/ssjoin.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace ssjoin {
+
+namespace {
+
+// Flattened per-set signature lists (CSR). Signatures are deduplicated
+// within each set: Sign(s) is a set, and duplicates would double-count
+// collisions.
+struct SignatureTable {
+  std::vector<Signature> values;
+  std::vector<size_t> offsets;  // collection.size() + 1
+
+  uint64_t total() const { return values.size(); }
+};
+
+SignatureTable GenerateAll(const SetCollection& input,
+                           const SignatureScheme& scheme) {
+  SignatureTable table;
+  table.offsets.reserve(input.size() + 1);
+  table.offsets.push_back(0);
+  std::vector<Signature> scratch;
+  for (SetId id = 0; id < input.size(); ++id) {
+    scratch.clear();
+    scheme.Generate(input.set(id), &scratch);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    table.values.insert(table.values.end(), scratch.begin(), scratch.end());
+    table.offsets.push_back(table.values.size());
+  }
+  return table;
+}
+
+// (signature, set id) pairs sorted by signature, for group-by-signature
+// candidate generation. Sorting beats a hash table here: one pass, cache
+// friendly, deterministic iteration order.
+std::vector<std::pair<Signature, SetId>> ToSortedPostings(
+    const SignatureTable& table) {
+  std::vector<std::pair<Signature, SetId>> postings;
+  postings.reserve(table.values.size());
+  for (SetId id = 0; id + 1 < table.offsets.size(); ++id) {
+    for (size_t i = table.offsets[id]; i < table.offsets[id + 1]; ++i) {
+      postings.emplace_back(table.values[i], id);
+    }
+  }
+  std::sort(postings.begin(), postings.end());
+  return postings;
+}
+
+void PostFilter(const SetCollection& r, const SetCollection& s,
+                const std::unordered_set<uint64_t>& candidates,
+                const Predicate& predicate, JoinResult* result) {
+  result->pairs.reserve(candidates.size() / 4 + 1);
+  for (uint64_t packed : candidates) {
+    auto [id_r, id_s] = UnpackPair(packed);
+    if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+      result->pairs.emplace_back(id_r, id_s);
+      ++result->stats.results;
+    } else {
+      ++result->stats.false_positives;
+    }
+  }
+  // Deterministic output order regardless of hash-set iteration.
+  std::sort(result->pairs.begin(), result->pairs.end());
+}
+
+}  // namespace
+
+std::string JoinStats::ToString() const {
+  std::ostringstream os;
+  os << "time=" << TotalSeconds() << "s (sig=" << siggen_seconds
+     << " cand=" << candpair_seconds << " post=" << postfilter_seconds
+     << ") sigs=" << signatures_r << "+" << signatures_s
+     << " collisions=" << signature_collisions << " F2=" << F2()
+     << " candidates=" << candidates << " results=" << results
+     << " false_pos=" << false_positives;
+  return os.str();
+}
+
+JoinResult SignatureSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  JoinResult result;
+  PhaseTimer timer;
+
+  SignatureTable table;
+  {
+    auto scope = timer.Measure(kPhaseSigGen);
+    table = GenerateAll(input, scheme);
+  }
+  result.stats.signatures_r = table.total();
+  result.stats.signatures_s = table.total();
+
+  std::unordered_set<uint64_t> candidates;
+  if (options.table_reserve > 0) candidates.reserve(options.table_reserve);
+  {
+    auto scope = timer.Measure(kPhaseCandPair);
+    std::vector<std::pair<Signature, SetId>> postings =
+        ToSortedPostings(table);
+    size_t i = 0;
+    while (i < postings.size()) {
+      size_t j = i;
+      while (j < postings.size() && postings[j].first == postings[i].first) {
+        ++j;
+      }
+      uint64_t group = j - i;
+      result.stats.signature_collisions += group * (group - 1) / 2;
+      for (size_t a = i; a < j; ++a) {
+        for (size_t b = a + 1; b < j; ++b) {
+          SetId lo = std::min(postings[a].second, postings[b].second);
+          SetId hi = std::max(postings[a].second, postings[b].second);
+          if (lo != hi) candidates.insert(PackPair(lo, hi));
+        }
+      }
+      i = j;
+    }
+    result.stats.candidates = candidates.size();
+  }
+
+  {
+    auto scope = timer.Measure(kPhasePostFilter);
+    PostFilter(input, input, candidates, predicate, &result);
+  }
+
+  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  return result;
+}
+
+JoinResult PipelinedSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  JoinResult result;
+  PhaseTimer timer;
+
+  // Inverted index: signature -> ids of already-processed sets.
+  std::unordered_map<Signature, std::vector<SetId>> index;
+  if (options.table_reserve > 0) index.reserve(options.table_reserve);
+  std::vector<Signature> sigs;
+  std::vector<SetId> probe_candidates;  // per-probe scratch, deduped
+  for (SetId id = 0; id < input.size(); ++id) {
+    sigs.clear();
+    {
+      auto scope = timer.Measure(kPhaseSigGen);
+      scheme.Generate(input.set(id), &sigs);
+      std::sort(sigs.begin(), sigs.end());
+      sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+      result.stats.signatures_r += sigs.size();
+    }
+    {
+      auto scope = timer.Measure(kPhaseCandPair);
+      probe_candidates.clear();
+      for (Signature sig : sigs) {
+        auto it = index.find(sig);
+        if (it == index.end()) continue;
+        result.stats.signature_collisions += it->second.size();
+        probe_candidates.insert(probe_candidates.end(), it->second.begin(),
+                                it->second.end());
+      }
+      std::sort(probe_candidates.begin(), probe_candidates.end());
+      probe_candidates.erase(
+          std::unique(probe_candidates.begin(), probe_candidates.end()),
+          probe_candidates.end());
+      result.stats.candidates += probe_candidates.size();
+    }
+    {
+      auto scope = timer.Measure(kPhasePostFilter);
+      for (SetId partner : probe_candidates) {
+        if (predicate.Evaluate(input.set(partner), input.set(id))) {
+          result.pairs.emplace_back(partner, id);
+          ++result.stats.results;
+        } else {
+          ++result.stats.false_positives;
+        }
+      }
+    }
+    {
+      auto scope = timer.Measure(kPhaseSigGen);
+      for (Signature sig : sigs) index[sig].push_back(id);
+    }
+  }
+  result.stats.signatures_s = result.stats.signatures_r;
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  return result;
+}
+
+JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
+                         const SignatureScheme& scheme,
+                         const Predicate& predicate,
+                         const JoinOptions& options) {
+  JoinResult result;
+  PhaseTimer timer;
+
+  SignatureTable table_r, table_s;
+  {
+    auto scope = timer.Measure(kPhaseSigGen);
+    table_r = GenerateAll(r, scheme);
+    table_s = GenerateAll(s, scheme);
+  }
+  result.stats.signatures_r = table_r.total();
+  result.stats.signatures_s = table_s.total();
+
+  std::unordered_set<uint64_t> candidates;
+  if (options.table_reserve > 0) candidates.reserve(options.table_reserve);
+  {
+    auto scope = timer.Measure(kPhaseCandPair);
+    std::vector<std::pair<Signature, SetId>> postings_r =
+        ToSortedPostings(table_r);
+    std::vector<std::pair<Signature, SetId>> postings_s =
+        ToSortedPostings(table_s);
+    size_t i = 0, j = 0;
+    while (i < postings_r.size() && j < postings_s.size()) {
+      Signature sig_r = postings_r[i].first;
+      Signature sig_s = postings_s[j].first;
+      if (sig_r < sig_s) {
+        ++i;
+      } else if (sig_s < sig_r) {
+        ++j;
+      } else {
+        size_t ei = i, ej = j;
+        while (ei < postings_r.size() && postings_r[ei].first == sig_r) ++ei;
+        while (ej < postings_s.size() && postings_s[ej].first == sig_r) ++ej;
+        result.stats.signature_collisions +=
+            static_cast<uint64_t>(ei - i) * (ej - j);
+        for (size_t a = i; a < ei; ++a) {
+          for (size_t b = j; b < ej; ++b) {
+            candidates.insert(
+                PackPair(postings_r[a].second, postings_s[b].second));
+          }
+        }
+        i = ei;
+        j = ej;
+      }
+    }
+    result.stats.candidates = candidates.size();
+  }
+
+  {
+    auto scope = timer.Measure(kPhasePostFilter);
+    PostFilter(r, s, candidates, predicate, &result);
+  }
+
+  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  return result;
+}
+
+}  // namespace ssjoin

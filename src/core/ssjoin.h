@@ -1,0 +1,104 @@
+// The generic signature-based SSJoin driver (paper Figure 2).
+//
+// All algorithms in this library — PartEnum, WtEnum, prefix filter, the
+// identity scheme, LSH — share this driver; they differ only in the
+// plugged-in SignatureScheme. The driver:
+//   1/2. generates signatures for every input set        (phase SigGen)
+//   3.   finds all pairs with overlapping signature sets (phase CandPair)
+//   4.   post-filters candidates with the exact predicate (phase PostFilter)
+// and records the paper's evaluation measures (Section 3.2): per-phase
+// time, signature counts, candidate counts, false positives, and the
+// intermediate-result size
+//   sum_r |Sign(r)| + sum_s |Sign(s)| + sum_(r,s) |Sign(r) ∩ Sign(s)|.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/signature_scheme.h"
+#include "core/types.h"
+#include "data/collection.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Knobs of the generic driver.
+struct JoinOptions {
+  /// Also count candidate pairs that fail the predicate (false positives)
+  /// separately in the stats. Costs nothing; kept for symmetry.
+  bool verify = true;
+  /// Reserve hint for the signature hash table (0 = derive from input).
+  size_t table_reserve = 0;
+};
+
+/// Evaluation measures of one join execution (paper Section 3.2).
+struct JoinStats {
+  // Phase wall-clock seconds (the stacked bars of Figures 12/18/19).
+  double siggen_seconds = 0;
+  double candpair_seconds = 0;
+  double postfilter_seconds = 0;
+  double TotalSeconds() const {
+    return siggen_seconds + candpair_seconds + postfilter_seconds;
+  }
+
+  /// sum_r |Sign(r)| over the left input.
+  uint64_t signatures_r = 0;
+  /// sum_s |Sign(s)| over the right input (== signatures_r for self-join).
+  uint64_t signatures_s = 0;
+  /// sum over candidate pairs of |Sign(r) ∩ Sign(s)| — the number of
+  /// signature-level collisions (join hits at step 3).
+  uint64_t signature_collisions = 0;
+  /// The Section 3.2 intermediate-result size:
+  /// signatures_r + signatures_s + signature_collisions.
+  uint64_t F2() const {
+    return signatures_r + signatures_s + signature_collisions;
+  }
+
+  /// Distinct candidate pairs produced by step 3.
+  uint64_t candidates = 0;
+  /// Candidates that satisfied the predicate (the output size).
+  uint64_t results = 0;
+  /// Candidates that failed the predicate (filtering-effectiveness
+  /// measure 2 of Section 3.2).
+  uint64_t false_positives = 0;
+
+  std::string ToString() const;
+};
+
+/// Output of a join: the matching pairs plus the stats above.
+struct JoinResult {
+  std::vector<SetPair> pairs;
+  JoinStats stats;
+};
+
+/// Binary SSJoin between collections R and S (Figure 2). The same scheme
+/// instance generates signatures for both sides.
+JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
+                         const SignatureScheme& scheme,
+                         const Predicate& predicate,
+                         const JoinOptions& options = {});
+
+/// Self-SSJoin over one collection; output pairs have first < second.
+/// This is what all the paper's experiments run.
+JoinResult SignatureSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options = {});
+
+/// Pipelined self-SSJoin: an alternative execution of the same Figure-2
+/// outline. Instead of materializing all signatures and sorting, sets are
+/// processed in id order against an incrementally-built inverted index
+/// over signatures; each probe's candidates are verified immediately
+/// (candidate generation and post-filtering "performed in a pipelined
+/// fashion", Section 3's engineering note, following [6]). Produces the
+/// identical output and the same signature/candidate accounting; peak
+/// memory drops from all-candidates to per-probe.
+JoinResult PipelinedSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options = {});
+
+}  // namespace ssjoin

@@ -1,0 +1,156 @@
+#include "core/weighted.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace ssjoin {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+double WeightedSize(std::span<const ElementId> set,
+                    const WeightFunction& weights) {
+  double total = 0;
+  for (ElementId e : set) total += weights(e);
+  return total;
+}
+
+double WeightedIntersection(std::span<const ElementId> r,
+                            std::span<const ElementId> s,
+                            const WeightFunction& weights) {
+  double total = 0;
+  size_t i = 0, j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i] == s[j]) {
+      total += weights(r[i]);
+      ++i;
+      ++j;
+    } else if (r[i] < s[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+double WeightedJaccard(std::span<const ElementId> r,
+                       std::span<const ElementId> s,
+                       const WeightFunction& weights) {
+  double inter = WeightedIntersection(r, s, weights);
+  double uni = WeightedSize(r, weights) + WeightedSize(s, weights) - inter;
+  if (uni <= 0) return 1.0;  // both empty
+  return inter / uni;
+}
+
+WeightedJaccardPredicate::WeightedJaccardPredicate(double gamma,
+                                                   WeightFunction weights)
+    : gamma_(gamma), weights_(std::move(weights)) {
+  assert(gamma_ > 0.0 && gamma_ <= 1.0);
+  assert(weights_);
+}
+
+std::string WeightedJaccardPredicate::Name() const {
+  std::ostringstream os;
+  os << "wjaccard>=" << gamma_;
+  return os.str();
+}
+
+double WeightedJaccardPredicate::MinOverlap(uint32_t, uint32_t) const {
+  return 0.0;  // cardinalities carry no weighted information
+}
+
+bool WeightedJaccardPredicate::Evaluate(std::span<const ElementId> r,
+                                        std::span<const ElementId> s) const {
+  return WeightedJaccard(r, s, weights_) + kEps >= gamma_;
+}
+
+double WeightedHammingDistance(std::span<const ElementId> r,
+                               std::span<const ElementId> s,
+                               const WeightFunction& weights) {
+  double dist = 0;
+  size_t i = 0, j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i] == s[j]) {
+      ++i;
+      ++j;
+    } else if (r[i] < s[j]) {
+      dist += weights(r[i]);
+      ++i;
+    } else {
+      dist += weights(s[j]);
+      ++j;
+    }
+  }
+  while (i < r.size()) dist += weights(r[i++]);
+  while (j < s.size()) dist += weights(s[j++]);
+  return dist;
+}
+
+WeightedHammingPredicate::WeightedHammingPredicate(double k,
+                                                   WeightFunction weights)
+    : k_(k), weights_(std::move(weights)) {
+  assert(k_ >= 0);
+  assert(weights_);
+}
+
+std::string WeightedHammingPredicate::Name() const {
+  std::ostringstream os;
+  os << "whamming<=" << k_;
+  return os.str();
+}
+
+double WeightedHammingPredicate::MinOverlap(uint32_t, uint32_t) const {
+  return 0.0;  // cardinalities carry no weighted information
+}
+
+bool WeightedHammingPredicate::Evaluate(std::span<const ElementId> r,
+                                        std::span<const ElementId> s) const {
+  return WeightedHammingDistance(r, s, weights_) <=
+         k_ + kEps * std::max(1.0, k_);
+}
+
+WeightedOverlapPredicate::WeightedOverlapPredicate(double t,
+                                                   WeightFunction weights)
+    : t_(t), weights_(std::move(weights)) {
+  assert(weights_);
+}
+
+std::string WeightedOverlapPredicate::Name() const {
+  std::ostringstream os;
+  os << "woverlap>=" << t_;
+  return os.str();
+}
+
+double WeightedOverlapPredicate::MinOverlap(uint32_t, uint32_t) const {
+  return 0.0;
+}
+
+bool WeightedOverlapPredicate::Evaluate(std::span<const ElementId> r,
+                                        std::span<const ElementId> s) const {
+  return WeightedIntersection(r, s, weights_) + kEps * std::max(1.0, t_) >=
+         t_;
+}
+
+SetCollection ExpandWeightsToBag(const SetCollection& input,
+                                 const WeightFunction& weights,
+                                 double scale) {
+  SetCollectionBuilder builder;
+  std::vector<ElementId> bag;
+  for (SetId id = 0; id < input.size(); ++id) {
+    bag.clear();
+    for (ElementId e : input.set(id)) {
+      int64_t copies =
+          static_cast<int64_t>(std::llround(weights(e) * scale));
+      for (int64_t c = 0; c < std::max<int64_t>(copies, 1); ++c) {
+        bag.push_back(e);
+      }
+    }
+    builder.AddBag(bag);
+  }
+  return builder.Build();
+}
+
+}  // namespace ssjoin

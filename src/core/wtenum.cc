@@ -1,0 +1,296 @@
+#include "core/wtenum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+namespace {
+
+constexpr Signature kEmptySetSignature = 0x37E4'0000'E317'70ADULL;
+constexpr double kEps = 1e-9;
+
+// One element of the set under enumeration, with both weight systems.
+struct Entry {
+  ElementId element;
+  double size_weight;   // defines the predicate threshold T (step 2)
+  double order_weight;  // IDF weight: ordering and TH accounting (step 3)
+};
+
+// DFS context for one (set, threshold) instance.
+struct Enumeration {
+  const std::vector<Entry>& entries;
+  const std::vector<double>& suffix_size_weight;  // sum of size_weight from i
+  double threshold;                               // T
+  double pruning_threshold;                       // TH
+  uint64_t budget;
+  bool overflowed = false;
+  std::unordered_set<Signature>* emitted;
+  std::vector<Signature>* out;
+
+  void Emit(Signature sig) {
+    if (emitted->insert(sig).second) out->push_back(sig);
+  }
+
+  // Does any X ⊆ entries[idx..] complete `chosen` (with total size weight
+  // `sum` < T and minimum size weight `min_w`) to a minimal subset?
+  // Greedy in descending size weight is exact when size weights are
+  // ordered like the processing order (the IDF case); otherwise fall back
+  // to a budgeted exhaustive check.
+  bool ExistsMinimalCompletion(size_t idx, double sum, double min_w) {
+    // Greedy: add remaining elements in processing order (descending
+    // order_weight, which equals descending size_weight in the IDF case).
+    double greedy_sum = sum;
+    double greedy_min = min_w;
+    for (size_t i = idx; i < entries.size(); ++i) {
+      greedy_sum += entries[i].size_weight;
+      greedy_min = std::min(greedy_min, entries[i].size_weight);
+      if (greedy_sum >= threshold) {
+        if (greedy_sum - greedy_min < threshold) return true;
+        break;  // greedy result not minimal; fall through to search
+      }
+    }
+    if (sum + (suffix_size_weight[idx]) < threshold) return false;
+    // Exhaustive fallback (rare; only when weight systems disagree).
+    return SearchCompletion(idx, sum, min_w);
+  }
+
+  bool SearchCompletion(size_t idx, double sum, double min_w) {
+    if (budget == 0) {
+      overflowed = true;
+      return true;  // claim existence: emitting extra prefixes is safe
+    }
+    --budget;
+    if (idx >= entries.size()) return false;
+    if (sum + suffix_size_weight[idx] < threshold) return false;
+    // Include entries[idx].
+    double new_sum = sum + entries[idx].size_weight;
+    double new_min = std::min(min_w, entries[idx].size_weight);
+    if (new_sum >= threshold) {
+      if (new_sum - new_min < threshold) return true;
+      // Crossing but non-minimal; a subset without some element crosses
+      // too and is explored via the exclude branch.
+    } else if (SearchCompletion(idx + 1, new_sum, new_min)) {
+      return true;
+    }
+    // Exclude entries[idx].
+    return SearchCompletion(idx + 1, sum, min_w);
+  }
+
+  // Main DFS. `prefix_hasher` carries the prefix built so far; `idf_sum`
+  // its accumulated order weight; `frozen` whether TH was reached.
+  void Dfs(size_t idx, double sum, double min_w, double idf_sum,
+           SequenceHasher prefix_hasher) {
+    if (budget == 0) {
+      overflowed = true;
+      return;
+    }
+    --budget;
+    if (idx >= entries.size()) return;  // sum < T here, dead end
+    if (sum + suffix_size_weight[idx] < threshold) return;  // unreachable
+
+    // Branch 1: include entries[idx].
+    {
+      double new_sum = sum + entries[idx].size_weight;
+      double new_min = std::min(min_w, entries[idx].size_weight);
+      double new_idf = idf_sum + entries[idx].order_weight;
+      SequenceHasher new_hasher = prefix_hasher;
+      new_hasher.Add(entries[idx].element);
+      if (new_sum >= threshold) {
+        // `chosen ∪ {idx}` crossed T: it is a candidate minimal subset.
+        // Supersets are non-minimal, so the branch ends here either way.
+        if (new_sum - new_min < threshold) {
+          // Minimal. Its prefix: we only reach this point with an
+          // unfrozen prefix, so the prefix is the whole chosen set —
+          // whether TH was just reached or never (Figure 8 takes the
+          // whole s' when its IDF weight stays below TH).
+          Emit(new_hasher.Finish());
+        }
+      } else if (new_idf >= pruning_threshold) {
+        // Prefix frozen below T: every minimal subset in this subtree has
+        // this exact prefix, so emit once if any completion exists.
+        if (ExistsMinimalCompletion(idx + 1, new_sum, new_min)) {
+          Emit(new_hasher.Finish());
+        }
+      } else {
+        Dfs(idx + 1, new_sum, new_min, new_idf, new_hasher);
+      }
+    }
+    // Branch 2: exclude entries[idx].
+    Dfs(idx + 1, sum, min_w, idf_sum, prefix_hasher);
+  }
+};
+
+}  // namespace
+
+Result<WtEnumScheme> WtEnumScheme::CreateOverlap(WeightFunction size_weights,
+                                                 WeightFunction order_weights,
+                                                 double threshold,
+                                                 const WtEnumParams& params) {
+  if (!size_weights || !order_weights) {
+    return Status::InvalidArgument("WtEnum: weight function is null");
+  }
+  if (threshold <= 0) {
+    return Status::InvalidArgument("WtEnum: threshold must be positive");
+  }
+  if (params.pruning_threshold <= 0) {
+    return Status::InvalidArgument(
+        "WtEnum: pruning_threshold must be positive (use "
+        "IdfWeights::DefaultPruningThreshold())");
+  }
+  WtEnumScheme scheme;
+  scheme.size_weights_ = std::move(size_weights);
+  scheme.order_weights_ = std::move(order_weights);
+  scheme.params_ = params;
+  scheme.jaccard_mode_ = false;
+  scheme.threshold_ = threshold;
+  return scheme;
+}
+
+Result<WtEnumScheme> WtEnumScheme::CreateJaccard(WeightFunction size_weights,
+                                                 WeightFunction order_weights,
+                                                 double gamma,
+                                                 double min_weighted_size,
+                                                 const WtEnumParams& params) {
+  if (!size_weights || !order_weights) {
+    return Status::InvalidArgument("WtEnum: weight function is null");
+  }
+  if (gamma <= 0 || gamma > 1) {
+    return Status::InvalidArgument("WtEnum: gamma must be in (0,1]");
+  }
+  if (min_weighted_size <= 0) {
+    return Status::InvalidArgument(
+        "WtEnum: min_weighted_size must be positive");
+  }
+  if (params.pruning_threshold <= 0) {
+    return Status::InvalidArgument(
+        "WtEnum: pruning_threshold must be positive");
+  }
+  WtEnumScheme scheme;
+  scheme.size_weights_ = std::move(size_weights);
+  scheme.order_weights_ = std::move(order_weights);
+  scheme.params_ = params;
+  scheme.jaccard_mode_ = true;
+  scheme.gamma_ = gamma;
+  scheme.base_size_ = min_weighted_size * (1.0 - kEps);
+  // Slightly inflated growth so float rounding in weighted sizes can only
+  // widen intervals (completeness over selectivity at the boundaries).
+  scheme.growth_ = (1.0 / gamma) * (1.0 + kEps);
+  return scheme;
+}
+
+std::string WtEnumScheme::Name() const {
+  std::ostringstream os;
+  if (jaccard_mode_) {
+    os << "WEN(wjaccard>=" << gamma_ << ")";
+  } else {
+    os << "WEN(woverlap>=" << threshold_ << ")";
+  }
+  return os.str();
+}
+
+uint32_t WtEnumScheme::IntervalIndex(double weighted_size) const {
+  assert(jaccard_mode_);
+  assert(weighted_size >= base_size_);
+  // index = max{ j >= 0 : base * growth^j <= ws }, computed by repeated
+  // multiplication so neighbouring sets agree exactly on boundaries.
+  uint32_t index = 0;
+  double boundary = base_size_ * growth_;
+  while (boundary <= weighted_size) {
+    ++index;
+    boundary *= growth_;
+  }
+  return index;
+}
+
+void WtEnumScheme::EnumerateForThreshold(std::span<const ElementId> set,
+                                         double threshold, uint64_t tag,
+                                         std::vector<Signature>* out) const {
+  std::vector<Entry> entries;
+  entries.reserve(set.size());
+  for (ElementId e : set) {
+    entries.push_back(Entry{e, size_weights_(e), order_weights_(e)});
+  }
+  // Descending IDF (order weight); ties by element id for determinism.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.order_weight != b.order_weight) {
+      return a.order_weight > b.order_weight;
+    }
+    return a.element < b.element;
+  });
+  std::vector<double> suffix(entries.size() + 1, 0.0);
+  for (size_t i = entries.size(); i > 0; --i) {
+    suffix[i - 1] = suffix[i] + entries[i - 1].size_weight;
+  }
+
+  std::unordered_set<Signature> emitted;
+  Enumeration enumeration{entries,
+                          suffix,
+                          threshold * (1.0 - kEps),
+                          params_.pruning_threshold,
+                          params_.max_nodes_per_set,
+                          false,
+                          &emitted,
+                          out};
+  SequenceHasher root(params_.seed);
+  root.Add(tag);
+  enumeration.Dfs(0, 0.0, std::numeric_limits<double>::infinity(), 0.0, root);
+  if (enumeration.overflowed) {
+    overflowed_ = true;
+    SSJOIN_LOG(Warn) << "WtEnum enumeration budget exhausted for a set of "
+                     << set.size()
+                     << " elements; results may miss pairs involving it";
+  }
+}
+
+void WtEnumScheme::Generate(std::span<const ElementId> set,
+                            std::vector<Signature>* out) const {
+  if (set.empty()) {
+    if (jaccard_mode_) out->push_back(kEmptySetSignature);
+    return;  // empty sets cannot reach a positive overlap threshold
+  }
+  if (!jaccard_mode_) {
+    EnumerateForThreshold(set, threshold_, /*tag=*/0, out);
+    return;
+  }
+  double ws = WeightedSize(set, size_weights_);
+  uint32_t i = IntervalIndex(ws);
+  for (uint32_t tag : {i, i + 1}) {
+    // Instance `tag` covers weighted sizes in I_{tag-1} ∪ I_tag; the
+    // smallest possible pair sum is 2 * b_{tag-1}.
+    double floor_size =
+        base_size_ * std::pow(growth_, tag > 0 ? tag - 1 : 0);
+    double instance_threshold =
+        2.0 * gamma_ / (1.0 + gamma_) * floor_size;
+    EnumerateForThreshold(set, instance_threshold, tag + 1, out);
+  }
+}
+
+Status WtEnumScheme::Validate(const SetCollection& input) const {
+  bool saved = overflowed_;
+  overflowed_ = false;
+  std::vector<Signature> scratch;
+  for (SetId id = 0; id < input.size(); ++id) {
+    scratch.clear();
+    Generate(input.set(id), &scratch);
+    if (overflowed_) {
+      overflowed_ = saved;
+      return Status::OutOfRange(
+          "WtEnum: enumeration budget exhausted for set " +
+          std::to_string(id) + " (" + std::to_string(input.set_size(id)) +
+          " elements); lower pruning_threshold or raise max_nodes_per_set");
+    }
+  }
+  overflowed_ = saved;
+  return Status::OK();
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,224 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <unordered_set>
+
+#include "util/zipf.h"
+
+namespace ssjoin {
+
+SetCollection GenerateUniformSets(const UniformSetOptions& options) {
+  assert(options.set_size <= options.domain_size);
+  Rng rng(options.seed);
+  std::vector<std::vector<ElementId>> sets;
+  sets.reserve(options.num_sets);
+  for (size_t i = 0; i < options.num_sets; ++i) {
+    std::vector<uint32_t> s =
+        SampleWithoutReplacement(options.domain_size, options.set_size, rng);
+    sets.push_back(std::move(s));
+  }
+  // Planted near-duplicates: copy a base set and replace `mutations`
+  // members with fresh elements not already present.
+  size_t num_planted =
+      static_cast<size_t>(options.similar_fraction *
+                          static_cast<double>(options.num_sets));
+  for (size_t i = 0; i < num_planted && !sets.empty(); ++i) {
+    const std::vector<ElementId>& base =
+        sets[rng.Uniform(static_cast<uint32_t>(options.num_sets))];
+    std::vector<ElementId> dup = base;
+    std::unordered_set<ElementId> members(dup.begin(), dup.end());
+    uint32_t mutations = std::min<uint32_t>(
+        options.mutations, static_cast<uint32_t>(dup.size()));
+    for (uint32_t m = 0; m < mutations; ++m) {
+      uint32_t victim = rng.Uniform(static_cast<uint32_t>(dup.size()));
+      ElementId replacement = rng.Uniform(options.domain_size);
+      while (members.count(replacement) > 0) {
+        replacement = rng.Uniform(options.domain_size);
+      }
+      members.erase(dup[victim]);
+      members.insert(replacement);
+      dup[victim] = replacement;
+    }
+    sets.push_back(std::move(dup));
+  }
+  return SetCollection::FromVectors(sets);
+}
+
+std::string InjectTypos(const std::string& text, uint32_t count, Rng& rng) {
+  std::string out = text;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (out.empty()) {
+      out.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      continue;
+    }
+    uint32_t pos = rng.Uniform(static_cast<uint32_t>(out.size()));
+    char random_char = static_cast<char>('a' + rng.Uniform(26));
+    switch (static_cast<TypoKind>(rng.Uniform(4))) {
+      case TypoKind::kSubstitute:
+        out[pos] = random_char;
+        break;
+      case TypoKind::kInsert:
+        out.insert(out.begin() + pos, random_char);
+        break;
+      case TypoKind::kDelete:
+        if (out.size() > 1) out.erase(out.begin() + pos);
+        break;
+      case TypoKind::kTranspose:
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Small curated vocabularies; combined with numeric components and Zipf
+// skew they produce realistic token-frequency distributions.
+constexpr std::array<const char*, 24> kOrgWords = {
+    "acme",   "global",  "united", "pacific", "summit", "pioneer",
+    "cascade", "evergreen", "northwest", "harbor", "capital", "liberty",
+    "prime",  "vertex",  "apex",   "fusion",  "orbit",  "quantum",
+    "stellar", "metro",  "coastal", "alpine",  "desert", "valley"};
+
+constexpr std::array<const char*, 12> kOrgSuffix = {
+    "inc", "llc", "corp", "co", "ltd", "group",
+    "partners", "systems", "services", "labs", "works", "holdings"};
+
+constexpr std::array<const char*, 40> kStreetNames = {
+    "main",     "oak",     "pine",    "maple",   "cedar",   "elm",
+    "washington", "lake",  "hill",    "park",    "river",   "sunset",
+    "highland", "forest",  "meadow",  "spring",  "church",  "mill",
+    "walnut",   "chestnut", "spruce", "willow",  "birch",   "ridge",
+    "valley",   "prairie", "garden",  "orchard", "harbor",  "bay",
+    "canyon",   "mesa",    "union",   "franklin", "jefferson", "madison",
+    "lincoln",  "monroe",  "jackson", "adams"};
+
+constexpr std::array<const char*, 8> kStreetSuffix = {
+    "st", "ave", "blvd", "rd", "ln", "dr", "way", "ct"};
+
+constexpr std::array<const char*, 32> kCities = {
+    "seattle",   "portland",  "spokane",   "tacoma",    "bellevue",
+    "redmond",   "olympia",   "eugene",    "salem",     "boise",
+    "sacramento", "fresno",   "oakland",   "pasadena",  "berkeley",
+    "anaheim",   "glendale",  "burbank",   "torrance",  "fullerton",
+    "everett",   "renton",    "kirkland",  "bothell",   "issaquah",
+    "tucson",    "mesa",      "tempe",     "chandler",  "gilbert",
+    "peoria",    "surprise"};
+
+constexpr std::array<const char*, 10> kStates = {
+    "wa", "or", "ca", "az", "nv", "id", "ut", "co", "nm", "tx"};
+
+constexpr std::array<const char*, 60> kTitleWords = {
+    "efficient", "scalable", "adaptive", "distributed", "parallel",
+    "incremental", "approximate", "exact", "robust", "optimal",
+    "query", "index", "join", "search", "stream", "graph", "cache",
+    "storage", "transaction", "schema", "cluster", "sample", "sketch",
+    "filter", "hash", "tree", "learning", "mining", "cleaning",
+    "integration", "processing", "evaluation", "optimization",
+    "estimation", "detection", "analysis", "similarity", "duplicate",
+    "entity", "record", "linkage", "string", "set", "vector", "relation",
+    "database", "warehouse", "workload", "benchmark", "algorithm",
+    "framework", "system", "engine", "operator", "semantics", "model",
+    "theory", "bounds", "guarantee", "performance"};
+
+constexpr std::array<const char*, 48> kSurnames = {
+    "smith",   "johnson", "williams", "brown",   "jones",   "garcia",
+    "miller",  "davis",   "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson", "anderson", "thomas",  "taylor",  "moore",
+    "jackson", "martin",  "lee",      "perez",   "thompson", "white",
+    "harris",  "sanchez", "clark",    "ramirez", "lewis",   "robinson",
+    "walker",  "young",   "allen",    "king",    "wright",  "scott",
+    "torres",  "nguyen",  "hill",     "flores",  "green",   "adams",
+    "nelson",  "baker",   "hall",     "rivera",  "campbell", "mitchell"};
+
+std::string MakeAddress(Rng& rng, const ZipfSampler& street_zipf,
+                        const ZipfSampler& city_zipf) {
+  std::string s;
+  s += kOrgWords[rng.Uniform(kOrgWords.size())];
+  s += ' ';
+  s += kOrgWords[rng.Uniform(kOrgWords.size())];
+  s += ' ';
+  s += kOrgSuffix[rng.Uniform(kOrgSuffix.size())];
+  s += ' ';
+  // Bounded numeric vocabularies: a real metro-area address corpus reuses
+  // street numbers and zip codes heavily regardless of corpus size, which
+  // is what gives frequency-ordered schemes (prefix filter) their
+  // characteristic collision growth.
+  s += std::to_string(100 + rng.Uniform(1900));  // street number
+  s += ' ';
+  s += kStreetNames[street_zipf.Sample(rng) % kStreetNames.size()];
+  s += ' ';
+  s += kStreetSuffix[rng.Uniform(kStreetSuffix.size())];
+  if (rng.Bernoulli(0.3)) {
+    s += " suite ";
+    s += std::to_string(1 + rng.Uniform(999));
+  }
+  s += ' ';
+  s += kCities[city_zipf.Sample(rng) % kCities.size()];
+  s += ' ';
+  s += kStates[rng.Uniform(kStates.size())];
+  s += ' ';
+  s += std::to_string(98000 + rng.Uniform(1000));  // zip
+  return s;
+}
+
+std::string MakeDblp(Rng& rng, const ZipfSampler& word_zipf) {
+  std::string s;
+  uint32_t num_authors = 1 + rng.Uniform(3);
+  for (uint32_t i = 0; i < num_authors; ++i) {
+    s += static_cast<char>('a' + rng.Uniform(26));  // first initial
+    s += ' ';
+    s += kSurnames[rng.Uniform(kSurnames.size())];
+    s += ' ';
+  }
+  uint32_t title_len = 6 + rng.Uniform(8);  // 6..13 title words
+  for (uint32_t i = 0; i < title_len; ++i) {
+    s += kTitleWords[word_zipf.Sample(rng) % kTitleWords.size()];
+    if (i + 1 < title_len) s += ' ';
+  }
+  return s;
+}
+
+template <typename MakeFn>
+std::vector<std::string> GenerateStrings(size_t n, double dup_fraction,
+                                         uint32_t max_typos, uint64_t seed,
+                                         MakeFn make) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool dup = !out.empty() && rng.NextDouble() < dup_fraction;
+    if (dup) {
+      const std::string& base =
+          out[rng.Uniform(static_cast<uint32_t>(out.size()))];
+      out.push_back(InjectTypos(base, 1 + rng.Uniform(max_typos), rng));
+    } else {
+      out.push_back(make(rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateAddressStrings(
+    const AddressOptions& options) {
+  ZipfSampler street_zipf(kStreetNames.size(), options.skew);
+  ZipfSampler city_zipf(kCities.size(), options.skew);
+  return GenerateStrings(
+      options.num_strings, options.duplicate_fraction, options.max_typos,
+      options.seed,
+      [&](Rng& rng) { return MakeAddress(rng, street_zipf, city_zipf); });
+}
+
+std::vector<std::string> GenerateDblpStrings(const DblpOptions& options) {
+  ZipfSampler word_zipf(kTitleWords.size(), options.skew);
+  return GenerateStrings(options.num_strings, options.duplicate_fraction,
+                         options.max_typos, options.seed,
+                         [&](Rng& rng) { return MakeDblp(rng, word_zipf); });
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,85 @@
+// Synthetic dataset generators reproducing the paper's three workloads.
+//
+// 1. UniformSetGenerator — the paper's synthetic jaccard workload
+//    (Section 8.1, "Experiments on synthetic data sets"): equi-sized sets
+//    (50 elements) drawn uniformly from a 10000-element domain, plus "a
+//    few additional sets highly similar to existing ones to generate valid
+//    output" (data generation "similar to the one used in [8]").
+// 2. AddressGenerator — a stand-in for the proprietary 1M-string address
+//    dataset: organization + street address + city + state + zip strings
+//    with average length ~58 and average token-set size ~11, with
+//    controlled injection of near-duplicates (typos).
+// 3. DblpGenerator — a stand-in for DBLP: authors + title strings with
+//    average token-set size ~14.
+//
+// The real datasets are unavailable (proprietary / not shipped), so these
+// generators reproduce the *distributional properties the algorithms are
+// sensitive to*: set-size distribution, element-frequency skew, and the
+// density of truly-similar pairs. See DESIGN.md Section 1.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/collection.h"
+#include "util/random.h"
+
+namespace ssjoin {
+
+/// Options for the paper's synthetic equi-sized set workload.
+struct UniformSetOptions {
+  size_t num_sets = 10000;
+  uint32_t set_size = 50;       // paper: 50 elements per set
+  uint32_t domain_size = 10000; // paper: domain of 10000 elements
+  /// Fraction of additional near-duplicate sets appended (each is a copy
+  /// of a random base set with `mutations` elements replaced).
+  double similar_fraction = 0.05;
+  /// Elements replaced in each planted near-duplicate. With set_size=50,
+  /// 2 mutations gives jaccard ~ 48/52 ≈ 0.92, 5 gives ~ 45/55 ≈ 0.82.
+  uint32_t mutations = 2;
+  uint64_t seed = 42;
+};
+
+/// Generates the synthetic workload. The returned collection has
+/// num_sets * (1 + similar_fraction) sets (planted duplicates at the end).
+SetCollection GenerateUniformSets(const UniformSetOptions& options);
+
+/// Character-level typo kinds used for near-duplicate string injection.
+enum class TypoKind { kSubstitute, kInsert, kDelete, kTranspose };
+
+/// Applies `count` random typos to `text` (never leaves it empty).
+std::string InjectTypos(const std::string& text, uint32_t count, Rng& rng);
+
+/// Options for address-like string generation.
+struct AddressOptions {
+  size_t num_strings = 10000;
+  /// Fraction of strings that are near-duplicates of an earlier string.
+  double duplicate_fraction = 0.1;
+  /// Typos per injected duplicate (1..max_typos uniformly).
+  uint32_t max_typos = 3;
+  /// Skew of the city/street-name vocabularies (Zipf theta).
+  double skew = 0.8;
+  uint64_t seed = 7;
+};
+
+/// Generates address-like strings ("org number street suffix city state
+/// zip"), average length ~58 characters, ~11 whitespace tokens.
+std::vector<std::string> GenerateAddressStrings(const AddressOptions& options);
+
+/// Options for DBLP-like bibliographic string generation.
+struct DblpOptions {
+  size_t num_strings = 10000;
+  double duplicate_fraction = 0.08;
+  uint32_t max_typos = 2;
+  /// Zipf skew of the title-word vocabulary.
+  double skew = 1.0;
+  uint64_t seed = 11;
+};
+
+/// Generates bibliographic strings ("author author title words ..."),
+/// ~14 whitespace tokens on average.
+std::vector<std::string> GenerateDblpStrings(const DblpOptions& options);
+
+}  // namespace ssjoin

@@ -1,0 +1,33 @@
+// Text-file loading and saving for datasets.
+//
+// Lets real datasets (e.g. an actual DBLP dump) be dropped into the bench
+// harnesses: one record per line. Two formats:
+//   - string files: each line is one raw string (tokenize downstream);
+//   - set files: each line is a whitespace-separated list of unsigned
+//     integer element ids.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/collection.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Reads one string per line. Empty trailing line is ignored.
+Result<std::vector<std::string>> LoadStrings(const std::string& path);
+
+/// Writes one string per line.
+Status SaveStrings(const std::string& path,
+                   const std::vector<std::string>& strings);
+
+/// Reads one set per line (whitespace-separated element ids).
+/// Fails with InvalidArgument on non-numeric tokens.
+Result<SetCollection> LoadSets(const std::string& path);
+
+/// Writes one set per line.
+Status SaveSets(const std::string& path, const SetCollection& collection);
+
+}  // namespace ssjoin

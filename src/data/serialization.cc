@@ -1,0 +1,103 @@
+#include "data/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace ssjoin {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'S', 'J', 'C'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status SaveSetsBinary(const std::string& path,
+                      const SetCollection& collection) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  uint64_t num_sets = collection.size();
+  WritePod(out, num_sets);
+  uint64_t offset = 0;
+  WritePod(out, offset);
+  for (SetId id = 0; id < collection.size(); ++id) {
+    offset += collection.set_size(id);
+    WritePod(out, offset);
+  }
+  for (SetId id = 0; id < collection.size(); ++id) {
+    std::span<const ElementId> set = collection.set(id);
+    out.write(reinterpret_cast<const char*>(set.data()),
+              static_cast<std::streamsize>(set.size() * sizeof(ElementId)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SetCollection> LoadSetsBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an ssjoin binary file");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported version " +
+                                   std::to_string(version));
+  }
+  uint64_t num_sets = 0;
+  if (!ReadPod(in, &num_sets)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  std::vector<uint64_t> offsets(num_sets + 1);
+  for (uint64_t& o : offsets) {
+    if (!ReadPod(in, &o)) {
+      return Status::InvalidArgument(path + ": truncated offsets");
+    }
+  }
+  if (offsets[0] != 0) {
+    return Status::InvalidArgument(path + ": offsets must start at 0");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::InvalidArgument(path + ": offsets not monotone");
+    }
+  }
+  uint64_t total = offsets.back();
+  std::vector<ElementId> elements(total);
+  in.read(reinterpret_cast<char*>(elements.data()),
+          static_cast<std::streamsize>(total * sizeof(ElementId)));
+  if (!in) return Status::InvalidArgument(path + ": truncated elements");
+
+  SetCollectionBuilder builder;
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    std::span<const ElementId> set(elements.data() + offsets[i],
+                                   offsets[i + 1] - offsets[i]);
+    // Builder re-sorts/dedups; validate the invariant held on disk so a
+    // tampered file is reported rather than silently normalized.
+    for (size_t j = 1; j < set.size(); ++j) {
+      if (set[j] <= set[j - 1]) {
+        return Status::InvalidArgument(
+            path + ": set " + std::to_string(i) + " not strictly sorted");
+      }
+    }
+    builder.Add(set);
+  }
+  return builder.Build();
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,30 @@
+// Binary serialization of set collections.
+//
+// Text set files (data/loader.h) are convenient but slow to parse at
+// million-set scale; the benches and CLI use this compact binary format
+// for cached datasets:
+//
+//   [magic "SSJC"] [u32 version=1] [u64 num_sets]
+//   [u64 offsets[num_sets+1]] [u32 elements[total]]
+//
+// Little-endian, no compression. Load validates the header, monotone
+// offsets, and per-set sortedness, so a corrupted file fails cleanly
+// instead of producing garbage joins.
+
+#pragma once
+
+#include <string>
+
+#include "data/collection.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Writes `collection` to `path` in the binary format above.
+Status SaveSetsBinary(const std::string& path,
+                      const SetCollection& collection);
+
+/// Reads a collection written by SaveSetsBinary. Validates structure.
+Result<SetCollection> LoadSetsBinary(const std::string& path);
+
+}  // namespace ssjoin

@@ -1,0 +1,29 @@
+#include "relational/catalog.h"
+
+namespace ssjoin::relational {
+
+Status Catalog::Create(const std::string& name, Table table) {
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+void Catalog::CreateOrReplace(const std::string& name, Table table) {
+  tables_[name] = std::move(table);
+}
+
+const Table* Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+}  // namespace ssjoin::relational

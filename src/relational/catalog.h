@@ -1,0 +1,33 @@
+// Named-table catalog for the mini relational engine.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace ssjoin::relational {
+
+/// \brief Owns tables by name, like a database schema.
+class Catalog {
+ public:
+  /// Registers `table` under `name`; fails if the name is taken.
+  Status Create(const std::string& name, Table table);
+
+  /// Replaces or creates.
+  void CreateOrReplace(const std::string& name, Table table);
+
+  /// nullptr if absent.
+  const Table* Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+};
+
+}  // namespace ssjoin::relational

@@ -1,0 +1,54 @@
+#include "relational/index.h"
+
+namespace ssjoin::relational {
+
+Result<ClusteredIndex> ClusteredIndex::Build(const Table* table,
+                                             const std::string& key_column) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("ClusteredIndex: table is null");
+  }
+  int column = table->schema().IndexOf(key_column);
+  if (column < 0) {
+    return Status::NotFound("ClusteredIndex: no column '" + key_column +
+                            "'");
+  }
+  if (table->schema().column(column).type != ValueType::kInt64) {
+    return Status::InvalidArgument(
+        "ClusteredIndex: key column must be int64");
+  }
+  for (size_t i = 1; i < table->num_rows(); ++i) {
+    if (GetInt64(table->row(i), column) <
+        GetInt64(table->row(i - 1), column)) {
+      return Status::InvalidArgument(
+          "ClusteredIndex: table not sorted on '" + key_column +
+          "' (call SortBy first)");
+    }
+  }
+  return ClusteredIndex(table, column);
+}
+
+std::pair<size_t, size_t> ClusteredIndex::EqualRange(int64_t key) const {
+  // Binary search for the first row >= key.
+  size_t lo = 0, hi = table_->num_rows();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (GetInt64(table_->row(mid), key_column_) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t first = lo;
+  hi = table_->num_rows();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (GetInt64(table_->row(mid), key_column_) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {first, lo};
+}
+
+}  // namespace ssjoin::relational

@@ -1,0 +1,47 @@
+// Clustered-index emulation for the mini relational engine.
+//
+// The paper's setup note (Section 8.1): "We built a clustered index over
+// the input relation Set since it significantly improved the time to
+// compute CandPairIntersect." In this engine a clustered index is sorted
+// storage plus binary-search range scans; sql_ssjoin.cc offers an
+// index-nested-loop CandPairIntersect plan built on it, alongside the
+// hash-join plan.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace ssjoin::relational {
+
+/// \brief Equality range scans over a table sorted by an int64 key
+/// column.
+///
+/// The index borrows the table (no copy); the table must outlive it and
+/// must not be mutated while indexed.
+class ClusteredIndex {
+ public:
+  /// Verifies that `table` is sorted ascending on `key_column` (fails
+  /// with InvalidArgument otherwise — build the index after SortBy).
+  static Result<ClusteredIndex> Build(const Table* table,
+                                      const std::string& key_column);
+
+  /// Row range [first, last) holding `key`; empty range if absent.
+  std::pair<size_t, size_t> EqualRange(int64_t key) const;
+
+  const Table& table() const { return *table_; }
+  int key_column() const { return key_column_; }
+
+ private:
+  ClusteredIndex(const Table* table, int key_column)
+      : table_(table), key_column_(key_column) {}
+
+  const Table* table_;
+  int key_column_;
+};
+
+}  // namespace ssjoin::relational

@@ -1,0 +1,76 @@
+// Physical operators of the mini relational engine.
+//
+// Exactly the operator set the paper's query plans require (Figures 10/11
+// and 16/17): equi hash-join, group-by with COUNT(*), DISTINCT projection,
+// selection (filter), and projection. All operators are blocking
+// (materialize their output), which matches how the intermediate tables
+// (CandPair, CandPairIntersect) appear in the paper's implementation.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace ssjoin::relational {
+
+/// Hash equi-join of `left` and `right` on pairwise-equal key columns.
+/// Output schema = Concat(left, right) with the given prefixes. An
+/// optional `residual` predicate is applied to each joined row before
+/// emission (e.g. the "S1.id < S2.id" condition of the CandPair query).
+Result<Table> HashJoin(
+    const Table& left, const Table& right,
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys,
+    const std::string& left_prefix = "l.",
+    const std::string& right_prefix = "r.",
+    const std::function<bool(const Row&)>& residual = nullptr);
+
+/// GROUP BY `group_columns` with COUNT(*); output schema is the group
+/// columns followed by an int64 column named `count_name`.
+Result<Table> GroupByCount(const Table& input,
+                           const std::vector<std::string>& group_columns,
+                           const std::string& count_name = "count");
+
+/// Aggregate operations for GroupByAggregate.
+enum class AggOp { kCount, kSum, kMin, kMax, kAvg };
+
+struct Aggregate {
+  AggOp op = AggOp::kCount;
+  /// Input column (ignored for kCount).
+  std::string column;
+  /// Output column name.
+  std::string output;
+};
+
+/// GROUP BY with arbitrary aggregates. Output schema: the group columns
+/// followed by one column per aggregate (kCount -> int64; kSum/kMin/kMax
+/// preserve the input column's type for int64/double inputs; kAvg ->
+/// double). Aggregating a string column is only valid for kMin/kMax.
+Result<Table> GroupByAggregate(const Table& input,
+                               const std::vector<std::string>& group_columns,
+                               const std::vector<Aggregate>& aggregates);
+
+/// ORDER BY the given columns ascending (descending where the name is
+/// prefixed with '-', e.g. "-count"). Stable.
+Result<Table> OrderBy(const Table& input,
+                      const std::vector<std::string>& columns);
+
+/// LIMIT n.
+Table Limit(const Table& input, size_t n);
+
+/// SELECT DISTINCT `columns`.
+Result<Table> Distinct(const Table& input,
+                       const std::vector<std::string>& columns);
+
+/// SELECT * WHERE predicate(row).
+Table Filter(const Table& input,
+             const std::function<bool(const Row&)>& predicate);
+
+/// SELECT `columns`.
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns);
+
+}  // namespace ssjoin::relational

@@ -1,0 +1,95 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssjoin::relational {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& left_prefix,
+                      const std::string& right_prefix) {
+  std::vector<Column> columns;
+  columns.reserve(left.num_columns() + right.num_columns());
+  for (const Column& c : left.columns()) {
+    columns.push_back(Column{left_prefix + c.name, c.type});
+  }
+  for (const Column& c : right.columns()) {
+    columns.push_back(Column{right_prefix + c.name, c.type});
+  }
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name;
+  }
+  os << ")";
+  return os.str();
+}
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (TypeOf(row[i]) != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(i).name);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::SortBy(const std::vector<int>& columns) {
+  std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+    for (int c : columns) {
+      if (a[c] < b[c]) return true;
+      if (b[c] < a[c]) return false;
+    }
+    return false;
+  });
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " rows=" << rows_.size() << "\n";
+  for (size_t i = 0; i < std::min(max_rows, rows_.size()); ++i) {
+    for (size_t c = 0; c < rows_[i].size(); ++c) {
+      if (c > 0) os << " | ";
+      os << relational::ToString(rows_[i][c]);
+    }
+    os << "\n";
+  }
+  if (rows_.size() > max_rows) os << "...\n";
+  return os.str();
+}
+
+int64_t GetInt64(const Row& row, int column) {
+  assert(std::holds_alternative<int64_t>(row[column]));
+  return std::get<int64_t>(row[column]);
+}
+
+double GetDouble(const Row& row, int column) {
+  assert(std::holds_alternative<double>(row[column]));
+  return std::get<double>(row[column]);
+}
+
+const std::string& GetString(const Row& row, int column) {
+  assert(std::holds_alternative<std::string>(row[column]));
+  return std::get<std::string>(row[column]);
+}
+
+}  // namespace ssjoin::relational

@@ -1,0 +1,86 @@
+// Tables and schemas for the mini relational engine.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace ssjoin::relational {
+
+/// A column definition.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with `name`; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Concatenation of two schemas (join output), with `left_prefix` /
+  /// `right_prefix` applied to disambiguate duplicate names.
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& left_prefix,
+                       const std::string& right_prefix);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using Row = std::vector<Value>;
+
+/// \brief A row-set with a schema. Rows are append-only.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; arity and column types are validated.
+  Status Append(Row row);
+
+  /// Appends without validation (hot paths in operators; callers
+  /// guarantee shape).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Sorts rows lexicographically by the given columns (the engine's
+  /// "clustered index" emulation: sorted storage + range scans).
+  void SortBy(const std::vector<int>& columns);
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Cell accessors with type assertions.
+int64_t GetInt64(const Row& row, int column);
+double GetDouble(const Row& row, int column);
+const std::string& GetString(const Row& row, int column);
+
+}  // namespace ssjoin::relational

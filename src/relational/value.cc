@@ -1,0 +1,48 @@
+#include "relational/value.h"
+
+#include <functional>
+
+#include "util/hashing.h"
+
+namespace ssjoin::relational {
+
+ValueType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+std::string ToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return std::to_string(std::get<double>(v));
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+size_t HashValue(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return static_cast<size_t>(
+          Mix64(static_cast<uint64_t>(std::get<int64_t>(v))));
+    case 1: {
+      double d = std::get<double>(v);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return static_cast<size_t>(Mix64(bits ^ 0xD0'0B1E));
+    }
+    default:
+      return std::hash<std::string>{}(std::get<std::string>(v));
+  }
+}
+
+}  // namespace ssjoin::relational

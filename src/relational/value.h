@@ -1,0 +1,34 @@
+// Value / type model of the mini relational engine.
+//
+// The paper implements its joins "over a regular DBMS using a small amount
+// of application-level code" (SQL Server 2005; Figures 10/11 and 16/17).
+// That substrate is unavailable, so relational/ provides a miniature
+// in-memory engine with just the capabilities those query plans need:
+// typed tables, equi hash-joins, group-by-count, distinct, filters and
+// projections. Three value types suffice: 64-bit integers (ids, elements,
+// hashed signatures, counts), doubles (thresholds), and strings (the raw
+// input of the string-join plan).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ssjoin::relational {
+
+enum class ValueType { kInt64, kDouble, kString };
+
+/// A single cell. Comparable and hashable; cross-type comparison is a
+/// programming error caught by assertions in the operators.
+using Value = std::variant<int64_t, double, std::string>;
+
+ValueType TypeOf(const Value& v);
+
+/// Renders a value for debugging / plan output.
+std::string ToString(const Value& v);
+
+/// FNV-style hash of a value (used by hash join / distinct / group by).
+size_t HashValue(const Value& v);
+
+}  // namespace ssjoin::relational

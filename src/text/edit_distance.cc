@@ -1,0 +1,72 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace ssjoin {
+
+uint32_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
+  std::vector<uint32_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    uint32_t diag = row[0];
+    row[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      uint32_t next_diag = row[j];
+      uint32_t sub = diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+uint32_t BoundedEditDistance(std::string_view a, std::string_view b,
+                             uint32_t k) {
+  if (a.size() < b.size()) std::swap(a, b);
+  size_t len_a = a.size(), len_b = b.size();
+  if (len_a - len_b > k) return k + 1;  // length difference alone exceeds k
+  if (len_b == 0) return static_cast<uint32_t>(len_a);
+
+  // Ukkonen banding: only cells with |i - j| <= k can be <= k.
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max() / 2;
+  std::vector<uint32_t> row(len_b + 1, kInf);
+  for (size_t j = 0; j <= std::min<size_t>(len_b, k); ++j) {
+    row[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= len_a; ++i) {
+    size_t lo = i > k ? i - k : 0;
+    size_t hi = std::min(len_b, i + k);
+    uint32_t diag = row[lo > 0 ? lo - 1 : 0];
+    uint32_t left = kInf;
+    if (lo == 0) {
+      diag = static_cast<uint32_t>(i - 1);
+      left = static_cast<uint32_t>(i);
+      row[0] = left;
+    } else {
+      row[lo - 1] = kInf;  // cell just left of the band is unreachable
+    }
+    uint32_t row_min = lo == 0 ? row[0] : kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      uint32_t next_diag = row[j];
+      uint32_t sub = diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      uint32_t cur = std::min({next_diag + 1, left + 1, sub});
+      row[j] = cur;
+      left = cur;
+      diag = next_diag;
+      row_min = std::min(row_min, cur);
+    }
+    if (hi < len_b) row[hi + 1] = kInf;  // right of band unreachable
+    if (row_min > k) return k + 1;       // whole band exceeded the threshold
+  }
+  return row[len_b];
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b, uint32_t k) {
+  return BoundedEditDistance(a, b, k) <= k;
+}
+
+}  // namespace ssjoin

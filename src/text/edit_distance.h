@@ -1,0 +1,31 @@
+// Levenshtein edit distance with thresholded (banded) verification.
+//
+// The edit-distance string join (paper Section 8.2) post-filters candidate
+// pairs with an exact edit-distance check "in application code". The
+// thresholded variant runs in O(k * min(|a|, |b|)) time and O(min) space,
+// which is what makes the post-filter phase cheap relative to candidate
+// generation.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ssjoin {
+
+/// Full Levenshtein distance (unit-cost insert / delete / substitute).
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+uint32_t EditDistance(std::string_view a, std::string_view b);
+
+/// Returns true iff EditDistance(a, b) <= k, using a banded dynamic
+/// program that bails out as soon as the whole band exceeds k.
+bool WithinEditDistance(std::string_view a, std::string_view b, uint32_t k);
+
+/// Banded edit distance: returns the exact distance if it is <= k,
+/// otherwise any value > k. This is the primitive behind
+/// WithinEditDistance; exposed for tests and for callers that need the
+/// value.
+uint32_t BoundedEditDistance(std::string_view a, std::string_view b,
+                             uint32_t k);
+
+}  // namespace ssjoin

@@ -1,0 +1,61 @@
+#include "text/idf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssjoin {
+
+namespace {
+void Accumulate(const SetCollection& collection,
+                std::unordered_map<ElementId, uint32_t>* doc_freq) {
+  for (SetId id = 0; id < collection.size(); ++id) {
+    for (ElementId e : collection.set(id)) {
+      ++(*doc_freq)[e];
+    }
+  }
+}
+}  // namespace
+
+IdfWeights IdfWeights::Compute(const SetCollection& collection) {
+  IdfWeights idf;
+  idf.num_documents_ = collection.size();
+  Accumulate(collection, &idf.doc_freq_);
+  return idf;
+}
+
+IdfWeights IdfWeights::Compute(const SetCollection& r,
+                               const SetCollection& s) {
+  IdfWeights idf;
+  idf.num_documents_ = r.size() + s.size();
+  Accumulate(r, &idf.doc_freq_);
+  Accumulate(s, &idf.doc_freq_);
+  return idf;
+}
+
+double IdfWeights::Weight(ElementId e) const {
+  double n = std::max<double>(1.0, static_cast<double>(num_documents_));
+  auto it = doc_freq_.find(e);
+  if (it == doc_freq_.end()) return std::log(n * 2.0);
+  return std::log(n / static_cast<double>(it->second));
+}
+
+uint32_t IdfWeights::DocumentFrequency(ElementId e) const {
+  auto it = doc_freq_.find(e);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double IdfWeights::DefaultPruningThreshold() const {
+  return std::log(std::max<double>(2.0, static_cast<double>(num_documents_)));
+}
+
+void SortByRarity(const IdfWeights& idf, std::vector<ElementId>* elements) {
+  std::sort(elements->begin(), elements->end(),
+            [&](ElementId a, ElementId b) {
+              uint32_t fa = idf.DocumentFrequency(a);
+              uint32_t fb = idf.DocumentFrequency(b);
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+}
+
+}  // namespace ssjoin

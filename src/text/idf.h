@@ -1,0 +1,53 @@
+// IDF (inverse document frequency) weighting.
+//
+// Paper Section 7: the IDF weight of an element is log(1 / f_e) where f_e
+// is the fraction of input sets containing e. WtEnum's pruning argument
+// relies on this definition: any element subset whose weights sum to
+// TH = log(max(|R|, |S|)) occurs in at most one input set in expectation
+// (under independence), so prefixes that heavy rarely collide.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/collection.h"
+
+namespace ssjoin {
+
+/// \brief Per-element IDF weights computed from one or two collections.
+class IdfWeights {
+ public:
+  /// Computes document frequencies over `collection` (self-join case).
+  static IdfWeights Compute(const SetCollection& collection);
+
+  /// Computes document frequencies over the union of two collections
+  /// (binary-join case: frequencies in R ∪ S, as the prefix-filter
+  /// baseline also requires).
+  static IdfWeights Compute(const SetCollection& r, const SetCollection& s);
+
+  /// IDF weight of element e: log(N / df(e)). Elements never seen get the
+  /// maximum weight log(N * 2) (rarer than everything observed).
+  double Weight(ElementId e) const;
+
+  /// Number of sets the element appears in (0 if unseen).
+  uint32_t DocumentFrequency(ElementId e) const;
+
+  /// Total number of documents (sets) the statistics were computed over.
+  size_t num_documents() const { return num_documents_; }
+
+  /// The WtEnum default pruning threshold TH = log(max(|R|,|S|)) (paper
+  /// Section 7 discussion following Example 6).
+  double DefaultPruningThreshold() const;
+
+ private:
+  size_t num_documents_ = 0;
+  std::unordered_map<ElementId, uint32_t> doc_freq_;
+};
+
+/// Orders `elements` by ascending document frequency (rarest first), the
+/// ordering prefix filter uses for its signature prefixes; ties broken by
+/// element id ("arbitrarily but consistently", paper Section 3.3).
+void SortByRarity(const IdfWeights& idf, std::vector<ElementId>* elements);
+
+}  // namespace ssjoin

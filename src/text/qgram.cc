@@ -1,0 +1,59 @@
+#include "text/qgram.h"
+
+#include <cassert>
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+QgramExtractor::QgramExtractor(QgramOptions options) : options_(options) {
+  assert(options_.q >= 1);
+}
+
+std::vector<std::string> QgramExtractor::Grams(std::string_view text) const {
+  std::string padded;
+  if (options_.pad && options_.q > 1) {
+    padded.assign(options_.q - 1, options_.pad_char);
+    padded += text;
+    padded.append(options_.q - 1, options_.pad_char);
+  } else {
+    padded.assign(text);
+  }
+  std::vector<std::string> grams;
+  if (padded.size() < options_.q) {
+    if (!padded.empty()) grams.push_back(padded);
+    return grams;
+  }
+  size_t count = padded.size() - options_.q + 1;
+  grams.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    grams.push_back(padded.substr(i, options_.q));
+  }
+  return grams;
+}
+
+std::vector<ElementId> QgramExtractor::Extract(std::string_view text) const {
+  std::vector<ElementId> out;
+  if (options_.q == 1 && !text.empty()) {
+    // Fast path: unigrams are just the characters.
+    out.reserve(text.size());
+    for (unsigned char c : text) out.push_back(static_cast<ElementId>(c));
+    return out;
+  }
+  for (const std::string& gram : Grams(text)) {
+    out.push_back(HashStringToken(gram));
+  }
+  return out;
+}
+
+SetCollection QgramExtractor::ExtractAllAsBags(
+    const std::vector<std::string>& texts) const {
+  SetCollectionBuilder builder;
+  for (const std::string& text : texts) {
+    std::vector<ElementId> grams = Extract(text);
+    builder.AddBag(grams);
+  }
+  return builder.Build();
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,62 @@
+// q-gram (n-gram) extraction.
+//
+// Edit-distance string joins run on q-gram multisets (paper Section 8.2):
+// if EditDistance(s1, s2) <= k then the hamming distance between their
+// q-gram bags is <= q*k, so an SSJoin with hamming threshold q*k is a
+// complete filter. The paper finds q = 1 optimal for PartEnum (small
+// element domains do not hurt it) while prefix filter needs q = 4..6.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/collection.h"
+
+namespace ssjoin {
+
+/// Options controlling q-gram extraction.
+struct QgramOptions {
+  /// Gram length (the paper's n). 1 = character unigrams.
+  uint32_t q = 1;
+  /// Pad the string with q-1 copies of a sentinel on each side, the
+  /// standard way to give boundary characters full weight. With padding,
+  /// a string of length L yields L + q - 1 grams; without, L - q + 1.
+  bool pad = true;
+  /// Sentinel used for padding; must not occur in the input.
+  char pad_char = '\x01';
+};
+
+/// \brief Extracts q-grams and hashes them to element ids.
+class QgramExtractor {
+ public:
+  explicit QgramExtractor(QgramOptions options = {});
+
+  /// The q-grams of `text` as strings, in positional order.
+  std::vector<std::string> Grams(std::string_view text) const;
+
+  /// The q-grams of `text` hashed to element ids (multiplicities kept, in
+  /// positional order).
+  std::vector<ElementId> Extract(std::string_view text) const;
+
+  /// Builds the q-gram *bag* collection of `texts` (bag semantics via
+  /// occurrence re-encoding, see SetCollectionBuilder::AddBag) — the input
+  /// shape required by the edit-distance join.
+  SetCollection ExtractAllAsBags(const std::vector<std::string>& texts) const;
+
+  uint32_t q() const { return options_.q; }
+
+  /// Upper bound on the q-gram-bag hamming distance implied by an edit
+  /// distance of `k` (paper Section 8.2: Hd <= q*k per edit operation
+  /// affecting at most q grams... with padding each edit touches at most q
+  /// grams on each string side, bounding Hd by 2*q*k in the worst case; we
+  /// use the standard tight bound q*k for substitutions-dominated inputs
+  /// and expose both).
+  uint32_t HammingBound(uint32_t k) const { return options_.q * k * 2; }
+
+ private:
+  const QgramOptions options_;
+};
+
+}  // namespace ssjoin

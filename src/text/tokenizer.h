@@ -1,0 +1,47 @@
+// String-to-set tokenization.
+//
+// The paper's jaccard experiments (Section 8.1) tokenize strings on white
+// space and hash each word to a 32-bit integer; the resulting word sets are
+// the SSJoin input. WordTokenizer reproduces that pipeline.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/collection.h"
+
+namespace ssjoin {
+
+/// Options controlling word tokenization.
+struct TokenizerOptions {
+  /// Lower-case tokens before hashing, so "Seattle" == "seattle".
+  bool lowercase = false;
+  /// Treat any character for which std::isspace is true as a separator.
+  /// When false, only ' ' separates tokens.
+  bool split_on_all_whitespace = true;
+};
+
+/// \brief Whitespace word tokenizer with 32-bit token hashing.
+class WordTokenizer {
+ public:
+  explicit WordTokenizer(TokenizerOptions options = {})
+      : options_(options) {}
+
+  /// Splits `text` into word tokens (no hashing).
+  std::vector<std::string> Split(std::string_view text) const;
+
+  /// Tokenizes and hashes `text` into element ids (one per token, with
+  /// duplicates preserved; callers choose set vs bag semantics).
+  std::vector<ElementId> Tokenize(std::string_view text) const;
+
+  /// Tokenizes every string and builds a SetCollection (set semantics:
+  /// duplicate tokens within one string collapse).
+  SetCollection TokenizeAll(const std::vector<std::string>& texts) const;
+
+ private:
+  const TokenizerOptions options_;
+};
+
+}  // namespace ssjoin

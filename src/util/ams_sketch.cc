@@ -1,0 +1,62 @@
+#include "util/ams_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+AmsSketch::AmsSketch(int width, int depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  assert(width_ > 0 && depth_ > 0);
+  counters_.assign(static_cast<size_t>(width_) * depth_, 0);
+}
+
+void AmsSketch::Add(uint64_t item) { AddWithCount(item, 1); }
+
+void AmsSketch::AddWithCount(uint64_t item, int64_t count) {
+  assert(count > 0);
+  items_ += count;
+  for (int d = 0; d < depth_; ++d) {
+    for (int w = 0; w < width_; ++w) {
+      uint64_t h = Mix64(item ^ Mix64(seed_ + d * 1000003ULL + w));
+      int64_t sign = (h & 1) ? 1 : -1;
+      counters_[static_cast<size_t>(d) * width_ + w] += sign * count;
+    }
+  }
+}
+
+double AmsSketch::Estimate() const {
+  std::vector<double> group_means(depth_);
+  for (int d = 0; d < depth_; ++d) {
+    double sum = 0;
+    for (int w = 0; w < width_; ++w) {
+      double c =
+          static_cast<double>(counters_[static_cast<size_t>(d) * width_ + w]);
+      sum += c * c;
+    }
+    group_means[d] = sum / width_;
+  }
+  std::sort(group_means.begin(), group_means.end());
+  int mid = depth_ / 2;
+  if (depth_ % 2 == 1) return group_means[mid];
+  return 0.5 * (group_means[mid - 1] + group_means[mid]);
+}
+
+double ExactF2(const std::vector<uint64_t>& items) {
+  std::vector<uint64_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  double f2 = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    double c = static_cast<double>(j - i);
+    f2 += c * c;
+    i = j;
+  }
+  return f2;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,95 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ssjoin {
+
+BitVector::BitVector(uint32_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+BitVector BitVector::FromSet(std::span<const uint32_t> elements,
+                             uint32_t num_bits) {
+  BitVector v(num_bits);
+  for (uint32_t e : elements) v.Set(e);
+  return v;
+}
+
+void BitVector::Set(uint32_t i) {
+  assert(i < num_bits_);
+  words_[i >> 6] |= (1ULL << (i & 63));
+}
+
+void BitVector::Clear(uint32_t i) {
+  assert(i < num_bits_);
+  words_[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+bool BitVector::Test(uint32_t i) const {
+  assert(i < num_bits_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+uint32_t BitVector::Count() const {
+  uint32_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+uint32_t BitVector::HammingDistance(const BitVector& a, const BitVector& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t dist = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    dist += std::popcount(a.words_[i] ^ b.words_[i]);
+  }
+  return dist;
+}
+
+uint32_t BitVector::IntersectionSize(const BitVector& a, const BitVector& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t size = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    size += std::popcount(a.words_[i] & b.words_[i]);
+  }
+  return size;
+}
+
+uint32_t SparseHammingDistance(std::span<const uint32_t> a,
+                               std::span<const uint32_t> b) {
+  size_t i = 0, j = 0;
+  uint32_t dist = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++dist;
+      ++i;
+    } else {
+      ++dist;
+      ++j;
+    }
+  }
+  dist += static_cast<uint32_t>((a.size() - i) + (b.size() - j));
+  return dist;
+}
+
+uint32_t SortedIntersectionSize(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b) {
+  size_t i = 0, j = 0;
+  uint32_t size = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++size;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return size;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,59 @@
+// Packed binary vector.
+//
+// Paper Section 2.2 views a set s ⊆ {1..n} as an n-dimensional binary
+// vector; hamming distance between sets is the hamming distance between
+// their vector representations. BitVector provides that dense view with
+// popcount-based distance, used by tests and by the dense code paths.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ssjoin {
+
+/// Fixed-size packed bit vector with O(n/64) hamming distance.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(uint32_t num_bits);
+
+  /// Builds the characteristic vector of `elements` over domain
+  /// {0..num_bits-1}. Elements >= num_bits are a programming error.
+  static BitVector FromSet(std::span<const uint32_t> elements,
+                           uint32_t num_bits);
+
+  uint32_t size() const { return num_bits_; }
+
+  void Set(uint32_t i);
+  void Clear(uint32_t i);
+  bool Test(uint32_t i) const;
+
+  /// Number of set bits.
+  uint32_t Count() const;
+
+  /// Hamming distance |{i : a[i] != b[i]}|. Vectors must be equal-sized.
+  static uint32_t HammingDistance(const BitVector& a, const BitVector& b);
+
+  /// Size of the intersection of the underlying sets (AND + popcount).
+  static uint32_t IntersectionSize(const BitVector& a, const BitVector& b);
+
+  bool operator==(const BitVector& other) const = default;
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hamming distance between two *sorted* element arrays = size of their
+/// symmetric difference (paper: Hd(s1,s2) = |(s1-s2) ∪ (s2-s1)|).
+/// O(|a|+|b|), no dense materialization.
+uint32_t SparseHammingDistance(std::span<const uint32_t> a,
+                               std::span<const uint32_t> b);
+
+/// Intersection size of two *sorted* element arrays, O(|a|+|b|).
+uint32_t SortedIntersectionSize(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b);
+
+}  // namespace ssjoin

@@ -1,0 +1,23 @@
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+uint64_t HashSpan(std::span<const uint32_t> values, uint64_t seed) {
+  SequenceHasher hasher(seed);
+  hasher.AddSpan(values);
+  return hasher.Finish();
+}
+
+uint32_t HashStringToken(std::string_view token) {
+  // FNV-1a 32-bit.
+  uint32_t h = 0x811c9dc5u;
+  for (unsigned char c : token) {
+    h ^= c;
+    h *= 0x01000193u;
+  }
+  // Final avalanche so that low-entropy tokens spread over the domain.
+  uint64_t mixed = Mix64(h);
+  return static_cast<uint32_t>(mixed ^ (mixed >> 32));
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,68 @@
+// Hash primitives used throughout the library.
+//
+// Signature schemes reduce variable-length structures (projections,
+// prefixes, minhash tuples) to fixed-width hash values (paper Section 4.2:
+// "we can simply hash these signatures into 4 byte values"). We default to
+// 64-bit signature hashes to keep accidental collisions negligible at
+// millions of sets; a 32-bit mode reproduces the paper's setup exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ssjoin {
+
+/// 64-bit finalizer with full avalanche (splitmix64). Suitable for hashing
+/// integers and as a building block for sequence hashing.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash accumulator with the next value (boost-style, 64-bit).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a 32-bit value with an explicit seed, producing a 64-bit hash.
+/// Used for seeded hash families (minhash, AMS sketch).
+constexpr uint64_t SeededHash32(uint32_t value, uint64_t seed) {
+  return Mix64(Mix64(seed) ^ static_cast<uint64_t>(value));
+}
+
+/// Incremental hasher over a sequence of integers. Order-sensitive.
+class SequenceHasher {
+ public:
+  explicit SequenceHasher(uint64_t seed = 0x5361'6c74'5361'6c74ULL)
+      : state_(Mix64(seed)) {}
+
+  void Add(uint64_t v) { state_ = HashCombine(state_, v); }
+
+  void AddSpan(std::span<const uint32_t> values) {
+    for (uint32_t v : values) Add(v);
+  }
+
+  uint64_t Finish() const { return Mix64(state_); }
+
+ private:
+  uint64_t state_;
+};
+
+/// Hashes an ordered span of 32-bit elements to 64 bits.
+uint64_t HashSpan(std::span<const uint32_t> values, uint64_t seed = 0);
+
+/// FNV-1a over bytes; used to map string tokens to 32-bit element ids
+/// (paper Section 8.1: words are "hashed ... into 32 bit integers").
+uint32_t HashStringToken(std::string_view token);
+
+/// Narrows a 64-bit hash to `bits` bits (1..64). Used to emulate the
+/// paper's 4-byte signature values when hash_bits == 32.
+constexpr uint64_t NarrowHash(uint64_t h, int bits) {
+  return bits >= 64 ? h : (h >> (64 - bits));
+}
+
+}  // namespace ssjoin

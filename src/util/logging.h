@@ -1,0 +1,46 @@
+// Minimal leveled logging for library internals and bench harnesses.
+//
+// Library code logs nothing by default (level kWarn); bench binaries raise
+// the level for progress reporting. Not thread-safe by design: all current
+// callers log from a single thread.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ssjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SSJOIN_LOG(level)                                            \
+  ::ssjoin::internal::LogMessage(::ssjoin::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+}  // namespace ssjoin

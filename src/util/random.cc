@@ -1,0 +1,87 @@
+#include "util/random.h"
+
+#include <cassert>
+
+#include "util/hashing.h"
+
+namespace ssjoin {
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // PCG initialization: the stream selector must be odd.
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  Next32();
+  state_ += Mix64(seed);
+  Next32();
+}
+
+uint32_t Rng::Next32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::Next64() {
+  return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t m = static_cast<uint64_t>(Next32()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(Next32()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+uint32_t Rng::UniformRange(uint32_t lo, uint32_t hi) {
+  assert(lo <= hi);
+  uint32_t span = hi - lo + 1;
+  if (span == 0) return Next32();  // full 32-bit range
+  return lo + Uniform(span);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = rng.Uniform(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected insertions, no O(n) scratch.
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = rng.Uniform(j + 1);
+    bool seen = false;
+    for (uint32_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+}  // namespace ssjoin

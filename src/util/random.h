@@ -1,0 +1,57 @@
+// Deterministic pseudo-random primitives.
+//
+// Every randomized component in the library (PartEnum's dimension
+// permutation, minhash families, data generators) takes an explicit seed so
+// that experiments and tests are exactly reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssjoin {
+
+/// \brief PCG32 pseudo-random generator (O'Neill 2014).
+///
+/// Small state, good statistical quality, fully deterministic across
+/// platforms (unlike std::mt19937 + std::uniform_int_distribution, whose
+/// distribution output is implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  uint32_t Next32();
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Unbiased
+  /// (Lemire-style rejection).
+  uint32_t Uniform(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint32_t UniformRange(uint32_t lo, uint32_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Returns a uniformly random permutation of {0, ..., n-1} (Fisher–Yates).
+/// PartEnum uses this as the dimension permutation pi (paper Figure 3).
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng);
+
+/// Samples `k` distinct values from {0, ..., n-1} (Floyd's algorithm),
+/// returned in unspecified order. Requires k <= n.
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng);
+
+}  // namespace ssjoin

@@ -1,0 +1,3 @@
+// timer.h is header-only; this translation unit exists so the build sees a
+// stable object for the module and to anchor any future out-of-line code.
+#include "util/timer.h"

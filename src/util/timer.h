@@ -1,0 +1,97 @@
+// Wall-clock timing utilities.
+//
+// Every experiment in the paper reports total computation time broken into
+// three phases: signature generation, candidate-pair generation, and
+// post-filtering (the stacked bars of Figures 12, 18, 19). PhaseTimer
+// accumulates per-phase elapsed time under stable phase names so all join
+// algorithms report comparable breakdowns.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ssjoin {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time per named phase.
+///
+/// Usage:
+///   PhaseTimer timer;
+///   { auto scope = timer.Measure("SigGen"); ... }
+///   double t = timer.Seconds("SigGen");
+class PhaseTimer {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseTimer* timer, std::string phase)
+        : timer_(timer), phase_(std::move(phase)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { timer_->Add(phase_, watch_.ElapsedSeconds()); }
+
+   private:
+    PhaseTimer* timer_;
+    std::string phase_;
+    Stopwatch watch_;
+  };
+
+  /// Starts measuring `phase`; the time is added when the Scope dies.
+  Scope Measure(std::string phase) { return Scope(this, std::move(phase)); }
+
+  /// Adds `seconds` to the accumulated time of `phase`.
+  void Add(const std::string& phase, double seconds) {
+    phases_[phase] += seconds;
+  }
+
+  /// Accumulated seconds for `phase` (0 if never measured).
+  double Seconds(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  double TotalSeconds() const {
+    double total = 0;
+    for (const auto& [_, s] : phases_) total += s;
+    return total;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  void Reset() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+// Canonical phase names used by all join drivers (paper Figure 2 steps).
+inline constexpr const char* kPhaseSigGen = "SigGen";
+inline constexpr const char* kPhaseCandPair = "CandPair";
+inline constexpr const char* kPhasePostFilter = "PostFilter";
+
+}  // namespace ssjoin

@@ -1,0 +1,33 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ssjoin {
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k) + 1.0, theta);
+    cdf_[k] = acc;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= acc;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint32_t k) const {
+  assert(k < n_);
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,39 @@
+// Zipf-distributed sampling.
+//
+// Real token domains (words in addresses, bibliographic titles) are highly
+// skewed; element frequency drives both the prefix-filter baseline (which
+// orders by rarity) and WtEnum's IDF weights. The synthetic data
+// generators use this sampler to reproduce that skew.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ssjoin {
+
+/// \brief Samples from {0..n-1} with P(k) proportional to 1/(k+1)^theta.
+///
+/// Precomputes the cumulative distribution once (O(n)), then samples by
+/// binary search (O(log n)). theta = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta);
+
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t domain_size() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Exact probability of value k under this distribution.
+  double Probability(uint32_t k) const;
+
+ private:
+  uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ssjoin

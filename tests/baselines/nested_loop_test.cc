@@ -1,0 +1,47 @@
+#include "baselines/nested_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace ssjoin {
+namespace {
+
+TEST(NestedLoopTest, SelfJoinBasic) {
+  SetCollection input = SetCollection::FromVectors(
+      {{1, 2, 3}, {1, 2, 3}, {4, 5}, {1, 2}});
+  JaccardPredicate predicate(0.6);
+  std::vector<SetPair> pairs = NestedLoopSelfJoin(input, predicate);
+  // (0,1): 1.0; (0,3),(1,3): 2/3 >= 0.6.
+  EXPECT_EQ(pairs,
+            (std::vector<SetPair>{{0, 1}, {0, 3}, {1, 3}}));
+}
+
+TEST(NestedLoopTest, BinaryJoinBasic) {
+  SetCollection r = SetCollection::FromVectors({{1, 2}, {3, 4}});
+  SetCollection s = SetCollection::FromVectors({{1, 2}, {5}});
+  JaccardPredicate predicate(1.0);
+  EXPECT_EQ(NestedLoopJoin(r, s, predicate),
+            (std::vector<SetPair>{{0, 0}}));
+}
+
+TEST(NestedLoopTest, EmptyInputs) {
+  SetCollection empty;
+  JaccardPredicate predicate(0.5);
+  EXPECT_TRUE(NestedLoopSelfJoin(empty, predicate).empty());
+  EXPECT_TRUE(
+      NestedLoopJoin(empty, SetCollection::FromVectors({{1}}), predicate)
+          .empty());
+}
+
+TEST(NestedLoopTest, OutputSorted) {
+  SetCollection input = SetCollection::FromVectors(
+      {{1}, {1}, {1}, {1}});
+  JaccardPredicate predicate(1.0);
+  std::vector<SetPair> pairs = NestedLoopSelfJoin(input, predicate);
+  EXPECT_EQ(pairs.size(), 6u);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i - 1], pairs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

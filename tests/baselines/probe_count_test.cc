@@ -1,0 +1,147 @@
+#include "baselines/probe_count.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/identity_scheme.h"
+#include "baselines/nested_loop.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+SetCollection RandomCollection(uint64_t seed, int base = 150, int dups = 50) {
+  Rng rng(seed);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < base; ++i) {
+    sets.push_back(SampleWithoutReplacement(200, 2 + rng.Uniform(15), rng));
+  }
+  for (int i = 0; i < dups; ++i) {
+    std::vector<ElementId> dup = sets[rng.Uniform(base)];
+    if (dup.size() > 2 && rng.Bernoulli(0.5)) dup.pop_back();
+    sets.push_back(dup);
+  }
+  return SetCollection::FromVectors(sets);
+}
+
+TEST(PairCountTest, ExactForJaccard) {
+  SetCollection input = RandomCollection(1);
+  for (double gamma : {0.6, 0.8, 0.9}) {
+    JaccardPredicate predicate(gamma);
+    JoinResult result = PairCountSelfJoin(input, predicate);
+    EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate))
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(PairCountTest, ExactForHamming) {
+  SetCollection input = RandomCollection(2);
+  for (uint32_t k : {1u, 3u, 5u}) {
+    HammingPredicate predicate(k);
+    JoinResult result = PairCountSelfJoin(input, predicate);
+    // Note: hamming joins with empty intersection are invisible to an
+    // inverted index; construct the expectation accordingly by filtering
+    // brute force to positive-overlap pairs... they are identical here
+    // because RandomCollection sets have size >= 2 > k for the overlap to
+    // be forced positive only when sizes sum > k. Verify against brute
+    // force restricted to overlapping pairs.
+    std::vector<SetPair> expected;
+    for (const SetPair& p : NestedLoopSelfJoin(input, predicate)) {
+      uint32_t inter = 0;
+      {
+        auto a = input.set(p.first);
+        auto b = input.set(p.second);
+        size_t i = 0, j = 0;
+        while (i < a.size() && j < b.size()) {
+          if (a[i] == b[j]) {
+            ++inter;
+            ++i;
+            ++j;
+          } else if (a[i] < b[j]) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+      }
+      if (inter > 0) expected.push_back(p);
+    }
+    EXPECT_EQ(result.pairs, expected) << "k=" << k;
+  }
+}
+
+TEST(ProbeCountTest, ExactForJaccard) {
+  SetCollection input = RandomCollection(3);
+  for (double gamma : {0.6, 0.8, 0.9}) {
+    JaccardPredicate predicate(gamma);
+    JoinResult result = ProbeCountSelfJoin(input, predicate);
+    EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate))
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(ProbeCountTest, AgreesWithPairCount) {
+  SetCollection input = RandomCollection(4);
+  JaccardPredicate predicate(0.7);
+  JoinResult probe = ProbeCountSelfJoin(input, predicate);
+  JoinResult pair = PairCountSelfJoin(input, predicate);
+  EXPECT_EQ(probe.pairs, pair.pairs);
+  // Probe-Count's MergeOpt must touch at most as many postings as
+  // Pair-Count's exhaustive counting.
+  EXPECT_LE(probe.stats.signature_collisions,
+            pair.stats.signature_collisions);
+}
+
+TEST(ProbeCountTest, SizeFilterDoesNotChangeResults) {
+  SetCollection input = RandomCollection(5);
+  JaccardPredicate predicate(0.8);
+  InvertedIndexJoinOptions with, without;
+  with.size_filter = true;
+  without.size_filter = false;
+  EXPECT_EQ(ProbeCountSelfJoin(input, predicate, with).pairs,
+            ProbeCountSelfJoin(input, predicate, without).pairs);
+  EXPECT_EQ(PairCountSelfJoin(input, predicate, with).pairs,
+            PairCountSelfJoin(input, predicate, without).pairs);
+}
+
+TEST(PairCountTest, BinaryJoinExact) {
+  SetCollection r = RandomCollection(6, 80, 0);
+  SetCollection s = RandomCollection(7, 60, 0);
+  // Copy a few r sets into s to create output.
+  std::vector<std::vector<ElementId>> sv;
+  for (SetId id = 0; id < s.size(); ++id) {
+    sv.emplace_back(s.set(id).begin(), s.set(id).end());
+  }
+  for (int i = 0; i < 20; ++i) {
+    sv.push_back(std::vector<ElementId>(r.set(i * 3).begin(),
+                                        r.set(i * 3).end()));
+  }
+  s = SetCollection::FromVectors(sv);
+
+  JaccardPredicate predicate(0.8);
+  JoinResult result = PairCountJoin(r, s, predicate);
+  EXPECT_EQ(result.pairs, NestedLoopJoin(r, s, predicate));
+  EXPECT_GT(result.pairs.size(), 0u);
+}
+
+TEST(PairCountTest, StatsConsistent) {
+  SetCollection input = RandomCollection(8);
+  JaccardPredicate predicate(0.8);
+  JoinResult result = PairCountSelfJoin(input, predicate);
+  EXPECT_EQ(result.stats.signatures_r, input.total_elements());
+  EXPECT_EQ(result.stats.results + result.stats.false_positives,
+            result.stats.candidates);
+  EXPECT_EQ(result.stats.results, result.pairs.size());
+}
+
+TEST(IdentitySchemeTest, SignaturesAreElements) {
+  IdentityScheme scheme;
+  std::vector<ElementId> set = {3, 1, 7};
+  std::vector<Signature> sigs = scheme.Signatures(set);
+  EXPECT_EQ(sigs,
+            (std::vector<Signature>{3, 1, 7}));
+  EXPECT_EQ(scheme.Name(), "Identity");
+  EXPECT_TRUE(scheme.IsExact());
+}
+
+}  // namespace
+}  // namespace ssjoin

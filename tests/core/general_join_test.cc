@@ -1,0 +1,126 @@
+#include "core/general_join.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/nested_loop.h"
+#include "core/ssjoin.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+SetCollection RandomMixedCollection(uint64_t seed, int base = 120,
+                                    int dups = 40) {
+  Rng rng(seed);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < base; ++i) {
+    sets.push_back(SampleWithoutReplacement(250, 2 + rng.Uniform(25), rng));
+  }
+  for (int i = 0; i < dups; ++i) {
+    std::vector<ElementId> dup = sets[rng.Uniform(base)];
+    uint32_t drops = rng.Uniform(3);
+    for (uint32_t d = 0; d < drops && dup.size() > 2; ++d) {
+      dup.erase(dup.begin() + rng.Uniform(static_cast<uint32_t>(dup.size())));
+    }
+    sets.push_back(dup);
+  }
+  return SetCollection::FromVectors(sets);
+}
+
+TEST(GeneralJoinTest, CreateValidation) {
+  GeneralPartEnumParams params;
+  params.max_set_size = 0;
+  EXPECT_FALSE(GeneralPartEnumScheme::Create(
+                   std::make_shared<MaxFractionPredicate>(0.9), params)
+                   .ok());
+  EXPECT_FALSE(
+      GeneralPartEnumScheme::Create(nullptr, GeneralPartEnumParams{})
+          .ok());
+}
+
+TEST(GeneralJoinTest, Section6MaxFractionExample) {
+  // pred: |r∩s| >= 0.9 max(|r|,|s|) — the Section 6 worked example, which
+  // LSH has no hash family for.
+  auto predicate = std::make_shared<MaxFractionPredicate>(0.9);
+  SetCollection input = RandomMixedCollection(101);
+  GeneralPartEnumParams params;
+  params.max_set_size = input.max_set_size();
+  auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+  ASSERT_TRUE(scheme.ok());
+
+  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  std::vector<SetPair> expected = NestedLoopSelfJoin(input, *predicate);
+  EXPECT_EQ(result.pairs, expected);
+  EXPECT_GT(result.pairs.size(), 0u);
+}
+
+TEST(GeneralJoinTest, MaxFractionAcrossThresholds) {
+  for (double gamma : {0.7, 0.8, 0.95}) {
+    auto predicate = std::make_shared<MaxFractionPredicate>(gamma);
+    SetCollection input =
+        RandomMixedCollection(static_cast<uint64_t>(gamma * 1000));
+    GeneralPartEnumParams params;
+    params.max_set_size = input.max_set_size();
+    auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+    ASSERT_TRUE(scheme.ok());
+    JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+    EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate))
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(GeneralJoinTest, JaccardThroughGeneralMachinery) {
+  // The general scheme must subsume the jaccard case (Section 6 derives
+  // Section 5 as a special case).
+  auto predicate = std::make_shared<JaccardPredicate>(0.8);
+  SetCollection input = RandomMixedCollection(202);
+  GeneralPartEnumParams params;
+  params.max_set_size = input.max_set_size();
+  auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+  ASSERT_TRUE(scheme.ok());
+  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
+}
+
+TEST(GeneralJoinTest, HammingThroughGeneralMachinery) {
+  auto predicate = std::make_shared<HammingPredicate>(4);
+  SetCollection input = RandomMixedCollection(303, 80, 40);
+  GeneralPartEnumParams params;
+  params.max_set_size = input.max_set_size();
+  auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+  ASSERT_TRUE(scheme.ok());
+  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
+}
+
+TEST(GeneralJoinTest, ConjunctivePredicate) {
+  // |r∩s| >= 0.6|r| AND |r∩s| >= 0.7|s|.
+  auto predicate = std::make_shared<ConjunctivePredicate>(
+      std::vector<LinearOverlapTerm>{LinearOverlapTerm{0, 0.6, 0},
+                                     LinearOverlapTerm{0, 0, 0.7}},
+      "mixed-fraction");
+  SetCollection input = RandomMixedCollection(404);
+  GeneralPartEnumParams params;
+  params.max_set_size = input.max_set_size();
+  auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+  ASSERT_TRUE(scheme.ok());
+  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
+  EXPECT_GT(result.pairs.size(), 0u);
+}
+
+TEST(GeneralJoinTest, InstanceThresholdsAreBounded) {
+  auto predicate = std::make_shared<MaxFractionPredicate>(0.9);
+  GeneralPartEnumParams params;
+  params.max_set_size = 120;
+  auto scheme = GeneralPartEnumScheme::Create(predicate, params);
+  ASSERT_TRUE(scheme.ok());
+  // Hamming bounds should grow with interval right ends but stay finite
+  // and modest for a 0.9 threshold (paper: size 100 -> Hd <= 20 ballpark).
+  std::vector<uint32_t> ks = scheme->InstanceThresholds();
+  ASSERT_FALSE(ks.empty());
+  for (uint32_t k : ks) EXPECT_LE(k, 60u);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,83 @@
+#include "core/signature_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/nested_loop.h"
+#include "core/partenum_jaccard.h"
+#include "core/ssjoin.h"
+#include "data/generators.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin {
+namespace {
+
+std::shared_ptr<const SignatureScheme> BaseScheme(
+    const SetCollection& input, double gamma) {
+  PartEnumJaccardParams params;
+  params.gamma = gamma;
+  params.max_set_size = input.max_set_size();
+  auto scheme = PartEnumJaccardScheme::Create(params);
+  EXPECT_TRUE(scheme.ok());
+  return std::make_shared<PartEnumJaccardScheme>(std::move(scheme).value());
+}
+
+SetCollection TestInput() {
+  AddressOptions options;
+  options.num_strings = 400;
+  options.duplicate_fraction = 0.2;
+  WordTokenizer tokenizer;
+  return tokenizer.TokenizeAll(GenerateAddressStrings(options));
+}
+
+TEST(NarrowedSchemeTest, PreservesExactness) {
+  // Narrowing merges signatures, so the join output never changes — only
+  // the candidate count can grow. Verify at 32 and 16 bits.
+  SetCollection input = TestInput();
+  double gamma = 0.85;
+  JaccardPredicate predicate(gamma);
+  auto base = BaseScheme(input, gamma);
+  std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
+
+  for (int bits : {32, 16}) {
+    NarrowedScheme narrowed(base, bits);
+    JoinResult result = SignatureSelfJoin(input, narrowed, predicate);
+    EXPECT_EQ(result.pairs, expected) << "bits=" << bits;
+  }
+}
+
+TEST(NarrowedSchemeTest, SignatureCountUnchanged) {
+  SetCollection input = TestInput();
+  auto base = BaseScheme(input, 0.9);
+  NarrowedScheme narrowed(base, 32);
+  std::vector<Signature> base_sigs = base->Signatures(input.set(0));
+  std::vector<Signature> narrow_sigs = narrowed.Signatures(input.set(0));
+  EXPECT_EQ(base_sigs.size(), narrow_sigs.size());
+  for (Signature sig : narrow_sigs) {
+    EXPECT_LT(sig, 1ULL << 32);
+  }
+}
+
+TEST(NarrowedSchemeTest, VeryNarrowWidthsInflateCandidates) {
+  SetCollection input = TestInput();
+  double gamma = 0.85;
+  JaccardPredicate predicate(gamma);
+  auto base = BaseScheme(input, gamma);
+  JoinResult wide = SignatureSelfJoin(input, *base, predicate);
+  NarrowedScheme tiny(base, 8);
+  JoinResult narrow = SignatureSelfJoin(input, tiny, predicate);
+  EXPECT_GT(narrow.stats.candidates, wide.stats.candidates);
+  EXPECT_EQ(narrow.stats.results, wide.stats.results);
+}
+
+TEST(NarrowedSchemeTest, NameAndExactnessPropagate) {
+  SetCollection input = TestInput();
+  auto base = BaseScheme(input, 0.9);
+  NarrowedScheme narrowed(base, 32);
+  EXPECT_NE(narrowed.Name().find("32bit"), std::string::npos);
+  EXPECT_TRUE(narrowed.IsExact());
+}
+
+}  // namespace
+}  // namespace ssjoin

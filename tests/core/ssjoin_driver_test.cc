@@ -1,0 +1,142 @@
+#include "core/ssjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/identity_scheme.h"
+#include "baselines/nested_loop.h"
+#include "core/partenum.h"
+#include "core/predicate.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+SetCollection SmallCollection() {
+  return SetCollection::FromVectors({
+      {1, 2, 3, 4},     // 0
+      {1, 2, 3, 4},     // 1: duplicate of 0
+      {1, 2, 3, 5},     // 2: Hd 2 from 0
+      {10, 11, 12},     // 3: unrelated
+      {1, 2},           // 4: subset of 0
+  });
+}
+
+TEST(DriverTest, SelfJoinWithIdentityScheme) {
+  SetCollection input = SmallCollection();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.75);
+  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  // Expected: (0,1) jaccard 1; (0,2) and (1,2) jaccard 3/5 = 0.6 < 0.75.
+  EXPECT_EQ(result.pairs, (std::vector<SetPair>{{0, 1}}));
+  EXPECT_EQ(result.stats.results, 1u);
+  EXPECT_GT(result.stats.false_positives, 0u);  // element collisions
+}
+
+TEST(DriverTest, StatsAccounting) {
+  SetCollection input = SmallCollection();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.75);
+  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  // Identity: signatures = total elements.
+  EXPECT_EQ(result.stats.signatures_r, input.total_elements());
+  EXPECT_EQ(result.stats.signatures_s, input.total_elements());
+  // Collisions: for each element, C(df, 2). Elements 1,2 appear in sets
+  // {0,1,2,4} (df 4 -> 6 each); 3 in {0,1,2} (3); 4 in {0,1} (1);
+  // 5,10,11,12 unique (0). Total = 6+6+3+1 = 16.
+  EXPECT_EQ(result.stats.signature_collisions, 16u);
+  // Candidates: distinct colliding pairs = pairs among {0,1,2,4} = 6.
+  EXPECT_EQ(result.stats.candidates, 6u);
+  EXPECT_EQ(result.stats.F2(),
+            result.stats.signatures_r * 2 + 16u);
+  EXPECT_EQ(result.stats.results + result.stats.false_positives,
+            result.stats.candidates);
+  EXPECT_FALSE(result.stats.ToString().empty());
+}
+
+TEST(DriverTest, BinaryJoin) {
+  SetCollection r = SetCollection::FromVectors({{1, 2, 3}, {4, 5, 6}});
+  SetCollection s =
+      SetCollection::FromVectors({{1, 2, 3}, {4, 5, 7}, {8, 9}});
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.5);
+  JoinResult result = SignatureJoin(r, s, scheme, predicate);
+  // (0,0): identical. (1,1): overlap 2, union 4 => 0.5.
+  EXPECT_EQ(result.pairs, (std::vector<SetPair>{{0, 0}, {1, 1}}));
+  std::vector<SetPair> expected = NestedLoopJoin(r, s, predicate);
+  EXPECT_EQ(result.pairs, expected);
+}
+
+TEST(DriverTest, BinaryJoinMatchesBruteForceRandom) {
+  Rng rng(88);
+  std::vector<std::vector<ElementId>> rv, sv;
+  for (int i = 0; i < 60; ++i) {
+    rv.push_back(SampleWithoutReplacement(80, 1 + rng.Uniform(12), rng));
+    sv.push_back(SampleWithoutReplacement(80, 1 + rng.Uniform(12), rng));
+  }
+  // Make some s sets copies of r sets.
+  for (int i = 0; i < 15; ++i) sv[i] = rv[i * 2];
+  SetCollection r = SetCollection::FromVectors(rv);
+  SetCollection s = SetCollection::FromVectors(sv);
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.6);
+  JoinResult result = SignatureJoin(r, s, scheme, predicate);
+  EXPECT_EQ(result.pairs, NestedLoopJoin(r, s, predicate));
+  EXPECT_GT(result.pairs.size(), 0u);
+}
+
+TEST(DriverTest, EmptyInputs) {
+  SetCollection empty;
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.8);
+  JoinResult self = SignatureSelfJoin(empty, scheme, predicate);
+  EXPECT_TRUE(self.pairs.empty());
+  EXPECT_EQ(self.stats.F2(), 0u);
+  JoinResult binary = SignatureJoin(empty, SmallCollection(), scheme,
+                                    predicate);
+  EXPECT_TRUE(binary.pairs.empty());
+}
+
+TEST(DriverTest, HammingSelfJoinWithPartEnum) {
+  SetCollection input = SmallCollection();
+  PartEnumParams params = PartEnumParams::Default(2);
+  auto scheme = PartEnumScheme::Create(params);
+  ASSERT_TRUE(scheme.ok());
+  HammingPredicate predicate(2);
+  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
+  // (0,1) Hd 0; (0,2),(1,2),(0,4),(1,4),(2,4) all Hd 2.
+  EXPECT_EQ(expected.size(), 6u);
+  EXPECT_EQ(result.pairs, expected);
+}
+
+TEST(DriverTest, OutputIsSortedAndDeduplicated) {
+  SetCollection input = SmallCollection();
+  IdentityScheme scheme;  // many shared signatures per pair
+  JaccardPredicate predicate(0.4);
+  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  for (size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_LT(result.pairs[i - 1], result.pairs[i]);
+  }
+  for (const SetPair& p : result.pairs) {
+    EXPECT_LT(p.first, p.second);
+  }
+}
+
+TEST(DriverTest, PhaseTimesAreRecorded) {
+  Rng rng(12);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < 300; ++i) {
+    sets.push_back(SampleWithoutReplacement(100, 10, rng));
+  }
+  SetCollection input = SetCollection::FromVectors(sets);
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.9);
+  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  EXPECT_GE(result.stats.siggen_seconds, 0.0);
+  EXPECT_GE(result.stats.candpair_seconds, 0.0);
+  EXPECT_GE(result.stats.postfilter_seconds, 0.0);
+  EXPECT_GT(result.stats.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssjoin

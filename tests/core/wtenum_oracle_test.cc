@@ -1,0 +1,134 @@
+// Oracle test for WtEnum: a direct, brute-force implementation of
+// Figure 8 (enumerate every subset, keep the minimal ones, take IDF
+// prefixes) validates the production DFS on thousands of random small
+// weighted sets — per-set signature *counts* must equal the oracle's
+// distinct-prefix counts, and pairwise signature *sharing* must coincide
+// with oracle prefix sharing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/wtenum.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+struct WeightedElement {
+  ElementId element;
+  double weight;  // both size weight and IDF weight (the IDF case)
+};
+
+// All distinct prefixes over the minimal subsets of `set` (Figure 8,
+// literally): subsets are enumerated by bitmask; a subset is minimal iff
+// its weight reaches T and dropping its lightest member falls below T;
+// the prefix is the shortest descending-weight head reaching TH (the
+// whole subset if it never does).
+std::set<std::vector<ElementId>> OraclePrefixes(
+    std::vector<WeightedElement> set, double t, double th) {
+  // Descending weight, ties by element id — the scheme's ordering.
+  std::sort(set.begin(), set.end(),
+            [](const WeightedElement& a, const WeightedElement& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.element < b.element;
+            });
+  std::set<std::vector<ElementId>> prefixes;
+  size_t m = set.size();
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    double sum = 0, min_w = 1e300;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        sum += set[i].weight;
+        min_w = std::min(min_w, set[i].weight);
+      }
+    }
+    // The scheme compares against T * (1 - 1e-9); mirror that here so
+    // boundary-exact subsets classify identically.
+    double t_eff = t * (1.0 - 1e-9);
+    if (sum < t_eff) continue;                 // not a covering subset
+    if (sum - min_w >= t_eff) continue;        // not minimal
+    std::vector<ElementId> prefix;
+    double idf_sum = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (!(mask & (1u << i))) continue;
+      prefix.push_back(set[i].element);
+      idf_sum += set[i].weight;
+      if (idf_sum >= th) break;
+    }
+    prefixes.insert(prefix);
+  }
+  return prefixes;
+}
+
+class WtEnumOracleTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WtEnumOracleTest, DfsMatchesBruteForceEnumeration) {
+  auto [t, th] = GetParam();
+  Rng rng(static_cast<uint64_t>(t * 100 + th));
+
+  // Weight table: elements 0..63 get reproducible weights in [0.5, 8].
+  auto weight_of = [](ElementId e) {
+    return 0.5 + static_cast<double>(Mix64(e * 2654435761u) % 750) / 100.0;
+  };
+  WtEnumParams params;
+  params.pruning_threshold = th;
+  auto scheme = WtEnumScheme::CreateOverlap(weight_of, weight_of, t, params);
+  ASSERT_TRUE(scheme.ok());
+
+  std::vector<std::vector<ElementId>> sets;
+  std::vector<std::set<std::vector<ElementId>>> oracle;
+  for (int trial = 0; trial < 120; ++trial) {
+    uint32_t size = 1 + rng.Uniform(10);
+    std::vector<uint32_t> raw = SampleWithoutReplacement(64, size, rng);
+    std::sort(raw.begin(), raw.end());
+    std::vector<WeightedElement> weighted;
+    for (ElementId e : raw) weighted.push_back({e, weight_of(e)});
+    oracle.push_back(OraclePrefixes(weighted, t, th));
+    sets.push_back(raw);
+  }
+
+  // Per-set: signature count == distinct oracle prefix count.
+  std::vector<std::vector<Signature>> sigs(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    sigs[i] = scheme->Signatures(sets[i]);
+    std::sort(sigs[i].begin(), sigs[i].end());
+    sigs[i].erase(std::unique(sigs[i].begin(), sigs[i].end()),
+                  sigs[i].end());
+    EXPECT_EQ(sigs[i].size(), oracle[i].size())
+        << "T=" << t << " TH=" << th << " set#" << i << " (size "
+        << sets[i].size() << ")";
+  }
+  EXPECT_FALSE(scheme->overflowed());
+
+  // Pairwise: signature sharing <=> oracle prefix sharing.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i + 1; j < sets.size(); ++j) {
+      std::vector<Signature> shared;
+      std::set_intersection(sigs[i].begin(), sigs[i].end(),
+                            sigs[j].begin(), sigs[j].end(),
+                            std::back_inserter(shared));
+      std::vector<std::vector<ElementId>> shared_prefixes;
+      std::set_intersection(oracle[i].begin(), oracle[i].end(),
+                            oracle[j].begin(), oracle[j].end(),
+                            std::back_inserter(shared_prefixes));
+      EXPECT_EQ(!shared.empty(), !shared_prefixes.empty())
+          << "T=" << t << " TH=" << th << " pair " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, WtEnumOracleTest,
+    ::testing::Values(std::make_pair(6.0, 4.0), std::make_pair(10.0, 6.0),
+                      std::make_pair(10.0, 12.0), std::make_pair(15.0, 8.0),
+                      std::make_pair(20.0, 10.0),
+                      std::make_pair(4.0, 20.0)));  // TH unreachably high
+
+}  // namespace
+}  // namespace ssjoin

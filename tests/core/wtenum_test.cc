@@ -1,0 +1,271 @@
+#include "core/wtenum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "baselines/nested_loop.h"
+#include "core/ssjoin.h"
+#include "text/idf.h"
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+// The weighted set of paper Example 6: s = {a8, b4, c3, d2, e1, f1, g1}.
+// Elements a..g encoded as 1..7. Note descending-weight order coincides
+// with ascending element id, matching the example's presentation.
+WeightFunction ExampleSixWeights() {
+  return [](ElementId e) -> double {
+    static const double kWeights[] = {0, 8, 4, 3, 2, 1, 1, 1};
+    return e < 8 ? kWeights[e] : 0.0;
+  };
+}
+
+TEST(WtEnumTest, PaperExampleSixSignatureCount) {
+  // T = 17, TH = 14: the signature set is {<a,b,d>, <a,b,c>} — exactly two
+  // distinct prefixes over the five minimal subsets (Figure 9).
+  WtEnumParams params;
+  params.pruning_threshold = 14.0;
+  auto scheme = WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                            ExampleSixWeights(), 17.0,
+                                            params);
+  ASSERT_TRUE(scheme.ok());
+  std::vector<ElementId> s = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<Signature> sigs = scheme->Signatures(s);
+  std::sort(sigs.begin(), sigs.end());
+  sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+  EXPECT_EQ(sigs.size(), 2u);
+  EXPECT_FALSE(scheme->overflowed());
+}
+
+TEST(WtEnumTest, ExampleSixSharedWithQualifyingPartner) {
+  // "Any set that has a weighted intersection of 17 with s has to contain
+  // both a and b and at least one of c or d" — check a few such partners
+  // share a signature with s, and a non-qualifying one does not have to.
+  WtEnumParams params;
+  params.pruning_threshold = 14.0;
+  auto scheme = WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                            ExampleSixWeights(), 17.0,
+                                            params);
+  ASSERT_TRUE(scheme.ok());
+  std::vector<ElementId> s = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<Signature> s_sigs = scheme->Signatures(s);
+  std::sort(s_sigs.begin(), s_sigs.end());
+
+  auto shares = [&](std::vector<ElementId> partner) {
+    std::vector<Signature> p_sigs = scheme->Signatures(partner);
+    std::sort(p_sigs.begin(), p_sigs.end());
+    std::vector<Signature> shared;
+    std::set_intersection(s_sigs.begin(), s_sigs.end(), p_sigs.begin(),
+                          p_sigs.end(), std::back_inserter(shared));
+    return !shared.empty();
+  };
+  EXPECT_TRUE(shares({1, 2, 3, 4}));        // a,b,c,d: overlap 17
+  EXPECT_TRUE(shares({1, 2, 3, 5, 6}));     // a,b,c,e,f: overlap 17
+  EXPECT_TRUE(shares({1, 2, 4, 5, 6, 7}));  // a,b,d,e,f,g: overlap 17
+}
+
+TEST(WtEnumTest, CreateValidation) {
+  WtEnumParams params;
+  params.pruning_threshold = 0;  // invalid
+  EXPECT_FALSE(WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                           ExampleSixWeights(), 5.0, params)
+                   .ok());
+  params.pruning_threshold = 3.0;
+  EXPECT_FALSE(WtEnumScheme::CreateOverlap(nullptr, ExampleSixWeights(),
+                                           5.0, params)
+                   .ok());
+  EXPECT_FALSE(WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                           ExampleSixWeights(), -1.0,
+                                           params)
+                   .ok());
+  EXPECT_FALSE(WtEnumScheme::CreateJaccard(ExampleSixWeights(),
+                                           ExampleSixWeights(), 1.2, 1.0,
+                                           params)
+                   .ok());
+  EXPECT_FALSE(WtEnumScheme::CreateJaccard(ExampleSixWeights(),
+                                           ExampleSixWeights(), 0.8, 0.0,
+                                           params)
+                   .ok());
+}
+
+// Exactness of the overlap mode: WtEnum + driver = brute force, on random
+// weighted workloads with planted overlaps.
+TEST(WtEnumTest, OverlapModeExactOnRandomData) {
+  Rng rng(61);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < 120; ++i) {
+    sets.push_back(SampleWithoutReplacement(200, 3 + rng.Uniform(10), rng));
+  }
+  for (int i = 0; i < 40; ++i) {
+    std::vector<ElementId> dup = sets[rng.Uniform(120)];
+    if (dup.size() > 1 && rng.Bernoulli(0.5)) dup.pop_back();
+    sets.push_back(dup);
+  }
+  SetCollection input = SetCollection::FromVectors(sets);
+  IdfWeights idf = IdfWeights::Compute(input);
+  WeightFunction weights = [&idf](ElementId e) {
+    return idf.Weight(e) + 0.01;  // strictly positive
+  };
+
+  for (double threshold : {4.0, 8.0, 12.0}) {
+    WtEnumParams params;
+    params.pruning_threshold = idf.DefaultPruningThreshold();
+    auto scheme =
+        WtEnumScheme::CreateOverlap(weights, weights, threshold, params);
+    ASSERT_TRUE(scheme.ok());
+    ASSERT_TRUE(scheme->Validate(input).ok());
+
+    WeightedOverlapPredicate predicate(threshold, weights);
+    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
+    EXPECT_EQ(result.pairs, expected) << "T=" << threshold;
+    EXPECT_FALSE(scheme->overflowed());
+  }
+}
+
+// Exactness of the jaccard mode across thresholds.
+class WtEnumJaccardTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WtEnumJaccardTest, ExactOnRandomData) {
+  double gamma = GetParam();
+  Rng rng(static_cast<uint64_t>(gamma * 777));
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < 100; ++i) {
+    sets.push_back(SampleWithoutReplacement(150, 2 + rng.Uniform(12), rng));
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<ElementId> dup = sets[rng.Uniform(100)];
+    if (dup.size() > 2 && rng.Bernoulli(0.6)) dup.pop_back();
+    sets.push_back(dup);
+  }
+  SetCollection input = SetCollection::FromVectors(sets);
+  IdfWeights idf = IdfWeights::Compute(input);
+  WeightFunction weights = [&idf](ElementId e) {
+    return idf.Weight(e) + 0.01;
+  };
+
+  double min_ws = std::numeric_limits<double>::infinity();
+  for (SetId id = 0; id < input.size(); ++id) {
+    min_ws = std::min(min_ws, WeightedSize(input.set(id), weights));
+  }
+
+  WtEnumParams params;
+  params.pruning_threshold = idf.DefaultPruningThreshold();
+  auto scheme =
+      WtEnumScheme::CreateJaccard(weights, weights, gamma, min_ws, params);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme->Validate(input).ok());
+
+  WeightedJaccardPredicate predicate(gamma, weights);
+  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
+  EXPECT_EQ(result.pairs, expected) << "gamma=" << gamma;
+  EXPECT_GT(result.pairs.size(), 0u) << "vacuous test";
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, WtEnumJaccardTest,
+                         ::testing::Values(0.6, 0.75, 0.85, 0.9));
+
+TEST(WtEnumTest, LowerPruningThresholdFewerSignatures) {
+  // TH controls the signature-count / selectivity tradeoff: lower TH =>
+  // shorter prefixes => fewer distinct prefixes.
+  std::vector<ElementId> s = {1, 2, 3, 4, 5, 6, 7};
+  WtEnumParams low, high;
+  low.pruning_threshold = 8.0;
+  high.pruning_threshold = 16.0;
+  auto scheme_low = WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                                ExampleSixWeights(), 17.0,
+                                                low);
+  auto scheme_high = WtEnumScheme::CreateOverlap(ExampleSixWeights(),
+                                                 ExampleSixWeights(), 17.0,
+                                                 high);
+  ASSERT_TRUE(scheme_low.ok());
+  ASSERT_TRUE(scheme_high.ok());
+  EXPECT_LE(scheme_low->Signatures(s).size(),
+            scheme_high->Signatures(s).size());
+}
+
+TEST(WtEnumTest, IntervalIndexGeometric) {
+  WtEnumParams params;
+  params.pruning_threshold = 3.0;
+  auto scheme = WtEnumScheme::CreateJaccard(ExampleSixWeights(),
+                                            ExampleSixWeights(), 0.5, 1.0,
+                                            params);
+  ASSERT_TRUE(scheme.ok());
+  // growth = 2: intervals [1,2), [2,4), [4,8), ...
+  EXPECT_EQ(scheme->IntervalIndex(1.0), 0u);
+  EXPECT_EQ(scheme->IntervalIndex(1.9), 0u);
+  EXPECT_EQ(scheme->IntervalIndex(2.1), 1u);
+  EXPECT_EQ(scheme->IntervalIndex(5.0), 2u);
+  EXPECT_EQ(scheme->IntervalIndex(16.5), 4u);
+}
+
+TEST(WtEnumTest, IntervalAdjacencyForJoinableWeightedPairs) {
+  // The weighted analog of the Section 5 adjacency property: any pair
+  // with weighted jaccard >= gamma must land in the same or adjacent
+  // weighted-size intervals — the invariant that makes the i/i+1 tags a
+  // complete filter.
+  Rng rng(66);
+  WeightFunction weights = [](ElementId e) {
+    return 0.3 + static_cast<double>(e % 11) * 0.7;
+  };
+  for (double gamma : {0.6, 0.8, 0.9}) {
+    std::vector<std::vector<ElementId>> sets;
+    for (int i = 0; i < 60; ++i) {
+      sets.push_back(
+          SampleWithoutReplacement(100, 1 + rng.Uniform(20), rng));
+    }
+    for (int i = 0; i < 60; ++i) {
+      std::vector<ElementId> dup = sets[rng.Uniform(60)];
+      if (dup.size() > 1 && rng.Bernoulli(0.7)) dup.pop_back();
+      sets.push_back(dup);
+    }
+    SetCollection input = SetCollection::FromVectors(sets);
+    double min_ws = std::numeric_limits<double>::infinity();
+    for (SetId id = 0; id < input.size(); ++id) {
+      min_ws = std::min(min_ws, WeightedSize(input.set(id), weights));
+    }
+    WtEnumParams params;
+    params.pruning_threshold = 3.0;
+    auto scheme =
+        WtEnumScheme::CreateJaccard(weights, weights, gamma, min_ws, params);
+    ASSERT_TRUE(scheme.ok());
+    WeightedJaccardPredicate predicate(gamma, weights);
+    for (SetId a = 0; a < input.size(); ++a) {
+      for (SetId b = a + 1; b < input.size(); ++b) {
+        if (!predicate.Evaluate(input.set(a), input.set(b))) continue;
+        uint32_t ia =
+            scheme->IntervalIndex(WeightedSize(input.set(a), weights));
+        uint32_t ib =
+            scheme->IntervalIndex(WeightedSize(input.set(b), weights));
+        EXPECT_LE(ia > ib ? ia - ib : ib - ia, 1u)
+            << "gamma=" << gamma << " pair " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(WtEnumTest, BudgetOverflowIsReportedByValidate) {
+  // Pathological: many equal tiny weights force combinatorial minimal
+  // subsets; a tiny budget must trip Validate.
+  WeightFunction unit = [](ElementId) { return 1.0; };
+  WtEnumParams params;
+  params.pruning_threshold = 10.0;
+  params.max_nodes_per_set = 50;
+  auto scheme = WtEnumScheme::CreateOverlap(unit, unit, 12.0, params);
+  ASSERT_TRUE(scheme.ok());
+  std::vector<std::vector<ElementId>> sets;
+  std::vector<ElementId> big;
+  for (ElementId e = 1; e <= 24; ++e) big.push_back(e);
+  sets.push_back(big);
+  SetCollection input = SetCollection::FromVectors(sets);
+  EXPECT_FALSE(scheme->Validate(input).ok());
+}
+
+}  // namespace
+}  // namespace ssjoin

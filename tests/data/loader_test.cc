@@ -1,0 +1,72 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ssjoin {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ssjoin_loader_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoaderTest, StringRoundTrip) {
+  std::vector<std::string> strings = {"main st seattle", "", "oak ave"};
+  ASSERT_TRUE(SaveStrings(Path("s.txt"), strings).ok());
+  auto loaded = LoadStrings(Path("s.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, strings);
+}
+
+TEST_F(LoaderTest, SetRoundTrip) {
+  SetCollection sets =
+      SetCollection::FromVectors({{3, 1, 2}, {}, {42}, {7, 7, 8}});
+  ASSERT_TRUE(SaveSets(Path("sets.txt"), sets).ok());
+  auto loaded = LoadSets(Path("sets.txt"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), sets.size());
+  for (SetId id = 0; id < sets.size(); ++id) {
+    ASSERT_EQ(loaded->set_size(id), sets.set_size(id));
+    EXPECT_TRUE(std::equal(loaded->set(id).begin(), loaded->set(id).end(),
+                           sets.set(id).begin()));
+  }
+}
+
+TEST_F(LoaderTest, MissingFileIsIOError) {
+  auto strings = LoadStrings(Path("nope.txt"));
+  EXPECT_FALSE(strings.ok());
+  EXPECT_EQ(strings.status().code(), StatusCode::kIOError);
+  auto sets = LoadSets(Path("nope.txt"));
+  EXPECT_FALSE(sets.ok());
+}
+
+TEST_F(LoaderTest, NonNumericSetFileIsInvalidArgument) {
+  ASSERT_TRUE(SaveStrings(Path("bad.txt"), {"1 2 x"}).ok());
+  auto sets = LoadSets(Path("bad.txt"));
+  ASSERT_FALSE(sets.ok());
+  EXPECT_EQ(sets.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoaderTest, CarriageReturnsStripped) {
+  ASSERT_TRUE(SaveStrings(Path("crlf.txt"), {"abc\r", "def"}).ok());
+  auto loaded = LoadStrings(Path("crlf.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0], "abc");
+}
+
+}  // namespace
+}  // namespace ssjoin

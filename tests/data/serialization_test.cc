@@ -1,0 +1,107 @@
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.h"
+
+namespace ssjoin {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ssjoin_serialization_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+void ExpectEqualCollections(const SetCollection& a, const SetCollection& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (SetId id = 0; id < a.size(); ++id) {
+    ASSERT_EQ(a.set_size(id), b.set_size(id)) << "set " << id;
+    EXPECT_TRUE(std::equal(a.set(id).begin(), a.set(id).end(),
+                           b.set(id).begin()))
+        << "set " << id;
+  }
+}
+
+TEST_F(SerializationTest, RoundTripSmall) {
+  SetCollection original =
+      SetCollection::FromVectors({{3, 1, 2}, {}, {42}, {7, 8}});
+  ASSERT_TRUE(SaveSetsBinary(Path("c.bin"), original).ok());
+  auto loaded = LoadSetsBinary(Path("c.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualCollections(original, *loaded);
+}
+
+TEST_F(SerializationTest, RoundTripGenerated) {
+  UniformSetOptions options;
+  options.num_sets = 500;
+  SetCollection original = GenerateUniformSets(options);
+  ASSERT_TRUE(SaveSetsBinary(Path("g.bin"), original).ok());
+  auto loaded = LoadSetsBinary(Path("g.bin"));
+  ASSERT_TRUE(loaded.ok());
+  ExpectEqualCollections(original, *loaded);
+}
+
+TEST_F(SerializationTest, EmptyCollection) {
+  SetCollection empty;
+  ASSERT_TRUE(SaveSetsBinary(Path("e.bin"), empty).ok());
+  auto loaded = LoadSetsBinary(Path("e.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(SerializationTest, MissingFile) {
+  auto loaded = LoadSetsBinary(Path("missing.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SerializationTest, BadMagicRejected) {
+  std::ofstream out(Path("bad.bin"), std::ios::binary);
+  out << "NOPE and some trailing bytes to look like content";
+  out.close();
+  auto loaded = LoadSetsBinary(Path("bad.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, TruncationRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}, {4, 5}});
+  ASSERT_TRUE(SaveSetsBinary(Path("t.bin"), original).ok());
+  // Truncate the file in the element region.
+  auto size = std::filesystem::file_size(Path("t.bin"));
+  std::filesystem::resize_file(Path("t.bin"), size - 6);
+  auto loaded = LoadSetsBinary(Path("t.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, CorruptedOrderRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}});
+  ASSERT_TRUE(SaveSetsBinary(Path("o.bin"), original).ok());
+  // Flip the element payload (last 12 bytes) to a descending sequence.
+  std::fstream f(Path("o.bin"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-12, std::ios::end);
+  uint32_t bad[3] = {9, 5, 1};
+  f.write(reinterpret_cast<const char*>(bad), sizeof(bad));
+  f.close();
+  auto loaded = LoadSetsBinary(Path("o.bin"));
+  ASSERT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,50 @@
+#include "relational/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace ssjoin::relational {
+namespace {
+
+Table OneRowTable() {
+  Table t(Schema{{"x", ValueType::kInt64}});
+  t.AppendUnchecked({Value(int64_t{1})});
+  return t;
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.Create("t", OneRowTable()).ok());
+  const Table* t = catalog.Get("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(catalog.Get("missing"), nullptr);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, CreateDuplicateFails) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.Create("t", OneRowTable()).ok());
+  Status s = catalog.Create("t", OneRowTable());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, CreateOrReplace) {
+  Catalog catalog;
+  catalog.CreateOrReplace("t", OneRowTable());
+  Table two(Schema{{"x", ValueType::kInt64}});
+  two.AppendUnchecked({Value(int64_t{1})});
+  two.AppendUnchecked({Value(int64_t{2})});
+  catalog.CreateOrReplace("t", std::move(two));
+  EXPECT_EQ(catalog.Get("t")->num_rows(), 2u);
+}
+
+TEST(CatalogTest, Drop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Create("t", OneRowTable()).ok());
+  EXPECT_TRUE(catalog.Drop("t").ok());
+  EXPECT_EQ(catalog.Get("t"), nullptr);
+  EXPECT_EQ(catalog.Drop("t").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ssjoin::relational

@@ -1,0 +1,76 @@
+#include "relational/index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ssjoin::relational {
+namespace {
+
+Table SortedKeyTable(const std::vector<int64_t>& keys) {
+  Table t(Schema{{"id", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  for (size_t i = 0; i < keys.size(); ++i) {
+    t.AppendUnchecked({keys[i], static_cast<int64_t>(i)});
+  }
+  return t;
+}
+
+TEST(ClusteredIndexTest, EqualRangeBasics) {
+  Table t = SortedKeyTable({1, 1, 1, 3, 3, 7});
+  auto index = ClusteredIndex::Build(&t, "id");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->EqualRange(1), (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(index->EqualRange(3), (std::pair<size_t, size_t>{3, 5}));
+  EXPECT_EQ(index->EqualRange(7), (std::pair<size_t, size_t>{5, 6}));
+  // Absent keys: empty range at the insertion point.
+  auto [lo, hi] = index->EqualRange(2);
+  EXPECT_EQ(lo, hi);
+  EXPECT_EQ(index->EqualRange(0).second, 0u);
+  EXPECT_EQ(index->EqualRange(100).first, 6u);
+}
+
+TEST(ClusteredIndexTest, EmptyTable) {
+  Table t = SortedKeyTable({});
+  auto index = ClusteredIndex::Build(&t, "id");
+  ASSERT_TRUE(index.ok());
+  auto [lo, hi] = index->EqualRange(5);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST(ClusteredIndexTest, RejectsUnsortedTable) {
+  Table t = SortedKeyTable({3, 1, 2});
+  EXPECT_FALSE(ClusteredIndex::Build(&t, "id").ok());
+}
+
+TEST(ClusteredIndexTest, RejectsBadColumn) {
+  Table t = SortedKeyTable({1, 2});
+  EXPECT_FALSE(ClusteredIndex::Build(&t, "missing").ok());
+  EXPECT_FALSE(ClusteredIndex::Build(nullptr, "id").ok());
+  Table s(Schema{{"name", ValueType::kString}});
+  s.AppendUnchecked({std::string("a")});
+  EXPECT_FALSE(ClusteredIndex::Build(&s, "name").ok());
+}
+
+TEST(ClusteredIndexTest, RandomizedAgainstLinearScan) {
+  Rng rng(71);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(static_cast<int64_t>(rng.Uniform(60)));
+  }
+  std::sort(keys.begin(), keys.end());
+  Table t = SortedKeyTable(keys);
+  auto index = ClusteredIndex::Build(&t, "id");
+  ASSERT_TRUE(index.ok());
+  for (int64_t key = -1; key <= 61; ++key) {
+    auto [lo, hi] = index->EqualRange(key);
+    size_t expect_lo = 0;
+    while (expect_lo < keys.size() && keys[expect_lo] < key) ++expect_lo;
+    size_t expect_hi = expect_lo;
+    while (expect_hi < keys.size() && keys[expect_hi] == key) ++expect_hi;
+    EXPECT_EQ(lo, expect_lo) << key;
+    EXPECT_EQ(hi, expect_hi) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::relational

@@ -1,0 +1,146 @@
+#include "relational/query.h"
+
+#include <gtest/gtest.h>
+
+namespace ssjoin::relational {
+namespace {
+
+Table Orders() {
+  Table t(Schema{{"customer", ValueType::kInt64},
+                 {"amount", ValueType::kInt64},
+                 {"rating", ValueType::kDouble}});
+  t.AppendUnchecked({int64_t{1}, int64_t{10}, 4.0});
+  t.AppendUnchecked({int64_t{1}, int64_t{30}, 2.0});
+  t.AppendUnchecked({int64_t{2}, int64_t{20}, 5.0});
+  t.AppendUnchecked({int64_t{2}, int64_t{5}, 3.0});
+  t.AppendUnchecked({int64_t{3}, int64_t{7}, 1.0});
+  return t;
+}
+
+Table Customers() {
+  Table t(Schema{{"id", ValueType::kInt64},
+                 {"name", ValueType::kString}});
+  t.AppendUnchecked({int64_t{1}, std::string("ann")});
+  t.AppendUnchecked({int64_t{2}, std::string("bob")});
+  t.AppendUnchecked({int64_t{3}, std::string("cal")});
+  return t;
+}
+
+TEST(GroupByAggregateTest, SumMinMaxAvgCount) {
+  auto result = GroupByAggregate(
+      Orders(), {"customer"},
+      {Aggregate{AggOp::kCount, "", "n"},
+       Aggregate{AggOp::kSum, "amount", "total"},
+       Aggregate{AggOp::kMin, "amount", "lo"},
+       Aggregate{AggOp::kMax, "amount", "hi"},
+       Aggregate{AggOp::kAvg, "rating", "avg_rating"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 3u);
+  for (size_t i = 0; i < result->num_rows(); ++i) {
+    const Row& row = result->row(i);
+    int64_t customer = GetInt64(row, 0);
+    if (customer == 1) {
+      EXPECT_EQ(GetInt64(row, 1), 2);   // n
+      EXPECT_EQ(GetInt64(row, 2), 40);  // total
+      EXPECT_EQ(GetInt64(row, 3), 10);  // lo
+      EXPECT_EQ(GetInt64(row, 4), 30);  // hi
+      EXPECT_DOUBLE_EQ(GetDouble(row, 5), 3.0);
+    } else if (customer == 3) {
+      EXPECT_EQ(GetInt64(row, 1), 1);
+      EXPECT_EQ(GetInt64(row, 2), 7);
+    }
+  }
+}
+
+TEST(GroupByAggregateTest, SumOverStringFails) {
+  auto result = GroupByAggregate(
+      Customers(), {"id"}, {Aggregate{AggOp::kSum, "name", "x"}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GroupByAggregateTest, MinMaxOverStrings) {
+  Table t = Customers();
+  auto result = GroupByAggregate(
+      t, {}, {Aggregate{AggOp::kMin, "name", "first"},
+              Aggregate{AggOp::kMax, "name", "last"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(GetString(result->row(0), 0), "ann");
+  EXPECT_EQ(GetString(result->row(0), 1), "cal");
+}
+
+TEST(OrderByTest, AscendingAndDescending) {
+  auto asc = OrderBy(Orders(), {"amount"});
+  ASSERT_TRUE(asc.ok());
+  EXPECT_EQ(GetInt64(asc->row(0), 1), 5);
+  EXPECT_EQ(GetInt64(asc->row(4), 1), 30);
+  auto desc = OrderBy(Orders(), {"-amount"});
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(GetInt64(desc->row(0), 1), 30);
+}
+
+TEST(OrderByTest, MultiKeyStable) {
+  auto result = OrderBy(Orders(), {"customer", "-amount"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(GetInt64(result->row(0), 0), 1);
+  EXPECT_EQ(GetInt64(result->row(0), 1), 30);
+  EXPECT_EQ(GetInt64(result->row(1), 1), 10);
+}
+
+TEST(OrderByTest, UnknownColumnFails) {
+  EXPECT_FALSE(OrderBy(Orders(), {"nope"}).ok());
+}
+
+TEST(LimitTest, Truncates) {
+  EXPECT_EQ(Limit(Orders(), 2).num_rows(), 2u);
+  EXPECT_EQ(Limit(Orders(), 100).num_rows(), 5u);
+  EXPECT_EQ(Limit(Orders(), 0).num_rows(), 0u);
+}
+
+TEST(QueryTest, FullPipeline) {
+  // Top spender: join orders with customers, sum per customer, order by
+  // total descending, take one.
+  auto result = Query::From(Orders())
+                    .Join(Customers(), {"customer"}, {"id"}, "o.", "c.")
+                    .GroupBy({"c.name"},
+                             {Aggregate{AggOp::kSum, "o.amount", "total"}})
+                    .OrderBy({"-total"})
+                    .Limit(1)
+                    .Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(GetString(result->row(0), 0), "ann");
+  EXPECT_EQ(GetInt64(result->row(0), 1), 40);
+}
+
+TEST(QueryTest, WhereAndSelect) {
+  auto result = Query::From(Orders())
+                    .Where([](const Row& row) {
+                      return GetInt64(row, 1) >= 10;
+                    })
+                    .Select({"amount"})
+                    .Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->schema().num_columns(), 1u);
+}
+
+TEST(QueryTest, ErrorPoisonsChain) {
+  auto result = Query::From(Orders())
+                    .Select({"missing_column"})
+                    .OrderBy({"amount"})  // must not crash on poisoned state
+                    .Limit(1)
+                    .Run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTest, SelectDistinct) {
+  auto result =
+      Query::From(Orders()).SelectDistinct({"customer"}).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace ssjoin::relational

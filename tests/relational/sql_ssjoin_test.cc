@@ -1,0 +1,102 @@
+#include "relational/sql_ssjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/nested_loop.h"
+#include "core/partenum_jaccard.h"
+#include "text/qgram.h"
+#include "util/random.h"
+
+namespace ssjoin::relational {
+namespace {
+
+TEST(DbmsSelfJoinTest, MatchesBruteForce) {
+  Rng rng(404);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < 80; ++i) {
+    sets.push_back(SampleWithoutReplacement(150, 3 + rng.Uniform(12), rng));
+  }
+  for (int i = 0; i < 30; ++i) {
+    std::vector<ElementId> dup = sets[rng.Uniform(80)];
+    if (dup.size() > 3 && rng.Bernoulli(0.5)) dup.pop_back();
+    sets.push_back(dup);
+  }
+  SetCollection input = SetCollection::FromVectors(sets);
+
+  PartEnumJaccardParams params;
+  params.gamma = 0.8;
+  params.max_set_size = input.max_set_size();
+  auto scheme = PartEnumJaccardScheme::Create(params);
+  ASSERT_TRUE(scheme.ok());
+  JaccardPredicate predicate(0.8);
+
+  auto result = DbmsSelfJoin(input, *scheme, predicate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs, NestedLoopSelfJoin(input, predicate));
+  EXPECT_GT(result->pairs.size(), 0u);
+  EXPECT_EQ(result->output.num_rows(), result->pairs.size());
+}
+
+TEST(DbmsSelfJoinTest, ClusteredIndexPlanAgreesWithHashJoinPlan) {
+  Rng rng(505);
+  std::vector<std::vector<ElementId>> sets;
+  for (int i = 0; i < 100; ++i) {
+    sets.push_back(SampleWithoutReplacement(120, 3 + rng.Uniform(10), rng));
+  }
+  for (int i = 0; i < 30; ++i) sets.push_back(sets[rng.Uniform(100)]);
+  SetCollection input = SetCollection::FromVectors(sets);
+
+  PartEnumJaccardParams params;
+  params.gamma = 0.85;
+  params.max_set_size = input.max_set_size();
+  auto scheme = PartEnumJaccardScheme::Create(params);
+  ASSERT_TRUE(scheme.ok());
+  JaccardPredicate predicate(0.85);
+
+  auto hash_plan =
+      DbmsSelfJoin(input, *scheme, predicate, IntersectPlan::kHashJoin);
+  auto index_plan = DbmsSelfJoin(input, *scheme, predicate,
+                                 IntersectPlan::kClusteredIndex);
+  ASSERT_TRUE(hash_plan.ok());
+  ASSERT_TRUE(index_plan.ok());
+  EXPECT_EQ(hash_plan->pairs, index_plan->pairs);
+  EXPECT_EQ(hash_plan->stats.results, index_plan->stats.results);
+  EXPECT_EQ(hash_plan->stats.candidates, index_plan->stats.candidates);
+  EXPECT_EQ(hash_plan->pairs, NestedLoopSelfJoin(input, predicate));
+  EXPECT_GT(hash_plan->pairs.size(), 0u);
+}
+
+TEST(DbmsSelfJoinTest, StatsArePopulated) {
+  SetCollection input = SetCollection::FromVectors(
+      {{1, 2, 3}, {1, 2, 3}, {4, 5, 6}});
+  PartEnumJaccardParams params;
+  params.gamma = 0.9;
+  params.max_set_size = 3;
+  auto scheme = PartEnumJaccardScheme::Create(params);
+  ASSERT_TRUE(scheme.ok());
+  JaccardPredicate predicate(0.9);
+  auto result = DbmsSelfJoin(input, *scheme, predicate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.signatures_r, 0u);
+  EXPECT_GE(result->stats.candidates, 1u);
+  EXPECT_EQ(result->stats.results, 1u);  // the duplicate pair
+}
+
+TEST(DbmsStringEditJoinTest, MatchesDirectJoin) {
+  std::vector<std::string> strings = {"washington", "woshington",
+                                      "wash1ngton", "seattle", "seattle",
+                                      "tacoma"};
+  uint32_t k = 1, q = 1;
+  // PartEnum over unigram bags with hamming threshold 2qk.
+  PartEnumParams pe = PartEnumParams::Default(2 * q * k);
+  auto scheme = PartEnumScheme::Create(pe);
+  ASSERT_TRUE(scheme.ok());
+
+  auto result = DbmsStringEditSelfJoin(strings, k, q, *scheme);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs,
+            (std::vector<SetPair>{{0, 1}, {0, 2}, {3, 4}}));
+}
+
+}  // namespace
+}  // namespace ssjoin::relational

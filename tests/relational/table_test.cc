@@ -1,0 +1,79 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ssjoin::relational {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema{{"id", ValueType::kInt64}, {"name", ValueType::kString}};
+}
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(Value(int64_t{1})), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(Value(1.5)), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value(std::string("x"))), ValueType::kString);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ToString(Value(std::string("abc"))), "abc");
+}
+
+TEST(ValueTest, HashDistinguishes) {
+  EXPECT_NE(HashValue(Value(int64_t{1})), HashValue(Value(int64_t{2})));
+  EXPECT_EQ(HashValue(Value(std::string("a"))),
+            HashValue(Value(std::string("a"))));
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_EQ(schema.IndexOf("id"), 0);
+  EXPECT_EQ(schema.IndexOf("name"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+  EXPECT_EQ(schema.num_columns(), 2u);
+}
+
+TEST(SchemaTest, ConcatWithPrefixes) {
+  Schema joined = Schema::Concat(TwoColumnSchema(), TwoColumnSchema(),
+                                 "l.", "r.");
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.IndexOf("l.id"), 0);
+  EXPECT_EQ(joined.IndexOf("r.name"), 3);
+}
+
+TEST(TableTest, AppendValidates) {
+  Table t(TwoColumnSchema());
+  EXPECT_TRUE(t.Append({int64_t{1}, std::string("a")}).ok());
+  EXPECT_FALSE(t.Append({int64_t{1}}).ok());                    // arity
+  EXPECT_FALSE(t.Append({std::string("a"), int64_t{1}}).ok());  // types
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, Accessors) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.Append({int64_t{7}, std::string("x")}).ok());
+  EXPECT_EQ(GetInt64(t.row(0), 0), 7);
+  EXPECT_EQ(GetString(t.row(0), 1), "x");
+}
+
+TEST(TableTest, SortBy) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.Append({int64_t{3}, std::string("c")}).ok());
+  ASSERT_TRUE(t.Append({int64_t{1}, std::string("a")}).ok());
+  ASSERT_TRUE(t.Append({int64_t{2}, std::string("b")}).ok());
+  t.SortBy({0});
+  EXPECT_EQ(GetInt64(t.row(0), 0), 1);
+  EXPECT_EQ(GetInt64(t.row(2), 0), 3);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t(Schema{{"x", ValueType::kInt64}});
+  for (int64_t i = 0; i < 100; ++i) t.AppendUnchecked({Value(i)});
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("rows=100"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssjoin::relational

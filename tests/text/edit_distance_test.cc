@@ -1,0 +1,97 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("washington", "woshington"), 1u);
+  EXPECT_EQ(EditDistance("148th Ave", "147th Ave"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("sunday", "saturday"),
+            EditDistance("saturday", "sunday"));
+}
+
+TEST(BoundedEditDistanceTest, ExactWithinThreshold) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+}
+
+TEST(BoundedEditDistanceTest, ExceedsThreshold) {
+  EXPECT_GT(BoundedEditDistance("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedEditDistance("abc", "xyz", 2), 2u);
+  EXPECT_GT(BoundedEditDistance("", "abcdef", 3), 3u);
+}
+
+TEST(WithinEditDistanceTest, Basic) {
+  EXPECT_TRUE(WithinEditDistance("kitten", "sitting", 3));
+  EXPECT_FALSE(WithinEditDistance("kitten", "sitting", 2));
+  EXPECT_TRUE(WithinEditDistance("", "", 0));
+  EXPECT_TRUE(WithinEditDistance("a", "", 1));
+  EXPECT_FALSE(WithinEditDistance("ab", "", 1));
+}
+
+TEST(BoundedEditDistanceTest, LengthDifferenceShortCircuit) {
+  // |len difference| > k must fail without scanning.
+  std::string longstr(10000, 'a');
+  EXPECT_GT(BoundedEditDistance(longstr, "aa", 3), 3u);
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithFullDPOnRandomStrings) {
+  Rng rng(55);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a, b;
+    uint32_t la = rng.Uniform(15);
+    uint32_t lb = rng.Uniform(15);
+    for (uint32_t i = 0; i < la; ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    for (uint32_t i = 0; i < lb; ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    uint32_t exact = EditDistance(a, b);
+    for (uint32_t k = 0; k <= 6; ++k) {
+      if (exact <= k) {
+        EXPECT_EQ(BoundedEditDistance(a, b, k), exact)
+            << "a=" << a << " b=" << b << " k=" << k;
+      } else {
+        EXPECT_GT(BoundedEditDistance(a, b, k), k)
+            << "a=" << a << " b=" << b << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnRandomStrings) {
+  Rng rng(56);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      uint32_t len = rng.Uniform(12);
+      for (uint32_t i = 0; i < len; ++i) {
+        str.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+    }
+    uint32_t ab = EditDistance(s[0], s[1]);
+    uint32_t bc = EditDistance(s[1], s[2]);
+    uint32_t ac = EditDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,73 @@
+#include "text/idf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssjoin {
+namespace {
+
+SetCollection MakeCollection() {
+  // Element 1 in all 4 sets, element 2 in 2 sets, element 3 in 1 set.
+  return SetCollection::FromVectors({{1, 2, 3}, {1, 2}, {1}, {1}});
+}
+
+TEST(IdfTest, DocumentFrequencies) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  EXPECT_EQ(idf.num_documents(), 4u);
+  EXPECT_EQ(idf.DocumentFrequency(1), 4u);
+  EXPECT_EQ(idf.DocumentFrequency(2), 2u);
+  EXPECT_EQ(idf.DocumentFrequency(3), 1u);
+  EXPECT_EQ(idf.DocumentFrequency(99), 0u);
+}
+
+TEST(IdfTest, WeightsAreLogNOverDf) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  EXPECT_NEAR(idf.Weight(1), std::log(4.0 / 4.0), 1e-12);
+  EXPECT_NEAR(idf.Weight(2), std::log(4.0 / 2.0), 1e-12);
+  EXPECT_NEAR(idf.Weight(3), std::log(4.0 / 1.0), 1e-12);
+}
+
+TEST(IdfTest, UnseenElementsAreRarest) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  EXPECT_GT(idf.Weight(99), idf.Weight(3));
+}
+
+TEST(IdfTest, RarerMeansHeavier) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  EXPECT_GT(idf.Weight(3), idf.Weight(2));
+  EXPECT_GT(idf.Weight(2), idf.Weight(1));
+}
+
+TEST(IdfTest, BinaryJoinCombinesBothSides) {
+  SetCollection r = SetCollection::FromVectors({{1}, {1, 2}});
+  SetCollection s = SetCollection::FromVectors({{2}, {3}});
+  IdfWeights idf = IdfWeights::Compute(r, s);
+  EXPECT_EQ(idf.num_documents(), 4u);
+  EXPECT_EQ(idf.DocumentFrequency(1), 2u);
+  EXPECT_EQ(idf.DocumentFrequency(2), 2u);
+  EXPECT_EQ(idf.DocumentFrequency(3), 1u);
+}
+
+TEST(IdfTest, DefaultPruningThreshold) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  EXPECT_NEAR(idf.DefaultPruningThreshold(), std::log(4.0), 1e-12);
+}
+
+TEST(IdfTest, SortByRarity) {
+  IdfWeights idf = IdfWeights::Compute(MakeCollection());
+  std::vector<ElementId> elements = {1, 2, 3};
+  SortByRarity(idf, &elements);
+  EXPECT_EQ(elements, (std::vector<ElementId>{3, 2, 1}));
+}
+
+TEST(IdfTest, SortByRarityTieBreaksById) {
+  SetCollection sets = SetCollection::FromVectors({{5, 7}, {5, 7}});
+  IdfWeights idf = IdfWeights::Compute(sets);
+  std::vector<ElementId> elements = {7, 5};
+  SortByRarity(idf, &elements);
+  EXPECT_EQ(elements, (std::vector<ElementId>{5, 7}));
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,44 @@
+# End-to-end smoke test of the ssjoin CLI, driven by ctest:
+#   1. generate an address dataset;
+#   2. run the exact jaccard join with PartEnum and with Pair-Count;
+#   3. require byte-identical output (both are exact);
+#   4. run the edit-distance join and require non-empty output.
+# Usage: cmake -DSSJOIN_CLI=<binary> -DWORK_DIR=<dir> -P this_file
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(DATA "${WORK_DIR}/addr.txt")
+set(OUT_PEN "${WORK_DIR}/pen.tsv")
+set(OUT_PC "${WORK_DIR}/paircount.tsv")
+set(OUT_EDIT "${WORK_DIR}/edit.tsv")
+
+function(run_cli)
+  execute_process(COMMAND "${SSJOIN_CLI}" ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ssjoin ${ARGN} failed with ${rc}")
+  endif()
+endfunction()
+
+run_cli(generate --kind address --n 800 --dup-fraction 0.2 --out "${DATA}")
+run_cli(jaccard --input "${DATA}" --gamma 0.8 --algo pen --out "${OUT_PEN}")
+run_cli(jaccard --input "${DATA}" --gamma 0.8 --algo paircount
+        --out "${OUT_PC}")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_PEN}"
+                        "${OUT_PC}" RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "PartEnum and Pair-Count outputs differ")
+endif()
+
+file(SIZE "${OUT_PEN}" pen_size)
+if(pen_size EQUAL 0)
+  message(FATAL_ERROR "jaccard join produced no pairs (vacuous test)")
+endif()
+
+run_cli(edit --input "${DATA}" --k 2 --out "${OUT_EDIT}")
+file(SIZE "${OUT_EDIT}" edit_size)
+if(edit_size EQUAL 0)
+  message(FATAL_ERROR "edit join produced no pairs (vacuous test)")
+endif()
+
+message(STATUS "cli_end_to_end passed")

@@ -1,0 +1,76 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssjoin::tools {
+namespace {
+
+Flags MustParse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto parsed = Flags::Parse(static_cast<int>(args.size()),
+                             const_cast<char**>(args.data()));
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+TEST(FlagsTest, PositionalAndFlags) {
+  Flags flags = MustParse({"jaccard", "--gamma", "0.9", "--out=x.tsv"});
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "jaccard");
+  EXPECT_EQ(*flags.GetDouble("gamma", 0), 0.9);
+  EXPECT_EQ(*flags.GetString("out", ""), "x.tsv");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = MustParse({"cmd"});
+  EXPECT_EQ(*flags.GetInt("n", 42), 42);
+  EXPECT_EQ(*flags.GetDouble("gamma", 0.5), 0.5);
+  EXPECT_EQ(*flags.GetString("out", "def"), "def");
+  EXPECT_FALSE(*flags.GetBool("time", false));
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  Flags flags = MustParse({"cmd", "--time", "--verbose", "false"});
+  EXPECT_TRUE(*flags.GetBool("time", false));
+  EXPECT_FALSE(*flags.GetBool("verbose", true));
+}
+
+TEST(FlagsTest, TrailingSwitch) {
+  Flags flags = MustParse({"cmd", "--n", "7", "--time"});
+  EXPECT_EQ(*flags.GetInt("n", 0), 7);
+  EXPECT_TRUE(*flags.GetBool("time", false));
+}
+
+TEST(FlagsTest, MalformedValues) {
+  Flags flags = MustParse({"cmd", "--n", "seven", "--g", "x", "--b", "maybe"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("g", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, CheckUnusedCatchesTypos) {
+  Flags flags = MustParse({"cmd", "--gama", "0.9"});
+  EXPECT_FALSE(flags.CheckUnused().ok());
+  Flags used = MustParse({"cmd", "--gamma", "0.9"});
+  EXPECT_TRUE(used.GetDouble("gamma", 0).ok());
+  EXPECT_TRUE(used.CheckUnused().ok());
+}
+
+TEST(FlagsTest, HasMarksUsed) {
+  Flags flags = MustParse({"cmd", "--opt", "1"});
+  EXPECT_TRUE(flags.Has("opt"));
+  EXPECT_TRUE(flags.CheckUnused().ok());
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  std::vector<const char*> args = {"prog", "--"};
+  auto parsed =
+      Flags::Parse(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+  EXPECT_FALSE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace ssjoin::tools

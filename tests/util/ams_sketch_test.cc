@@ -1,0 +1,101 @@
+#include "util/ams_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(ExactF2Test, HandComputed) {
+  // Frequencies: 3 of value 1, 2 of value 2, 1 of value 3 => 9+4+1 = 14.
+  std::vector<uint64_t> items = {1, 1, 1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(ExactF2(items), 14.0);
+}
+
+TEST(ExactF2Test, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(ExactF2({}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactF2({42}), 1.0);
+}
+
+TEST(ExactF2Test, AllDistinctEqualsCount) {
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 100; ++i) items.push_back(i);
+  EXPECT_DOUBLE_EQ(ExactF2(items), 100.0);
+}
+
+TEST(AmsSketchTest, TracksItemCount) {
+  AmsSketch sketch;
+  sketch.Add(1);
+  sketch.AddWithCount(2, 5);
+  EXPECT_EQ(sketch.item_count(), 6);
+}
+
+TEST(AmsSketchTest, EstimateWithinToleranceOnSkewedStream) {
+  // Zipf-ish stream: heavy hitters dominate F2, which the sketch captures
+  // well. Median-of-means with width 32, depth 7 => ~25% typical error.
+  Rng rng(71);
+  std::vector<uint64_t> items;
+  for (int i = 0; i < 20000; ++i) {
+    // value v in [0, 100) with frequency skew.
+    uint32_t v = rng.Uniform(rng.Uniform(99) + 1);
+    items.push_back(v);
+  }
+  AmsSketch sketch(32, 7, 1234);
+  for (uint64_t item : items) sketch.Add(item);
+  double exact = ExactF2(items);
+  double estimate = sketch.Estimate();
+  EXPECT_GT(estimate, exact * 0.6);
+  EXPECT_LT(estimate, exact * 1.4);
+}
+
+TEST(AmsSketchTest, EstimateWithinToleranceOnUniformStream) {
+  Rng rng(72);
+  std::vector<uint64_t> items;
+  for (int i = 0; i < 20000; ++i) items.push_back(rng.Uniform(500));
+  AmsSketch sketch(32, 7, 99);
+  for (uint64_t item : items) sketch.Add(item);
+  double exact = ExactF2(items);
+  double estimate = sketch.Estimate();
+  EXPECT_GT(estimate, exact * 0.6);
+  EXPECT_LT(estimate, exact * 1.4);
+}
+
+TEST(AmsSketchTest, AddWithCountEquivalentToRepeatedAdd) {
+  AmsSketch a(8, 3, 5), b(8, 3, 5);
+  a.AddWithCount(77, 4);
+  for (int i = 0; i < 4; ++i) b.Add(77);
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(AmsSketchTest, SingleHeavyItemExact) {
+  // One distinct value: every +/-1 estimator sees (+-count)^2 = count^2,
+  // so the estimate is exact.
+  AmsSketch sketch(4, 3, 7);
+  sketch.AddWithCount(5, 100);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 10000.0);
+}
+
+TEST(AmsSketchTest, WiderSketchReducesError) {
+  Rng rng(73);
+  std::vector<uint64_t> items;
+  for (int i = 0; i < 5000; ++i) items.push_back(rng.Uniform(200));
+  double exact = ExactF2(items);
+
+  double narrow_err_sum = 0, wide_err_sum = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    AmsSketch narrow(2, 3, seed), wide(64, 7, seed);
+    for (uint64_t item : items) {
+      narrow.Add(item);
+      wide.Add(item);
+    }
+    narrow_err_sum += std::abs(narrow.Estimate() - exact) / exact;
+    wide_err_sum += std::abs(wide.Estimate() - exact) / exact;
+  }
+  EXPECT_LT(wide_err_sum, narrow_err_sum);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,107 @@
+#include "util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector v(130);
+  EXPECT_FALSE(v.Test(0));
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Clear(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, FromSet) {
+  std::vector<uint32_t> elements = {3, 70, 100};
+  BitVector v = BitVector::FromSet(elements, 128);
+  EXPECT_EQ(v.Count(), 3u);
+  EXPECT_TRUE(v.Test(3));
+  EXPECT_TRUE(v.Test(70));
+  EXPECT_TRUE(v.Test(100));
+}
+
+TEST(BitVectorTest, HammingDistancePaperExample) {
+  // Example 1: washington vs woshington 3-gram sets, Hd = 4. Encode the
+  // eight grams of each as small ids: shared = {shi,hin,ing,ngt,gto,ton},
+  // s1-only = {was,ash}, s2-only = {wos,osh}.
+  std::vector<uint32_t> s1 = {0, 1, 4, 5, 6, 7, 8, 9};  // was,ash + shared
+  std::vector<uint32_t> s2 = {2, 3, 4, 5, 6, 7, 8, 9};  // wos,osh + shared
+  BitVector v1 = BitVector::FromSet(s1, 16);
+  BitVector v2 = BitVector::FromSet(s2, 16);
+  EXPECT_EQ(BitVector::HammingDistance(v1, v2), 4u);
+  EXPECT_EQ(BitVector::IntersectionSize(v1, v2), 6u);
+  EXPECT_EQ(SparseHammingDistance(s1, s2), 4u);
+  EXPECT_EQ(SortedIntersectionSize(s1, s2), 6u);
+}
+
+TEST(BitVectorTest, HammingSelfIsZero) {
+  std::vector<uint32_t> s = {1, 5, 9};
+  BitVector v = BitVector::FromSet(s, 16);
+  EXPECT_EQ(BitVector::HammingDistance(v, v), 0u);
+  EXPECT_EQ(SparseHammingDistance(s, s), 0u);
+}
+
+TEST(SparseHammingTest, DisjointSets) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {4, 5};
+  EXPECT_EQ(SparseHammingDistance(a, b), 5u);
+  EXPECT_EQ(SortedIntersectionSize(a, b), 0u);
+}
+
+TEST(SparseHammingTest, EmptySets) {
+  std::vector<uint32_t> a = {};
+  std::vector<uint32_t> b = {4, 5};
+  EXPECT_EQ(SparseHammingDistance(a, b), 2u);
+  EXPECT_EQ(SparseHammingDistance(a, a), 0u);
+  EXPECT_EQ(SortedIntersectionSize(a, b), 0u);
+}
+
+TEST(SparseHammingTest, AgreesWithDenseOnRandomSets) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    constexpr uint32_t kDomain = 64;
+    std::vector<uint32_t> a =
+        SampleWithoutReplacement(kDomain, rng.Uniform(kDomain), rng);
+    std::vector<uint32_t> b =
+        SampleWithoutReplacement(kDomain, rng.Uniform(kDomain), rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    BitVector va = BitVector::FromSet(a, kDomain);
+    BitVector vb = BitVector::FromSet(b, kDomain);
+    EXPECT_EQ(SparseHammingDistance(a, b),
+              BitVector::HammingDistance(va, vb));
+    EXPECT_EQ(SortedIntersectionSize(a, b),
+              BitVector::IntersectionSize(va, vb));
+  }
+}
+
+TEST(SparseHammingTest, SymmetricDifferenceIdentity) {
+  // Hd(s1, s2) = |s1| + |s2| - 2|s1 ∩ s2| (Section 2.2).
+  Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint32_t> a = SampleWithoutReplacement(100, 30, rng);
+    std::vector<uint32_t> b = SampleWithoutReplacement(100, 20, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    uint32_t inter = SortedIntersectionSize(a, b);
+    EXPECT_EQ(SparseHammingDistance(a, b), a.size() + b.size() - 2 * inter);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

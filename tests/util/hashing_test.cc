@@ -1,0 +1,104 @@
+#include "util/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ssjoin {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    uint64_t a = Mix64(0x1234'5678'9abc'def0ULL);
+    uint64_t b = Mix64(0x1234'5678'9abc'def0ULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(SeededHashTest, DifferentSeedsDecorrelate) {
+  EXPECT_NE(SeededHash32(7, 1), SeededHash32(7, 2));
+  EXPECT_EQ(SeededHash32(7, 1), SeededHash32(7, 1));
+}
+
+TEST(SequenceHasherTest, OrderSensitive) {
+  SequenceHasher a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(2);
+  b.Add(1);
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(SequenceHasherTest, SeedSensitive) {
+  SequenceHasher a(1), b(2);
+  a.Add(7);
+  b.Add(7);
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(SequenceHasherTest, MatchesHashSpan) {
+  std::vector<uint32_t> values = {5, 9, 1, 1, 3};
+  SequenceHasher h(77);
+  h.AddSpan(values);
+  EXPECT_EQ(h.Finish(), HashSpan(values, 77));
+}
+
+TEST(SequenceHasherTest, BoundaryTagsDisambiguateGroupings) {
+  // The hasher is a fold over a flat stream, so ({1,2},{3}) and
+  // ({1},{2,3}) would collide without boundary markers; PartEnum inserts
+  // a tag before each partition's elements. Verify the tagged pattern
+  // separates the two groupings.
+  constexpr uint64_t kTag = 0xABCD;
+  SequenceHasher a;
+  a.Add(kTag ^ 0);
+  a.Add(1);
+  a.Add(2);
+  a.Add(kTag ^ 1);
+  a.Add(3);
+  SequenceHasher b;
+  b.Add(kTag ^ 0);
+  b.Add(1);
+  b.Add(kTag ^ 1);
+  b.Add(2);
+  b.Add(3);
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(HashStringTokenTest, DistinctTokensDistinctHashes) {
+  std::set<uint32_t> hashes;
+  const char* tokens[] = {"seattle", "tacoma", "portland", "147th",
+                          "148th",   "ave",    "st",       ""};
+  for (const char* t : tokens) hashes.insert(HashStringToken(t));
+  EXPECT_EQ(hashes.size(), 8u);
+}
+
+TEST(HashStringTokenTest, Deterministic) {
+  EXPECT_EQ(HashStringToken("main"), HashStringToken("main"));
+}
+
+TEST(NarrowHashTest, Narrows) {
+  uint64_t h = 0xffff'ffff'ffff'ffffULL;
+  EXPECT_EQ(NarrowHash(h, 64), h);
+  EXPECT_EQ(NarrowHash(h, 32), 0xffff'ffffULL);
+  EXPECT_EQ(NarrowHash(h, 1), 1ULL);
+}
+
+TEST(HashCombineTest, NotCommutative) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace ssjoin

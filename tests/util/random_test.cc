@@ -1,0 +1,136 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ssjoin {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next32(), b.Next32());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next32() == b.Next32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RandomPermutationTest, IsAPermutation) {
+  Rng rng(5);
+  std::vector<uint32_t> perm = RandomPermutation(100, rng);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RandomPermutationTest, NotIdentityForLargeN) {
+  Rng rng(5);
+  std::vector<uint32_t> perm = RandomPermutation(100, rng);
+  int fixed = 0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10);  // expected ~1 fixed point
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> sample = SampleWithoutReplacement(50, 20, rng);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<uint32_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 20u);
+    for (uint32_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullSample) {
+  Rng rng(17);
+  std::vector<uint32_t> sample = SampleWithoutReplacement(10, 10, rng);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacementTest, IsUnbiased) {
+  // Each of the 10 values should land in a 3-sample ~ 30% of the time.
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t v : SampleWithoutReplacement(10, 3, rng)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,89 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ssjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("y").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("z").message(), "z");
+  EXPECT_EQ(Status::Internal("w").ToString(), "Internal error: w");
+  EXPECT_EQ(Status::OutOfRange("o").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("n").code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r = Half(7);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Chain(int x) {
+  SSJOIN_ASSIGN_OR_RETURN(int h, Half(x));
+  SSJOIN_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Chain(20), 5);
+  EXPECT_FALSE(Chain(21).ok());
+  EXPECT_FALSE(Chain(10).ok());  // second Half gets 5, which is odd
+}
+
+Status Check(bool fail) {
+  SSJOIN_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Check(false).ok());
+  EXPECT_EQ(Check(true).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+}  // namespace
+}  // namespace ssjoin

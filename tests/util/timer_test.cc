@@ -1,0 +1,55 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ssjoin {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);
+  EXPECT_GE(watch.ElapsedMicros(), 15000);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(PhaseTimerTest, AccumulatesPerPhase) {
+  PhaseTimer timer;
+  timer.Add(kPhaseSigGen, 1.0);
+  timer.Add(kPhaseSigGen, 0.5);
+  timer.Add(kPhaseCandPair, 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds(kPhaseSigGen), 1.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds(kPhaseCandPair), 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds(kPhasePostFilter), 0.0);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 3.5);
+}
+
+TEST(PhaseTimerTest, ScopeMeasures) {
+  PhaseTimer timer;
+  {
+    auto scope = timer.Measure("work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  EXPECT_GE(timer.Seconds("work"), 0.010);
+}
+
+TEST(PhaseTimerTest, Reset) {
+  PhaseTimer timer;
+  timer.Add("x", 1.0);
+  timer.Reset();
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,57 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssjoin {
+namespace {
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint32_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0;
+  for (uint32_t k = 0; k < 100; ++k) sum += zipf.Probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityDecreasing) {
+  ZipfSampler zipf(50, 1.2);
+  for (uint32_t k = 1; k < 50; ++k) {
+    EXPECT_LE(zipf.Probability(k), zipf.Probability(k - 1));
+  }
+}
+
+TEST(ZipfTest, ClassicRatio) {
+  // theta = 1: P(0) / P(1) = 2.
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesMatchDistribution) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(31);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (uint32_t k = 0; k < 20; ++k) {
+    double expected = zipf.Probability(k);
+    double observed = counts[k] / static_cast<double>(kDraws);
+    EXPECT_NEAR(observed, expected, 0.01) << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler zipf(7, 2.0);
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace ssjoin

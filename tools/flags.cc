@@ -1,0 +1,97 @@
+#include "tools/flags.h"
+
+#include <charconv>
+
+namespace ssjoin::tools {
+
+Result<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" unless the next token is another flag or missing
+    // (then it is a boolean switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  used_[name] = true;
+  return values_.count(name) > 0;
+}
+
+Result<std::string> Flags::GetString(const std::string& name,
+                                     std::string fallback) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name, int64_t fallback) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  int64_t value = 0;
+  const std::string& s = it->second;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   s + "'");
+  }
+  return value;
+}
+
+Result<double> Flags::GetDouble(const std::string& name, double fallback) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  return Status::InvalidArgument("--" + name + " expects true/false, got '" +
+                                 it->second + "'");
+}
+
+Status Flags::CheckUnused() const {
+  for (const auto& [name, _] : values_) {
+    if (!used_.count(name)) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssjoin::tools

@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the ssjoin tools.
+//
+// Syntax: positional arguments plus --name value / --name=value flags.
+// No registration DSL — callers query by name with typed accessors and
+// call CheckUnused() to reject typos.
+
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssjoin::tools {
+
+class Flags {
+ public:
+  /// Parses argv[1..]. Flags start with "--"; everything else is
+  /// positional.
+  static Result<Flags> Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const;
+
+  /// Typed accessors; return `fallback` when the flag is absent and a
+  /// parse error Status when present but malformed.
+  Result<std::string> GetString(const std::string& name,
+                                std::string fallback);
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback);
+  Result<double> GetDouble(const std::string& name, double fallback);
+  Result<bool> GetBool(const std::string& name, bool fallback);
+
+  /// Error if any flag was never queried (catches typos like --gama).
+  Status CheckUnused() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace ssjoin::tools

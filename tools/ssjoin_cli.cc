@@ -1,0 +1,324 @@
+// ssjoin — command-line set-similarity joins.
+//
+// Subcommands:
+//   generate   synthesize a dataset (address / dblp strings, or sets)
+//   stats      print collection statistics for a dataset file
+//   jaccard    exact (or LSH) jaccard self-join
+//   edit       exact edit-distance string self-join
+//   weighted   weighted-jaccard (IDF) self-join
+//
+// Input formats: --format strings (one string per line, tokenized on
+// whitespace) or --format sets (one whitespace-separated list of integer
+// element ids per line). Output: one "id1<TAB>id2" pair per line
+// (0-based input line numbers) to --out (default stdout).
+//
+// Examples:
+//   ssjoin generate --kind address --n 100000 --out addr.txt
+//   ssjoin jaccard --input addr.txt --gamma 0.85 --algo pen --out pairs.tsv
+//   ssjoin edit --input addr.txt --k 2 --out dup.tsv
+//   ssjoin weighted --input addr.txt --gamma 0.8 --algo wen
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "baselines/lsh.h"
+#include "baselines/prefix_filter.h"
+#include "baselines/probe_count.h"
+#include "core/parameter_advisor.h"
+#include "core/partenum_jaccard.h"
+#include "core/ssjoin.h"
+#include "core/string_join.h"
+#include "core/wtenum.h"
+#include "data/generators.h"
+#include "data/loader.h"
+#include "data/serialization.h"
+#include "text/idf.h"
+#include "text/tokenizer.h"
+#include "tools/flags.h"
+
+namespace ssjoin::tools {
+namespace {
+
+constexpr const char* kUsage = R"(usage: ssjoin <command> [flags]
+
+commands:
+  generate --kind address|dblp|sets --n <count> --out <file>
+           [--seed <n>] [--dup-fraction <f>] [--typos <n>]
+           (a .bin extension with --kind sets writes the binary format)
+  stats    --input <file> [--format strings|sets|bin]
+  jaccard  --input <file> --gamma <g> [--algo pen|pf|lsh|probecount|paircount]
+           [--format strings|sets|bin] [--accuracy <f>] [--out <file>]
+           [--time]
+  edit     --input <file> --k <n> [--algo pen|pf] [--q <n>] [--out <file>]
+           [--time]
+  weighted --input <file> --gamma <g> [--algo wen|wpf|wlsh] [--out <file>]
+           [--time]
+)";
+
+Status WritePairs(const std::vector<SetPair>& pairs,
+                  const std::string& out_path) {
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) return Status::IOError("cannot open " + out_path);
+  }
+  for (const auto& [a, b] : pairs) {
+    std::fprintf(out, "%u\t%u\n", a, b);
+  }
+  if (out != stdout) std::fclose(out);
+  return Status::OK();
+}
+
+void MaybePrintStats(bool enabled, const JoinStats& stats) {
+  if (enabled) std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+}
+
+// Loads --input as a SetCollection per --format.
+Result<SetCollection> LoadInput(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(std::string input, flags.GetString("input", ""));
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  SSJOIN_ASSIGN_OR_RETURN(std::string format,
+                          flags.GetString("format", "strings"));
+  if (format == "sets") {
+    return LoadSets(input);
+  }
+  if (format == "bin") {
+    return LoadSetsBinary(input);
+  }
+  if (format == "strings") {
+    SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> strings,
+                            LoadStrings(input));
+    WordTokenizer tokenizer;
+    return tokenizer.TokenizeAll(strings);
+  }
+  return Status::InvalidArgument("--format must be strings, sets or bin");
+}
+
+Status RunGenerate(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(std::string kind,
+                          flags.GetString("kind", "address"));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t n, flags.GetInt("n", 10000));
+  SSJOIN_ASSIGN_OR_RETURN(std::string out, flags.GetString("out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+  SSJOIN_ASSIGN_OR_RETURN(double dup_fraction,
+                          flags.GetDouble("dup-fraction", 0.1));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t typos, flags.GetInt("typos", 3));
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+
+  if (kind == "address") {
+    AddressOptions options;
+    options.num_strings = static_cast<size_t>(n);
+    options.duplicate_fraction = dup_fraction;
+    options.max_typos = static_cast<uint32_t>(typos);
+    options.seed = static_cast<uint64_t>(seed);
+    return SaveStrings(out, GenerateAddressStrings(options));
+  }
+  if (kind == "dblp") {
+    DblpOptions options;
+    options.num_strings = static_cast<size_t>(n);
+    options.duplicate_fraction = dup_fraction;
+    options.max_typos = static_cast<uint32_t>(typos);
+    options.seed = static_cast<uint64_t>(seed);
+    return SaveStrings(out, GenerateDblpStrings(options));
+  }
+  if (kind == "sets") {
+    UniformSetOptions options;
+    options.num_sets = static_cast<size_t>(n);
+    options.similar_fraction = dup_fraction;
+    options.seed = static_cast<uint64_t>(seed);
+    SetCollection sets = GenerateUniformSets(options);
+    // .bin extension selects the fast binary format.
+    if (out.size() > 4 && out.substr(out.size() - 4) == ".bin") {
+      return SaveSetsBinary(out, sets);
+    }
+    return SaveSets(out, sets);
+  }
+  return Status::InvalidArgument("--kind must be address, dblp or sets");
+}
+
+Status RunStats(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(SetCollection input, LoadInput(flags));
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+  std::printf("%s\n", ToString(ComputeStats(input)).c_str());
+  return Status::OK();
+}
+
+Status RunJaccard(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(SetCollection input, LoadInput(flags));
+  SSJOIN_ASSIGN_OR_RETURN(double gamma, flags.GetDouble("gamma", 0.9));
+  SSJOIN_ASSIGN_OR_RETURN(std::string algo, flags.GetString("algo", "pen"));
+  SSJOIN_ASSIGN_OR_RETURN(std::string out, flags.GetString("out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(double accuracy,
+                          flags.GetDouble("accuracy", 0.95));
+  SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+  if (gamma <= 0 || gamma > 1) {
+    return Status::InvalidArgument("--gamma must be in (0, 1]");
+  }
+
+  JaccardPredicate predicate(gamma);
+  JoinResult result;
+  if (algo == "pen") {
+    PartEnumJaccardParams params;
+    params.gamma = gamma;
+    params.max_set_size = input.max_set_size();
+    auto scheme = PartEnumJaccardScheme::Create(params);
+    if (!scheme.ok()) return scheme.status();
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else if (algo == "pf") {
+    auto pred = std::make_shared<JaccardPredicate>(gamma);
+    auto scheme = PrefixFilterScheme::Create(pred, input);
+    if (!scheme.ok()) return scheme.status();
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else if (algo == "lsh") {
+    auto choice = ChooseLshParams(input, gamma, 1.0 - accuracy, 6);
+    LshParams params =
+        choice.ok() ? choice->params
+                    : LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
+    auto scheme = LshScheme::Create(params);
+    if (!scheme.ok()) return scheme.status();
+    std::fprintf(stderr,
+                 "note: LSH is approximate (configured recall %.0f%%)\n",
+                 accuracy * 100);
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else if (algo == "probecount") {
+    result = ProbeCountSelfJoin(input, predicate);
+  } else if (algo == "paircount") {
+    result = PairCountSelfJoin(input, predicate);
+  } else {
+    return Status::InvalidArgument("unknown --algo " + algo);
+  }
+  MaybePrintStats(time, result.stats);
+  return WritePairs(result.pairs, out);
+}
+
+Status RunEdit(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(std::string input, flags.GetString("input", ""));
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  SSJOIN_ASSIGN_OR_RETURN(int64_t k, flags.GetInt("k", 1));
+  SSJOIN_ASSIGN_OR_RETURN(std::string algo, flags.GetString("algo", "pen"));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t q, flags.GetInt("q", 0));
+  SSJOIN_ASSIGN_OR_RETURN(std::string out, flags.GetString("out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> strings,
+                          LoadStrings(input));
+  StringJoinOptions options;
+  options.edit_threshold = static_cast<uint32_t>(k);
+  if (algo == "pen") {
+    options.algorithm = StringJoinAlgorithm::kPartEnum;
+    options.q = q > 0 ? static_cast<uint32_t>(q) : 1;
+  } else if (algo == "pf") {
+    options.algorithm = StringJoinAlgorithm::kPrefixFilter;
+    options.q = q > 0 ? static_cast<uint32_t>(q) : 4;
+  } else {
+    return Status::InvalidArgument("unknown --algo " + algo);
+  }
+  SSJOIN_ASSIGN_OR_RETURN(JoinResult result,
+                          StringSimilaritySelfJoin(strings, options));
+  MaybePrintStats(time, result.stats);
+  return WritePairs(result.pairs, out);
+}
+
+Status RunWeighted(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(SetCollection input, LoadInput(flags));
+  SSJOIN_ASSIGN_OR_RETURN(double gamma, flags.GetDouble("gamma", 0.9));
+  SSJOIN_ASSIGN_OR_RETURN(std::string algo, flags.GetString("algo", "wen"));
+  SSJOIN_ASSIGN_OR_RETURN(std::string out, flags.GetString("out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(double accuracy,
+                          flags.GetDouble("accuracy", 0.95));
+  SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+  if (gamma <= 0 || gamma > 1) {
+    return Status::InvalidArgument("--gamma must be in (0, 1]");
+  }
+
+  auto idf = std::make_shared<IdfWeights>(IdfWeights::Compute(input));
+  WeightFunction weights = [idf](ElementId e) {
+    return idf->Weight(e) + 0.01;
+  };
+  double min_ws = std::numeric_limits<double>::infinity();
+  for (SetId id = 0; id < input.size(); ++id) {
+    if (input.set_size(id) == 0) continue;
+    min_ws = std::min(min_ws, WeightedSize(input.set(id), weights));
+  }
+  if (std::isinf(min_ws)) min_ws = 1.0;  // all sets empty
+
+  WeightedJaccardPredicate predicate(gamma, weights);
+  JoinResult result;
+  if (algo == "wen") {
+    WtEnumParams params;
+    params.pruning_threshold = idf->DefaultPruningThreshold();
+    auto scheme = WtEnumScheme::CreateJaccard(weights, weights, gamma,
+                                              min_ws, params);
+    if (!scheme.ok()) return scheme.status();
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else if (algo == "wpf") {
+    auto scheme =
+        WeightedPrefixFilterScheme::Create(gamma, weights, input, min_ws);
+    if (!scheme.ok()) return scheme.status();
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else if (algo == "wlsh") {
+    LshParams params = LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
+    auto scheme = WeightedLshScheme::Create(params, weights);
+    if (!scheme.ok()) return scheme.status();
+    std::fprintf(stderr,
+                 "note: weighted LSH is approximate (configured recall "
+                 "~%.0f%%)\n",
+                 accuracy * 100);
+    result = SignatureSelfJoin(input, *scheme, predicate);
+  } else {
+    return Status::InvalidArgument("unknown --algo " + algo);
+  }
+  MaybePrintStats(time, result.stats);
+  return WritePairs(result.pairs, out);
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  Flags& flags = *parsed;
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  Status status;
+  if (command == "generate") {
+    status = RunGenerate(flags);
+  } else if (command == "stats") {
+    status = RunStats(flags);
+  } else if (command == "jaccard") {
+    status = RunJaccard(flags);
+  } else if (command == "edit") {
+    status = RunEdit(flags);
+  } else if (command == "weighted") {
+    status = RunWeighted(flags);
+  } else if (command == "help" || command == "--help") {
+    std::printf("%s", kUsage);
+    return 0;
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssjoin::tools
+
+int main(int argc, char** argv) { return ssjoin::tools::Main(argc, argv); }
