@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hash_width.dir/bench_ablation_hash_width.cc.o"
+  "CMakeFiles/bench_ablation_hash_width.dir/bench_ablation_hash_width.cc.o.d"
+  "CMakeFiles/bench_ablation_hash_width.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_hash_width.dir/bench_common.cc.o.d"
+  "bench_ablation_hash_width"
+  "bench_ablation_hash_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hash_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

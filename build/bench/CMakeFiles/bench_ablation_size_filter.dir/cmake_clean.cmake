@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_size_filter.dir/bench_ablation_size_filter.cc.o"
+  "CMakeFiles/bench_ablation_size_filter.dir/bench_ablation_size_filter.cc.o.d"
+  "CMakeFiles/bench_ablation_size_filter.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_size_filter.dir/bench_common.cc.o.d"
+  "bench_ablation_size_filter"
+  "bench_ablation_size_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_size_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weighted_expansion.dir/bench_ablation_weighted_expansion.cc.o"
+  "CMakeFiles/bench_ablation_weighted_expansion.dir/bench_ablation_weighted_expansion.cc.o.d"
+  "CMakeFiles/bench_ablation_weighted_expansion.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_weighted_expansion.dir/bench_common.cc.o.d"
+  "bench_ablation_weighted_expansion"
+  "bench_ablation_weighted_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weighted_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbms_plan.dir/bench_common.cc.o"
+  "CMakeFiles/bench_dbms_plan.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_dbms_plan.dir/bench_dbms_plan.cc.o"
+  "CMakeFiles/bench_dbms_plan.dir/bench_dbms_plan.cc.o.d"
+  "bench_dbms_plan"
+  "bench_dbms_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbms_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

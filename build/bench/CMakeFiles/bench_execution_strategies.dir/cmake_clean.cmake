@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_execution_strategies.dir/bench_common.cc.o"
+  "CMakeFiles/bench_execution_strategies.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_execution_strategies.dir/bench_execution_strategies.cc.o"
+  "CMakeFiles/bench_execution_strategies.dir/bench_execution_strategies.cc.o.d"
+  "bench_execution_strategies"
+  "bench_execution_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_execution_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_scaling.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_scaling.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_scaling.dir/bench_fig14_scaling.cc.o"
+  "CMakeFiles/bench_fig14_scaling.dir/bench_fig14_scaling.cc.o.d"
+  "bench_fig14_scaling"
+  "bench_fig14_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_edit_distance.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig18_edit_distance.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig18_edit_distance.dir/bench_fig18_edit_distance.cc.o"
+  "CMakeFiles/bench_fig18_edit_distance.dir/bench_fig18_edit_distance.cc.o.d"
+  "bench_fig18_edit_distance"
+  "bench_fig18_edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_weighted.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig19_weighted.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig19_weighted.dir/bench_fig19_weighted.cc.o"
+  "CMakeFiles/bench_fig19_weighted.dir/bench_fig19_weighted.cc.o.d"
+  "bench_fig19_weighted"
+  "bench_fig19_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_dedup.dir/address_dedup.cpp.o"
+  "CMakeFiles/address_dedup.dir/address_dedup.cpp.o.d"
+  "address_dedup"
+  "address_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

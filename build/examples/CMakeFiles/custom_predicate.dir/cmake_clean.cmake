@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_predicate.dir/custom_predicate.cpp.o"
+  "CMakeFiles/custom_predicate.dir/custom_predicate.cpp.o.d"
+  "custom_predicate"
+  "custom_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

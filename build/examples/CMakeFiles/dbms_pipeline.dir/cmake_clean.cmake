@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_pipeline.dir/dbms_pipeline.cpp.o"
+  "CMakeFiles/dbms_pipeline.dir/dbms_pipeline.cpp.o.d"
+  "dbms_pipeline"
+  "dbms_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_search.dir/proximity_search.cpp.o"
+  "CMakeFiles/proximity_search.dir/proximity_search.cpp.o.d"
+  "proximity_search"
+  "proximity_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_expansion.dir/state_expansion.cpp.o"
+  "CMakeFiles/state_expansion.dir/state_expansion.cpp.o.d"
+  "state_expansion"
+  "state_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

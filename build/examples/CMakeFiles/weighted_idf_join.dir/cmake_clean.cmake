@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_idf_join.dir/weighted_idf_join.cpp.o"
+  "CMakeFiles/weighted_idf_join.dir/weighted_idf_join.cpp.o.d"
+  "weighted_idf_join"
+  "weighted_idf_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_idf_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/identity_scheme.cc" "src/CMakeFiles/ssjoin.dir/baselines/identity_scheme.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/identity_scheme.cc.o.d"
+  "/root/repo/src/baselines/lsh.cc" "src/CMakeFiles/ssjoin.dir/baselines/lsh.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/lsh.cc.o.d"
+  "/root/repo/src/baselines/minhash.cc" "src/CMakeFiles/ssjoin.dir/baselines/minhash.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/minhash.cc.o.d"
+  "/root/repo/src/baselines/nested_loop.cc" "src/CMakeFiles/ssjoin.dir/baselines/nested_loop.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/nested_loop.cc.o.d"
+  "/root/repo/src/baselines/prefix_filter.cc" "src/CMakeFiles/ssjoin.dir/baselines/prefix_filter.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/prefix_filter.cc.o.d"
+  "/root/repo/src/baselines/probe_count.cc" "src/CMakeFiles/ssjoin.dir/baselines/probe_count.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/baselines/probe_count.cc.o.d"
+  "/root/repo/src/core/general_join.cc" "src/CMakeFiles/ssjoin.dir/core/general_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/general_join.cc.o.d"
+  "/root/repo/src/core/parameter_advisor.cc" "src/CMakeFiles/ssjoin.dir/core/parameter_advisor.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/parameter_advisor.cc.o.d"
+  "/root/repo/src/core/partenum.cc" "src/CMakeFiles/ssjoin.dir/core/partenum.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/partenum.cc.o.d"
+  "/root/repo/src/core/partenum_jaccard.cc" "src/CMakeFiles/ssjoin.dir/core/partenum_jaccard.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/partenum_jaccard.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/ssjoin.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/signature_scheme.cc" "src/CMakeFiles/ssjoin.dir/core/signature_scheme.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/signature_scheme.cc.o.d"
+  "/root/repo/src/core/similarity_index.cc" "src/CMakeFiles/ssjoin.dir/core/similarity_index.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/similarity_index.cc.o.d"
+  "/root/repo/src/core/ssjoin.cc" "src/CMakeFiles/ssjoin.dir/core/ssjoin.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/ssjoin.cc.o.d"
+  "/root/repo/src/core/string_join.cc" "src/CMakeFiles/ssjoin.dir/core/string_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/string_join.cc.o.d"
+  "/root/repo/src/core/weighted.cc" "src/CMakeFiles/ssjoin.dir/core/weighted.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/weighted.cc.o.d"
+  "/root/repo/src/core/wtenum.cc" "src/CMakeFiles/ssjoin.dir/core/wtenum.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/wtenum.cc.o.d"
+  "/root/repo/src/data/collection.cc" "src/CMakeFiles/ssjoin.dir/data/collection.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/collection.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/ssjoin.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/ssjoin.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/CMakeFiles/ssjoin.dir/data/serialization.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/serialization.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/ssjoin.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/index.cc" "src/CMakeFiles/ssjoin.dir/relational/index.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/index.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/CMakeFiles/ssjoin.dir/relational/operators.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/operators.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/CMakeFiles/ssjoin.dir/relational/query.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/query.cc.o.d"
+  "/root/repo/src/relational/sql_ssjoin.cc" "src/CMakeFiles/ssjoin.dir/relational/sql_ssjoin.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/sql_ssjoin.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/ssjoin.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/ssjoin.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/relational/value.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/ssjoin.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/idf.cc" "src/CMakeFiles/ssjoin.dir/text/idf.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/idf.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/CMakeFiles/ssjoin.dir/text/qgram.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/qgram.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/ssjoin.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/ams_sketch.cc" "src/CMakeFiles/ssjoin.dir/util/ams_sketch.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/ams_sketch.cc.o.d"
+  "/root/repo/src/util/bit_vector.cc" "src/CMakeFiles/ssjoin.dir/util/bit_vector.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/bit_vector.cc.o.d"
+  "/root/repo/src/util/hashing.cc" "src/CMakeFiles/ssjoin.dir/util/hashing.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/hashing.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/ssjoin.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/ssjoin.dir/util/random.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ssjoin.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/status.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/ssjoin.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/timer.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/ssjoin.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

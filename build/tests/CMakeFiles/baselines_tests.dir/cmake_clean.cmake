@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/baselines/lsh_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/lsh_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/nested_loop_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/nested_loop_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/prefix_filter_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/prefix_filter_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/probe_count_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/probe_count_test.cc.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+  "baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/general_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/general_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/general_join_test.cc.o.d"
+  "/root/repo/tests/core/narrowed_scheme_test.cc" "tests/CMakeFiles/core_tests.dir/core/narrowed_scheme_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/narrowed_scheme_test.cc.o.d"
+  "/root/repo/tests/core/parameter_advisor_test.cc" "tests/CMakeFiles/core_tests.dir/core/parameter_advisor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parameter_advisor_test.cc.o.d"
+  "/root/repo/tests/core/partenum_jaccard_test.cc" "tests/CMakeFiles/core_tests.dir/core/partenum_jaccard_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partenum_jaccard_test.cc.o.d"
+  "/root/repo/tests/core/partenum_test.cc" "tests/CMakeFiles/core_tests.dir/core/partenum_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partenum_test.cc.o.d"
+  "/root/repo/tests/core/pipelined_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/pipelined_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipelined_join_test.cc.o.d"
+  "/root/repo/tests/core/predicate_test.cc" "tests/CMakeFiles/core_tests.dir/core/predicate_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/predicate_test.cc.o.d"
+  "/root/repo/tests/core/similarity_index_test.cc" "tests/CMakeFiles/core_tests.dir/core/similarity_index_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/similarity_index_test.cc.o.d"
+  "/root/repo/tests/core/ssjoin_driver_test.cc" "tests/CMakeFiles/core_tests.dir/core/ssjoin_driver_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ssjoin_driver_test.cc.o.d"
+  "/root/repo/tests/core/string_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/string_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/string_join_test.cc.o.d"
+  "/root/repo/tests/core/weighted_test.cc" "tests/CMakeFiles/core_tests.dir/core/weighted_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/weighted_test.cc.o.d"
+  "/root/repo/tests/core/wtenum_oracle_test.cc" "tests/CMakeFiles/core_tests.dir/core/wtenum_oracle_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wtenum_oracle_test.cc.o.d"
+  "/root/repo/tests/core/wtenum_test.cc" "tests/CMakeFiles/core_tests.dir/core/wtenum_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wtenum_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

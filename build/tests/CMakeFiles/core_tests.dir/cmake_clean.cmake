@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/general_join_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/general_join_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/narrowed_scheme_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/narrowed_scheme_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/parameter_advisor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/parameter_advisor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/partenum_jaccard_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/partenum_jaccard_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/partenum_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/partenum_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pipelined_join_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pipelined_join_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/predicate_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/predicate_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/similarity_index_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/similarity_index_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/ssjoin_driver_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ssjoin_driver_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/string_join_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/string_join_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/weighted_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/weighted_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/wtenum_oracle_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/wtenum_oracle_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/wtenum_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/wtenum_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relational/catalog_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/catalog_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/catalog_test.cc.o.d"
+  "/root/repo/tests/relational/index_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/index_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/index_test.cc.o.d"
+  "/root/repo/tests/relational/operators_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/operators_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/operators_test.cc.o.d"
+  "/root/repo/tests/relational/query_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/query_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/query_test.cc.o.d"
+  "/root/repo/tests/relational/sql_ssjoin_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/sql_ssjoin_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/sql_ssjoin_test.cc.o.d"
+  "/root/repo/tests/relational/table_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/table_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

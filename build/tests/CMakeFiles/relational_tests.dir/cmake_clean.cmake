@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_tests.dir/relational/catalog_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/catalog_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational/index_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/index_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational/operators_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/operators_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational/query_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/query_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational/sql_ssjoin_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/sql_ssjoin_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational/table_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational/table_test.cc.o.d"
+  "relational_tests"
+  "relational_tests.pdb"
+  "relational_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tests.dir/text/edit_distance_test.cc.o"
+  "CMakeFiles/text_tests.dir/text/edit_distance_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/text/idf_test.cc.o"
+  "CMakeFiles/text_tests.dir/text/idf_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/text/qgram_test.cc.o"
+  "CMakeFiles/text_tests.dir/text/qgram_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_tests.dir/text/tokenizer_test.cc.o.d"
+  "text_tests"
+  "text_tests.pdb"
+  "text_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/ams_sketch_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/ams_sketch_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/bit_vector_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/bit_vector_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/hashing_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/hashing_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/random_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/random_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/timer_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/timer_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/zipf_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/zipf_test.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_tools_flags.dir/flags.cc.o"
+  "CMakeFiles/ssjoin_tools_flags.dir/flags.cc.o.d"
+  "libssjoin_tools_flags.a"
+  "libssjoin_tools_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_tools_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
