@@ -1,18 +1,20 @@
 #include "baselines/lsh.h"
 
-#include <cassert>
 #include <sstream>
 #include <vector>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
 
 uint32_t LshParams::RequiredRepetitions(double gamma, double delta,
                                         uint32_t g) {
-  assert(gamma > 0.0 && gamma <= 1.0);
-  assert(delta > 0.0 && delta < 1.0);
-  assert(g >= 1);
+  SSJOIN_CHECK(gamma > 0.0 && gamma <= 1.0,
+               "LSH similarity threshold out of (0,1] (got {})", gamma);
+  SSJOIN_CHECK(delta > 0.0 && delta < 1.0,
+               "LSH miss probability out of (0,1) (got {})", delta);
+  SSJOIN_CHECK(g >= 1, "LSH needs at least one hash per group");
   double p = std::pow(gamma, g);  // per-repetition collision probability
   if (p >= 1.0) return 1;
   double l = std::log(delta) / std::log(1.0 - p);

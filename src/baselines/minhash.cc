@@ -1,9 +1,9 @@
 #include "baselines/minhash.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
 #include "util/hashing.h"
 #include "util/random.h"
 
@@ -14,7 +14,7 @@ constexpr uint64_t kEmptySetMinhash = 0xE397'7A5E'7000'0001ULL;
 }  // namespace
 
 MinHasher::MinHasher(uint32_t count, uint64_t seed) : count_(count) {
-  assert(count > 0);
+  SSJOIN_CHECK(count > 0, "MinHasher needs at least one hash function");
   Rng rng(seed);
   seeds_.reserve(count);
   for (uint32_t i = 0; i < count; ++i) seeds_.push_back(rng.Next64());
@@ -22,7 +22,7 @@ MinHasher::MinHasher(uint32_t count, uint64_t seed) : count_(count) {
 
 uint64_t MinHasher::MinHash(std::span<const ElementId> set,
                             uint32_t i) const {
-  assert(i < count_);
+  SSJOIN_DCHECK_BOUNDS(i, count_);
   if (set.empty()) return kEmptySetMinhash;
   uint64_t best_key = std::numeric_limits<uint64_t>::max();
   ElementId best_e = 0;
@@ -45,7 +45,8 @@ std::vector<uint64_t> MinHasher::MinHashes(
 
 WeightedMinHasher::WeightedMinHasher(uint32_t count, uint64_t seed)
     : count_(count) {
-  assert(count > 0);
+  SSJOIN_CHECK(count > 0,
+               "WeightedMinHasher needs at least one hash function");
   Rng rng(seed);
   seeds_.reserve(count);
   for (uint32_t i = 0; i < count; ++i) seeds_.push_back(rng.Next64());
@@ -54,13 +55,16 @@ WeightedMinHasher::WeightedMinHasher(uint32_t count, uint64_t seed)
 uint64_t WeightedMinHasher::MinHash(std::span<const ElementId> set,
                                     std::span<const double> weights,
                                     uint32_t i) const {
-  assert(i < count_);
-  assert(set.size() == weights.size());
+  SSJOIN_DCHECK_BOUNDS(i, count_);
+  SSJOIN_CHECK(set.size() == weights.size(),
+               "{} elements but {} weights", set.size(), weights.size());
   if (set.empty()) return kEmptySetMinhash;
   double best_clock = std::numeric_limits<double>::infinity();
   ElementId best_e = 0;
   for (size_t p = 0; p < set.size(); ++p) {
-    assert(weights[p] > 0);
+    SSJOIN_DCHECK(weights[p] > 0,
+                  "exponential-clock minhash needs positive weights "
+                  "(element {} has weight {})", set[p], weights[p]);
     // U in (0, 1], derived from the shared per-element hash so that both
     // sets draw the same uniform for the same element.
     uint64_t h = SeededHash32(set[p], seeds_[i]);

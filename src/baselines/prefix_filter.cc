@@ -1,11 +1,11 @@
 #include "baselines/prefix_filter.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
@@ -94,6 +94,10 @@ Result<PrefixFilterScheme> PrefixFilterScheme::CreateImpl(
     }
     uint32_t h = size >= t_int ? size - t_int + 1 : 1;
     scheme.prefix_len_[size] = std::min(h, size);
+    SSJOIN_CHECK(scheme.prefix_len_[size] >= 1 &&
+                     scheme.prefix_len_[size] <= size,
+                 "prefix length {} for set size {} outside [1, size]",
+                 scheme.prefix_len_[size], size);
   }
 
   // Size intervals for size-based filtering (Section 5 applied to PF, as
@@ -121,7 +125,7 @@ std::string PrefixFilterScheme::Name() const {
 }
 
 uint32_t PrefixFilterScheme::PrefixLength(uint32_t size) const {
-  assert(size < prefix_len_.size());
+  SSJOIN_CHECK_BOUNDS(size, prefix_len_.size());
   return prefix_len_[size];
 }
 
@@ -136,7 +140,10 @@ void PrefixFilterScheme::Generate(std::span<const ElementId> set,
                                   std::vector<Signature>* out) const {
   if (set.empty()) return;  // prefix filtering cannot cover empty sets
   uint32_t size = static_cast<uint32_t>(set.size());
-  assert(size <= max_set_size_);
+  SSJOIN_CHECK(size <= max_set_size_,
+               "set of {} elements exceeds the indexed maximum {}; "
+               "prefix lengths are only valid for indexed sizes",
+               size, max_set_size_);
 
   // Order the set's elements rarest-first and take the prefix.
   std::vector<std::pair<uint64_t, ElementId>> by_rank;
@@ -144,6 +151,8 @@ void PrefixFilterScheme::Generate(std::span<const ElementId> set,
   for (ElementId e : set) by_rank.emplace_back(Rank(e), e);
   std::sort(by_rank.begin(), by_rank.end());
   uint32_t h = prefix_len_[size];
+  SSJOIN_DCHECK(h >= 1 && h <= by_rank.size(),
+                "prefix length {} outside [1, {}]", h, by_rank.size());
 
   for (uint32_t p = 0; p < h; ++p) {
     ElementId e = by_rank[p].second;
@@ -240,6 +249,9 @@ void WeightedPrefixFilterScheme::Generate(
     ++prefix_len;
   }
 
+  SSJOIN_DCHECK(prefix_len >= 1,
+                "non-empty set produced an empty weighted prefix "
+                "(total weight {}, required {})", total, required);
   uint32_t interval = params_.size_filter ? IntervalIndex(total) : 0;
   for (size_t p = 0; p < prefix_len; ++p) {
     ElementId e = by_rank[p].second;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace ssjoin {
@@ -70,6 +71,9 @@ JoinResult PairCountSelfJoin(const SetCollection& input,
     {
       auto scope = timer.Measure(kPhasePostFilter);
       for (const auto& [r, count] : counter) {
+        SSJOIN_DCHECK(count <= probe.size() && count <= input.set_size(r),
+                      "overlap count {} exceeds set sizes ({}, {})", count,
+                      probe.size(), input.set_size(r));
         if (!SizeCompatible(caches, options.size_filter,
                             static_cast<uint32_t>(probe.size()),
                             input.set_size(r))) {
@@ -156,6 +160,9 @@ JoinResult ProbeCountSelfJoin(const SetCollection& input,
             continue;
           }
           uint32_t count = count_short;
+          SSJOIN_DCHECK(count_short <= probe_size,
+                        "short-list overlap {} exceeds probe size {}",
+                        count_short, probe_size);
           for (size_t i = num_short; i < lists.size(); ++i) {
             count += std::binary_search(lists[i]->begin(), lists[i]->end(),
                                         r)
@@ -222,6 +229,9 @@ JoinResult PairCountJoin(const SetCollection& r, const SetCollection& s,
     {
       auto scope = timer.Measure(kPhasePostFilter);
       for (const auto& [rid, count] : counter) {
+        SSJOIN_DCHECK(count <= probe.size() && count <= r.set_size(rid),
+                      "overlap count {} exceeds set sizes ({}, {})", count,
+                      probe.size(), r.set_size(rid));
         if (!SizeCompatible(caches, options.size_filter,
                             static_cast<uint32_t>(probe.size()),
                             r.set_size(rid))) {

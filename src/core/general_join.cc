@@ -1,8 +1,8 @@
 #include "core/general_join.h"
 
-#include <cassert>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
@@ -91,11 +91,16 @@ void GeneralPartEnumScheme::Generate(std::span<const ElementId> set,
     out->push_back(kEmptySetSignature);
     return;
   }
-  assert(set.size() <= max_set_size_);
+  SSJOIN_CHECK(set.size() <= max_set_size_,
+               "set of {} elements exceeds the indexed maximum {}",
+               set.size(), max_set_size_);
   uint32_t size = static_cast<uint32_t>(set.size());
   size_t i = 0;
   while (i + 1 < intervals_.size() && !intervals_[i].Contains(size)) ++i;
-  assert(intervals_[i].Contains(size));
+  SSJOIN_CHECK(intervals_[i].Contains(size),
+               "size {} not covered by any joinable-size interval "
+               "(scan stopped at interval {} of {})",
+               size, i, intervals_.size());
   for (size_t tag : {i, i + 1}) {
     size_t before = out->size();
     instances_[tag]->Generate(set, out);

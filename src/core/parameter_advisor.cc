@@ -1,9 +1,10 @@
 #include "core/parameter_advisor.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 
 #include "util/ams_sketch.h"
+#include "util/check.h"
 
 namespace ssjoin {
 
@@ -39,6 +40,10 @@ SampleStats ComputeSampleStats(const SetCollection& sample,
   if (options.use_ams_sketch) {
     // F2 = sum c_v^2 = 2C + S  =>  C = (F2 - S) / 2.
     double f2 = sketch.Estimate();
+    SSJOIN_CHECK(f2 >= 0 && std::isfinite(f2),
+                 "AMS estimate {} is not a finite non-negative F2 "
+                 "(median-of-means over squared sums cannot go negative)",
+                 f2);
     stats.collisions =
         std::max(0.0, (f2 - static_cast<double>(stats.signatures)) / 2.0);
   } else {

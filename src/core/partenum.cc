@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <limits>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
@@ -58,7 +58,7 @@ Status PartEnumParams::Validate() const {
         ", n2=" + std::to_string(n2) + ", k=" + std::to_string(k) + ")");
   }
   // n1*n2 > k+1 implies n2 > k2, so (n2 - k2)-subsets are non-empty.
-  assert(n2 > k2());
+  SSJOIN_DCHECK(n2 > k2(), "n2={} <= k2={} after validation", n2, k2());
   return Status::OK();
 }
 
@@ -130,8 +130,14 @@ PartEnumScheme::PartEnumScheme(const PartEnumParams& params)
     uint32_t r = mask + c;
     mask = (((r ^ mask) >> 2) / c) | r;
   }
-  assert(subset_masks_.size() ==
-         BinomialSaturating(params_.n2, params_.n2 - k2_));
+  // Theorem 2: PartEnum generates exactly n1 * C(n2, k2) signatures
+  // per set; the per-first-level count is the Gosper enumeration size.
+  SSJOIN_CHECK(subset_masks_.size() ==
+                   BinomialSaturating(params_.n2, params_.n2 - k2_),
+               "enumerated {} second-level subsets, Theorem 2 expects "
+               "C({}, {}) = {}",
+               subset_masks_.size(), params_.n2, params_.n2 - k2_,
+               BinomialSaturating(params_.n2, params_.n2 - k2_));
 }
 
 std::string PartEnumScheme::Name() const {
@@ -156,8 +162,11 @@ void PartEnumScheme::Generate(std::span<const ElementId> set,
   std::vector<std::vector<ElementId>> buckets(
       static_cast<size_t>(n1) * n2);
   for (ElementId e : set) {
-    buckets[PartitionOf(e)].push_back(e);
+    uint32_t p = PartitionOf(e);
+    SSJOIN_DCHECK_BOUNDS(p, buckets.size());
+    buckets[p].push_back(e);
   }
+  size_t size_before = out->size();
   out->reserve(out->size() + static_cast<size_t>(n1) * subset_masks_.size());
   for (uint32_t i = 0; i < n1; ++i) {
     for (uint32_t mask : subset_masks_) {
@@ -170,6 +179,7 @@ void PartEnumScheme::Generate(std::span<const ElementId> set,
       while (remaining != 0) {
         uint32_t j = static_cast<uint32_t>(std::countr_zero(remaining));
         remaining &= remaining - 1;
+        SSJOIN_DCHECK(j < n2, "subset mask bit {} outside n2={}", j, n2);
         hasher.Add(kPartitionTag ^ j);
         for (ElementId e :
              buckets[static_cast<size_t>(i) * n2 + j]) {
@@ -179,6 +189,13 @@ void PartEnumScheme::Generate(std::span<const ElementId> set,
       out->push_back(hasher.Finish());
     }
   }
+  // Theorem 2: exactly n1 * C(n2, n2 - k2) signatures per set, for every
+  // set — the exactness proof counts on complete enumeration.
+  SSJOIN_DCHECK(out->size() - size_before ==
+                    static_cast<size_t>(n1) * subset_masks_.size(),
+                "emitted {} signatures, Theorem 2 expects {}",
+                out->size() - size_before,
+                static_cast<size_t>(n1) * subset_masks_.size());
 }
 
 }  // namespace ssjoin

@@ -1,10 +1,10 @@
 #include "core/partenum_jaccard.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
@@ -17,7 +17,8 @@ constexpr Signature kEmptySetSignature = 0xE317'70AD'5E75'0000ULL;
 
 std::vector<SizeRange> PartEnumJaccardScheme::BuildIntervals(
     double gamma, uint32_t max_set_size) {
-  assert(gamma > 0.0 && gamma <= 1.0);
+  SSJOIN_CHECK(gamma > 0.0 && gamma <= 1.0,
+               "jaccard threshold out of (0,1] (got {})", gamma);
   std::vector<SizeRange> intervals;
   uint32_t lo = 1;
   while (lo <= max_set_size) {
@@ -109,7 +110,9 @@ std::string PartEnumJaccardScheme::Name() const {
 }
 
 size_t PartEnumJaccardScheme::IntervalIndex(uint32_t size) const {
-  assert(size >= 1 && size <= max_set_size_);
+  SSJOIN_DCHECK(size >= 1 && size <= max_set_size_,
+                "size {} outside covered range [1, {}]", size,
+                max_set_size_);
   // Intervals are contiguous and sorted; binary search on lo.
   size_t lo = 0, hi = intervals_.size() - 1;
   while (lo < hi) {
@@ -120,7 +123,11 @@ size_t PartEnumJaccardScheme::IntervalIndex(uint32_t size) const {
       hi = mid - 1;
     }
   }
-  assert(intervals_[lo].Contains(size));
+  // Figure 6 invariant: the contiguous intervals I_0..I_m tile
+  // [1, max_set_size], so the search must land in a containing one.
+  SSJOIN_CHECK(intervals_[lo].Contains(size),
+               "size {} not covered by interval {} [{}, {}]", size, lo,
+               intervals_[lo].lo, intervals_[lo].hi);
   return lo;
 }
 
@@ -137,7 +144,9 @@ void PartEnumJaccardScheme::Generate(std::span<const ElementId> set,
     out->push_back(kEmptySetSignature);
     return;
   }
-  assert(set.size() <= max_set_size_);
+  SSJOIN_CHECK(set.size() <= max_set_size_,
+               "set of {} elements exceeds the indexed maximum {}",
+               set.size(), max_set_size_);
   size_t i = IntervalIndex(static_cast<uint32_t>(set.size()));
   // Steps 3-6 of Figure 6: emit <i, sg> for PE[i] and <i+1, sg> for
   // PE[i+1]; the tag keeps signatures of different sub-instances from

@@ -1,12 +1,12 @@
 #include "core/predicate.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "util/bit_vector.h"
+#include "util/check.h"
 
 namespace ssjoin {
 
@@ -79,7 +79,8 @@ std::optional<uint32_t> Predicate::MaxHammingForSizeRange(uint32_t lo,
 // JaccardPredicate
 
 JaccardPredicate::JaccardPredicate(double gamma) : gamma_(gamma) {
-  assert(gamma > 0.0 && gamma <= 1.0);
+  SSJOIN_CHECK(gamma > 0.0 && gamma <= 1.0,
+               "jaccard threshold out of (0,1] (got {})", gamma);
 }
 
 std::string JaccardPredicate::Name() const {
@@ -163,7 +164,8 @@ double OverlapPredicate::MinOverlap(uint32_t, uint32_t) const {
 // MaxFractionPredicate
 
 MaxFractionPredicate::MaxFractionPredicate(double gamma) : gamma_(gamma) {
-  assert(gamma > 0.0 && gamma <= 1.0);
+  SSJOIN_CHECK(gamma > 0.0 && gamma <= 1.0,
+               "max-fraction threshold out of (0,1] (got {})", gamma);
 }
 
 std::string MaxFractionPredicate::Name() const {
@@ -218,7 +220,8 @@ std::vector<SizeRange> BuildJoinableSizeIntervals(const Predicate& predicate,
 ConjunctivePredicate::ConjunctivePredicate(
     std::vector<LinearOverlapTerm> terms, std::string name)
     : terms_(std::move(terms)), name_(std::move(name)) {
-  assert(!terms_.empty());
+  SSJOIN_CHECK(!terms_.empty(),
+               "conjunctive predicate needs at least one term");
 }
 
 std::string ConjunctivePredicate::Name() const { return name_; }

@@ -1,11 +1,15 @@
 #include "core/signature_scheme.h"
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
 
 void NarrowedScheme::Generate(std::span<const ElementId> set,
                               std::vector<Signature>* out) const {
+  SSJOIN_CHECK(base_ != nullptr, "NarrowedScheme wraps a null scheme");
+  SSJOIN_CHECK(bits_ >= 1 && bits_ <= 64,
+               "narrowed signature width {} outside [1, 64] bits", bits_);
   size_t before = out->size();
   base_->Generate(set, out);
   for (size_t i = before; i < out->size(); ++i) {

@@ -1,15 +1,16 @@
 #include "core/similarity_index.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace ssjoin {
 
 SimilarityIndex::SimilarityIndex(SignatureSchemePtr scheme,
                                  std::shared_ptr<const Predicate> predicate)
     : scheme_(std::move(scheme)), predicate_(std::move(predicate)) {
-  assert(scheme_ != nullptr);
-  assert(predicate_ != nullptr);
+  SSJOIN_CHECK(scheme_ != nullptr, "SimilarityIndex needs a scheme");
+  SSJOIN_CHECK(predicate_ != nullptr, "SimilarityIndex needs a predicate");
 }
 
 SetId SimilarityIndex::Insert(std::span<const ElementId> set) {

@@ -1,8 +1,9 @@
 #include "core/weighted.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace ssjoin {
 
@@ -48,8 +49,9 @@ double WeightedJaccard(std::span<const ElementId> r,
 WeightedJaccardPredicate::WeightedJaccardPredicate(double gamma,
                                                    WeightFunction weights)
     : gamma_(gamma), weights_(std::move(weights)) {
-  assert(gamma_ > 0.0 && gamma_ <= 1.0);
-  assert(weights_);
+  SSJOIN_CHECK(gamma_ > 0.0 && gamma_ <= 1.0,
+               "weighted-jaccard threshold out of (0,1] (got {})", gamma_);
+  SSJOIN_CHECK(weights_, "weight function is null");
 }
 
 std::string WeightedJaccardPredicate::Name() const {
@@ -92,8 +94,9 @@ double WeightedHammingDistance(std::span<const ElementId> r,
 WeightedHammingPredicate::WeightedHammingPredicate(double k,
                                                    WeightFunction weights)
     : k_(k), weights_(std::move(weights)) {
-  assert(k_ >= 0);
-  assert(weights_);
+  SSJOIN_CHECK(k_ >= 0, "weighted-hamming bound must be >= 0 (got {})",
+               k_);
+  SSJOIN_CHECK(weights_, "weight function is null");
 }
 
 std::string WeightedHammingPredicate::Name() const {
@@ -115,7 +118,7 @@ bool WeightedHammingPredicate::Evaluate(std::span<const ElementId> r,
 WeightedOverlapPredicate::WeightedOverlapPredicate(double t,
                                                    WeightFunction weights)
     : t_(t), weights_(std::move(weights)) {
-  assert(weights_);
+  SSJOIN_CHECK(weights_, "weight function is null");
 }
 
 std::string WeightedOverlapPredicate::Name() const {

@@ -1,12 +1,12 @@
 #include "core/wtenum.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <unordered_set>
 
+#include "util/check.h"
 #include "util/hashing.h"
 #include "util/logging.h"
 
@@ -197,8 +197,12 @@ std::string WtEnumScheme::Name() const {
 }
 
 uint32_t WtEnumScheme::IntervalIndex(double weighted_size) const {
-  assert(jaccard_mode_);
-  assert(weighted_size >= base_size_);
+  SSJOIN_DCHECK(jaccard_mode_,
+                "size intervals only exist for the jaccard reduction");
+  SSJOIN_CHECK(weighted_size >= base_size_,
+               "weighted size {} below the declared minimum {}; "
+               "CreateJaccard was given a wrong min_weighted_size",
+               weighted_size, base_size_);
   // index = max{ j >= 0 : base * growth^j <= ws }, computed by repeated
   // multiplication so neighbouring sets agree exactly on boundaries.
   uint32_t index = 0;
@@ -226,8 +230,18 @@ void WtEnumScheme::EnumerateForThreshold(std::span<const ElementId> set,
     }
     return a.element < b.element;
   });
+  for (size_t i = 0; i + 1 < entries.size(); ++i) {
+    SSJOIN_DCHECK(entries[i].order_weight > entries[i + 1].order_weight ||
+                      (entries[i].order_weight == entries[i + 1].order_weight &&
+                       entries[i].element < entries[i + 1].element),
+                  "enumeration order violated at position {}", i);
+  }
   std::vector<double> suffix(entries.size() + 1, 0.0);
   for (size_t i = entries.size(); i > 0; --i) {
+    SSJOIN_CHECK(entries[i - 1].size_weight > 0,
+                 "element {} has non-positive size weight {}; WtEnum's "
+                 "minimal-subset enumeration requires positive weights",
+                 entries[i - 1].element, entries[i - 1].size_weight);
     suffix[i - 1] = suffix[i] + entries[i - 1].size_weight;
   }
 
@@ -270,6 +284,13 @@ void WtEnumScheme::Generate(std::span<const ElementId> set,
         base_size_ * std::pow(growth_, tag > 0 ? tag - 1 : 0);
     double instance_threshold =
         2.0 * gamma_ / (1.0 + gamma_) * floor_size;
+    // A non-positive threshold would make every subset "minimal" and the
+    // scheme degenerate to quadratic enumeration — always a caller bug
+    // (min_weighted_size or gamma was zero/negative through rounding).
+    SSJOIN_CHECK(instance_threshold > 0,
+                 "instance threshold {} for tag {} not positive "
+                 "(gamma={}, min weighted size={})",
+                 instance_threshold, tag, gamma_, base_size_);
     EnumerateForThreshold(set, instance_threshold, tag + 1, out);
   }
 }

@@ -1,11 +1,11 @@
 #include "data/collection.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/check.h"
 #include "util/hashing.h"
 #include "util/random.h"
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace ssjoin {
@@ -39,12 +40,14 @@ class SetCollection {
 
   /// The elements of set `id`, sorted ascending, duplicate-free.
   std::span<const ElementId> set(SetId id) const {
+    SSJOIN_DCHECK_BOUNDS(id, size());
     return std::span<const ElementId>(elements_.data() + offsets_[id],
                                       offsets_[id + 1] - offsets_[id]);
   }
 
   /// |set(id)|.
   uint32_t set_size(SetId id) const {
+    SSJOIN_DCHECK_BOUNDS(id, size());
     return static_cast<uint32_t>(offsets_[id + 1] - offsets_[id]);
   }
 

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <unordered_set>
 
+#include "util/check.h"
 #include "util/zipf.h"
 
 namespace ssjoin {
 
 SetCollection GenerateUniformSets(const UniformSetOptions& options) {
-  assert(options.set_size <= options.domain_size);
+  SSJOIN_CHECK(options.set_size <= options.domain_size,
+               "cannot draw {} distinct elements from a domain of {}",
+               options.set_size, options.domain_size);
   Rng rng(options.seed);
   std::vector<std::vector<ElementId>> sets;
   sets.reserve(options.num_sets);

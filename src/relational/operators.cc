@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/check.h"
+
 namespace ssjoin::relational {
 
 namespace {
@@ -29,6 +31,7 @@ Result<std::vector<int>> ResolveColumns(
 size_t HashKey(const Row& row, const std::vector<int>& columns) {
   size_t h = 0x9e3779b97f4a7c15ULL;
   for (int c : columns) {
+    SSJOIN_DCHECK_BOUNDS(c, row.size());
     h = h * 1099511628211ULL ^ HashValue(row[c]);
   }
   return h;
@@ -36,6 +39,9 @@ size_t HashKey(const Row& row, const std::vector<int>& columns) {
 
 bool KeysEqual(const Row& a, const std::vector<int>& a_cols, const Row& b,
                const std::vector<int>& b_cols) {
+  SSJOIN_DCHECK(a_cols.size() == b_cols.size(),
+                "key arity mismatch: {} vs {}", a_cols.size(),
+                b_cols.size());
   for (size_t i = 0; i < a_cols.size(); ++i) {
     if (!(a[a_cols[i]] == b[b_cols[i]])) return false;
   }
@@ -86,6 +92,9 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       joined.reserve(lrow.size() + rrow.size());
       joined.insert(joined.end(), lrow.begin(), lrow.end());
       joined.insert(joined.end(), rrow.begin(), rrow.end());
+      SSJOIN_DCHECK(joined.size() == output.schema().num_columns(),
+                    "joined row arity {} != concatenated schema {}",
+                    joined.size(), output.schema().num_columns());
       if (residual && !residual(joined)) continue;
       output.AppendUnchecked(std::move(joined));
     }

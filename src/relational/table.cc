@@ -54,6 +54,7 @@ Status Table::Append(Row row) {
 }
 
 void Table::SortBy(const std::vector<int>& columns) {
+  for (int c : columns) SSJOIN_CHECK_BOUNDS(c, schema_.num_columns());
   std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
     for (int c : columns) {
       if (a[c] < b[c]) return true;
@@ -78,17 +79,26 @@ std::string Table::ToString(size_t max_rows) const {
 }
 
 int64_t GetInt64(const Row& row, int column) {
-  assert(std::holds_alternative<int64_t>(row[column]));
+  SSJOIN_CHECK_BOUNDS(column, row.size());
+  SSJOIN_CHECK(std::holds_alternative<int64_t>(row[column]),
+               "column {} holds {}, not INT64", column,
+               relational::ToString(row[column]));
   return std::get<int64_t>(row[column]);
 }
 
 double GetDouble(const Row& row, int column) {
-  assert(std::holds_alternative<double>(row[column]));
+  SSJOIN_CHECK_BOUNDS(column, row.size());
+  SSJOIN_CHECK(std::holds_alternative<double>(row[column]),
+               "column {} holds {}, not DOUBLE", column,
+               relational::ToString(row[column]));
   return std::get<double>(row[column]);
 }
 
 const std::string& GetString(const Row& row, int column) {
-  assert(std::holds_alternative<std::string>(row[column]));
+  SSJOIN_CHECK_BOUNDS(column, row.size());
+  SSJOIN_CHECK(std::holds_alternative<std::string>(row[column]),
+               "column {} holds {}, not STRING", column,
+               relational::ToString(row[column]));
   return std::get<std::string>(row[column]);
 }
 

@@ -2,10 +2,10 @@
 
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "relational/value.h"
 #include "util/status.h"
 
@@ -63,7 +63,12 @@ class Table {
 
   /// Appends without validation (hot paths in operators; callers
   /// guarantee shape).
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Row row) {
+    SSJOIN_DCHECK(row.size() == schema_.num_columns(),
+                  "row arity {} != schema arity {} {}", row.size(),
+                  schema_.num_columns(), schema_.ToString());
+    rows_.push_back(std::move(row));
+  }
 
   void Reserve(size_t n) { rows_.reserve(n); }
 

@@ -1,13 +1,13 @@
 #include "text/qgram.h"
 
-#include <cassert>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
 
 QgramExtractor::QgramExtractor(QgramOptions options) : options_(options) {
-  assert(options_.q >= 1);
+  SSJOIN_CHECK(options_.q >= 1, "q-grams need q >= 1 (got {})", options_.q);
 }
 
 std::vector<std::string> QgramExtractor::Grams(std::string_view text) const {

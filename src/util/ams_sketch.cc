@@ -1,28 +1,33 @@
 #include "util/ams_sketch.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
 
 AmsSketch::AmsSketch(int width, int depth, uint64_t seed)
     : width_(width), depth_(depth), seed_(seed) {
-  assert(width_ > 0 && depth_ > 0);
+  SSJOIN_CHECK(width_ > 0 && depth_ > 0,
+               "AmsSketch needs positive dimensions (width={}, depth={})",
+               width_, depth_);
   counters_.assign(static_cast<size_t>(width_) * depth_, 0);
 }
 
 void AmsSketch::Add(uint64_t item) { AddWithCount(item, 1); }
 
 void AmsSketch::AddWithCount(uint64_t item, int64_t count) {
-  assert(count > 0);
+  SSJOIN_CHECK(count > 0, "AMS stream frequencies are positive (got {})",
+               count);
   items_ += count;
   for (int d = 0; d < depth_; ++d) {
     for (int w = 0; w < width_; ++w) {
       uint64_t h = Mix64(item ^ Mix64(seed_ + d * 1000003ULL + w));
       int64_t sign = (h & 1) ? 1 : -1;
-      counters_[static_cast<size_t>(d) * width_ + w] += sign * count;
+      size_t bucket = static_cast<size_t>(d) * width_ + w;
+      SSJOIN_DCHECK_BOUNDS(bucket, counters_.size());
+      counters_[bucket] += sign * count;
     }
   }
 }

@@ -1,7 +1,8 @@
 #include "util/bit_vector.h"
 
 #include <bit>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace ssjoin {
 
@@ -16,17 +17,17 @@ BitVector BitVector::FromSet(std::span<const uint32_t> elements,
 }
 
 void BitVector::Set(uint32_t i) {
-  assert(i < num_bits_);
+  SSJOIN_DCHECK_BOUNDS(i, num_bits_);
   words_[i >> 6] |= (1ULL << (i & 63));
 }
 
 void BitVector::Clear(uint32_t i) {
-  assert(i < num_bits_);
+  SSJOIN_DCHECK_BOUNDS(i, num_bits_);
   words_[i >> 6] &= ~(1ULL << (i & 63));
 }
 
 bool BitVector::Test(uint32_t i) const {
-  assert(i < num_bits_);
+  SSJOIN_DCHECK_BOUNDS(i, num_bits_);
   return (words_[i >> 6] >> (i & 63)) & 1;
 }
 
@@ -37,7 +38,9 @@ uint32_t BitVector::Count() const {
 }
 
 uint32_t BitVector::HammingDistance(const BitVector& a, const BitVector& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SSJOIN_CHECK(a.num_bits_ == b.num_bits_,
+               "hamming distance over mismatched domains ({} vs {} bits)",
+               a.num_bits_, b.num_bits_);
   uint32_t dist = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     dist += std::popcount(a.words_[i] ^ b.words_[i]);
@@ -46,7 +49,9 @@ uint32_t BitVector::HammingDistance(const BitVector& a, const BitVector& b) {
 }
 
 uint32_t BitVector::IntersectionSize(const BitVector& a, const BitVector& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SSJOIN_CHECK(a.num_bits_ == b.num_bits_,
+               "intersection over mismatched domains ({} vs {} bits)",
+               a.num_bits_, b.num_bits_);
   uint32_t size = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     size += std::popcount(a.words_[i] & b.words_[i]);

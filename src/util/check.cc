@@ -1,0 +1,24 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssjoin::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& message) {
+  // fprintf (not iostreams): must work during static init/teardown and
+  // produce one atomic line that death tests and sanitizer logs can match.
+  if (message.empty()) {
+    std::fprintf(stderr, "%s:%d: SSJOIN_CHECK failed: %s\n", file, line,
+                 condition);
+  } else {
+    std::fprintf(stderr, "%s:%d: SSJOIN_CHECK failed: %s — %s\n", file, line,
+                 condition, message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ssjoin::internal

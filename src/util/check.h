@@ -1,0 +1,159 @@
+// Runtime contract checking for the ssjoin library.
+//
+// The paper's central claim is *exactness* (Sections 4-5): PartEnum and
+// WtEnum must return precisely the pairs satisfying the predicate, so a
+// silently out-of-bounds partition index or a violated signature-count
+// invariant is a correctness bug, not merely a crash risk. This header
+// provides the macros the whole library uses to state such invariants:
+//
+//   SSJOIN_CHECK(cond, "msg {} {}", a, b)   always-on; aborts on violation
+//   SSJOIN_DCHECK(cond, ...)                debug/sanitizer builds only
+//   SSJOIN_CHECK_BOUNDS(i, size)            always-on bounds contract
+//   SSJOIN_DCHECK_BOUNDS(i, size)           hot-path bounds contract
+//   SSJOIN_UNREACHABLE("msg")               marks impossible control flow
+//
+// Messages are fmt-style: each "{}" in the format string is replaced by the
+// next argument (streamed via operator<<). The message arguments of the
+// DCHECK variants are never evaluated when DCHECKs are compiled out, so it
+// is fine to call expensive diagnostics there.
+//
+// DCHECKs are enabled when NDEBUG is not defined (Debug / RelWithDebInfo
+// by default in this repo) or when SSJOIN_ENABLE_DCHECKS is defined (the
+// sanitizer presets define it so that ASan/UBSan/TSan runs exercise every
+// contract). Use SSJOIN_DCHECK_IS_ON() to branch on this in tests.
+//
+// On violation the process prints "file:line CHECK failed: <cond> <msg>"
+// to stderr and aborts, which both gtest death tests and the sanitizers'
+// abort handlers can observe. This header intentionally depends on nothing
+// else in the library so that every module (including util/status.h) can
+// include it.
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#if !defined(NDEBUG) || defined(SSJOIN_ENABLE_DCHECKS)
+#define SSJOIN_DCHECKS_ENABLED 1
+#else
+#define SSJOIN_DCHECKS_ENABLED 0
+#endif
+
+#define SSJOIN_DCHECK_IS_ON() (SSJOIN_DCHECKS_ENABLED != 0)
+
+namespace ssjoin::internal {
+
+/// Terminates the process after printing the failed condition, an optional
+/// formatted message, and the failure site as file:line.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& message);
+
+inline void AppendFormatted(std::ostringstream& os, std::string_view fmt) {
+  os << fmt;
+}
+
+template <typename Arg, typename... Rest>
+void AppendFormatted(std::ostringstream& os, std::string_view fmt,
+                     const Arg& arg, const Rest&... rest) {
+  size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    // More arguments than placeholders: append the stragglers so no
+    // diagnostic information is silently dropped.
+    os << fmt << " " << arg;
+    (AppendFormatted(os, "", rest), ...);
+    return;
+  }
+  os << fmt.substr(0, pos) << arg;
+  AppendFormatted(os, fmt.substr(pos + 2), rest...);
+}
+
+/// Renders an fmt-style message: "{}" placeholders are substituted by the
+/// remaining arguments in order, via operator<<.
+template <typename... Args>
+std::string FormatCheckMessage(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  AppendFormatted(os, fmt, args...);
+  return os.str();
+}
+
+inline std::string FormatCheckMessage() { return std::string(); }
+
+/// True iff 0 <= i < n, handling signed and unsigned index types without
+/// tautological-comparison warnings.
+template <typename I, typename N>
+constexpr bool IndexInBounds(I i, N n) {
+  if constexpr (static_cast<I>(-1) < static_cast<I>(0)) {  // signed I
+    if (i < static_cast<I>(0)) return false;
+  }
+  return static_cast<uint64_t>(i) < static_cast<uint64_t>(n);
+}
+
+}  // namespace ssjoin::internal
+
+/// Always-on invariant. Aborts with file:line and the formatted message if
+/// `cond` is false. Use for contracts whose violation would corrupt results
+/// (exactness!) and that are not on a per-element hot path.
+#define SSJOIN_CHECK(cond, ...)                                            \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::ssjoin::internal::CheckFailed(                                     \
+          __FILE__, __LINE__, #cond,                                       \
+          ::ssjoin::internal::FormatCheckMessage(__VA_ARGS__));            \
+    }                                                                      \
+  } while (0)
+
+/// Always-on bounds contract: aborts unless 0 <= index < size.
+#define SSJOIN_CHECK_BOUNDS(index, size)                                   \
+  do {                                                                     \
+    auto _ssjoin_i = (index);                                              \
+    auto _ssjoin_n = (size);                                               \
+    if (!::ssjoin::internal::IndexInBounds(_ssjoin_i, _ssjoin_n))          \
+        [[unlikely]] {                                                     \
+      ::ssjoin::internal::CheckFailed(                                     \
+          __FILE__, __LINE__, #index " < " #size,                          \
+          ::ssjoin::internal::FormatCheckMessage(                          \
+              "index {} out of bounds [0, {})",                            \
+              static_cast<uint64_t>(_ssjoin_i),                            \
+              static_cast<uint64_t>(_ssjoin_n)));                          \
+    }                                                                      \
+  } while (0)
+
+#if SSJOIN_DCHECKS_ENABLED
+
+/// Debug/sanitizer-build invariant; compiled out in Release so it is safe
+/// on per-element hot paths (signature generation inner loops, bit vector
+/// accessors). Semantics match SSJOIN_CHECK when enabled.
+#define SSJOIN_DCHECK(cond, ...) SSJOIN_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+
+/// Hot-path bounds contract; compiled out in Release.
+#define SSJOIN_DCHECK_BOUNDS(index, size) SSJOIN_CHECK_BOUNDS(index, size)
+
+#else
+
+#define SSJOIN_DCHECK(cond, ...)     \
+  do {                               \
+    if (false) {                     \
+      (void)sizeof((cond) ? 1 : 0); \
+    }                                \
+  } while (0)
+
+#define SSJOIN_DCHECK_BOUNDS(index, size) \
+  do {                                    \
+    if (false) {                          \
+      (void)sizeof(index);                \
+      (void)sizeof(size);                 \
+    }                                     \
+  } while (0)
+
+#endif  // SSJOIN_DCHECKS_ENABLED
+
+/// Marks control flow the surrounding invariants rule out. Always aborts;
+/// never compiled out (an impossible branch that executes is a correctness
+/// bug regardless of build type).
+#define SSJOIN_UNREACHABLE(...)                                            \
+  ::ssjoin::internal::CheckFailed(                                         \
+      __FILE__, __LINE__, "unreachable",                                   \
+      ::ssjoin::internal::FormatCheckMessage(__VA_ARGS__))

@@ -1,7 +1,7 @@
 #include "util/random.h"
 
-#include <cassert>
 
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace ssjoin {
@@ -28,7 +28,7 @@ uint64_t Rng::Next64() {
 }
 
 uint32_t Rng::Uniform(uint32_t bound) {
-  assert(bound > 0);
+  SSJOIN_DCHECK(bound > 0, "Uniform(0) is ill-defined");
   // Lemire's nearly-divisionless unbiased method.
   uint64_t m = static_cast<uint64_t>(Next32()) * bound;
   uint32_t low = static_cast<uint32_t>(m);
@@ -43,7 +43,8 @@ uint32_t Rng::Uniform(uint32_t bound) {
 }
 
 uint32_t Rng::UniformRange(uint32_t lo, uint32_t hi) {
-  assert(lo <= hi);
+  SSJOIN_DCHECK(lo <= hi, "UniformRange requires lo <= hi (got [{}, {}])",
+                lo, hi);
   uint32_t span = hi - lo + 1;
   if (span == 0) return Next32();  // full 32-bit range
   return lo + Uniform(span);
@@ -66,7 +67,8 @@ std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng) {
 
 std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
                                                Rng& rng) {
-  assert(k <= n);
+  SSJOIN_CHECK(k <= n,
+               "cannot sample {} distinct values from a domain of {}", k, n);
   // Floyd's algorithm: O(k) expected insertions, no O(n) scratch.
   std::vector<uint32_t> out;
   out.reserve(k);

@@ -6,11 +6,12 @@
 
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "util/check.h"
 
 namespace ssjoin {
 
@@ -93,22 +94,23 @@ class Result {
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   /// Implicit from status: failure. `status` must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    SSJOIN_CHECK(!status_.ok(),
+                 "Result constructed from OK status without a value");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    SSJOIN_CHECK(ok(), "value() on failed Result: {}", status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    SSJOIN_CHECK(ok(), "value() on failed Result: {}", status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    SSJOIN_CHECK(ok(), "value() on failed Result: {}", status_.ToString());
     return std::move(*value_);
   }
 

@@ -1,14 +1,15 @@
 #include "util/zipf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace ssjoin {
 
 ZipfSampler::ZipfSampler(uint32_t n, double theta) : n_(n), theta_(theta) {
-  assert(n > 0);
-  assert(theta >= 0);
+  SSJOIN_CHECK(n > 0, "Zipf domain must be non-empty");
+  SSJOIN_CHECK(theta >= 0, "Zipf skew must be >= 0 (got {})", theta);
   cdf_.resize(n);
   double acc = 0;
   for (uint32_t k = 0; k < n; ++k) {
@@ -26,7 +27,7 @@ uint32_t ZipfSampler::Sample(Rng& rng) const {
 }
 
 double ZipfSampler::Probability(uint32_t k) const {
-  assert(k < n_);
+  SSJOIN_DCHECK_BOUNDS(k, n_);
   return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 

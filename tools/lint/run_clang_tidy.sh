@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over all library,
+# tool, and bench sources using a dedicated compile_commands.json build
+# tree. Usage:
+#
+#   tools/lint/run_clang_tidy.sh [extra clang-tidy args...]
+#
+# Requires clang-tidy (any recent LLVM); exits 2 with a clear message when
+# it is not installed so callers (scripts/check.sh, CI) can decide whether
+# that is fatal.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+ROOT=$(pwd)
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found in PATH" >&2
+  exit 2
+fi
+
+BUILD_DIR=build/clang-tidy
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DSSJOIN_BUILD_BENCHMARKS=OFF \
+  -DSSJOIN_BUILD_EXAMPLES=OFF \
+  >/dev/null
+
+mapfile -t SOURCES < <(git -C "$ROOT" ls-files 'src/*.cc' 'tools/*.cc')
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$BUILD_DIR" -quiet "$@" "${SOURCES[@]}"
+else
+  clang-tidy -p "$BUILD_DIR" -quiet "$@" "${SOURCES[@]}"
+fi
+echo "run_clang_tidy.sh: OK (${#SOURCES[@]} sources)"

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for ssjoin. Runs as the `ssjoin_lint` ctest test.
+
+Rules (scope: the directories named in RULE_SCOPES):
+
+  no-raw-rand          `rand()` / `std::rand` / `srand` make experiments
+                       irreproducible across platforms; use the seeded PCG32
+                       in util/random.h.
+  no-assert            `assert(` vanishes in NDEBUG builds *silently*; use
+                       SSJOIN_CHECK / SSJOIN_DCHECK (util/check.h), which
+                       are explicit about their build-mode behavior and
+                       print file:line with a formatted message.
+  pragma-once          every header uses `#pragma once` (no #ifndef-style
+                       include guards, no unguarded headers).
+  no-using-namespace   `using namespace` in a header leaks into every
+                       includer; fully qualify or alias instead.
+
+Usage:
+  tools/lint/ssjoin_lint.py [--root REPO_ROOT] [--list-rules]
+
+Exit status: 0 clean, 1 violations (printed as file:line: rule: message),
+2 usage error. Suppress a single line with a trailing
+`// ssjoin-lint: allow(<rule>)` comment — use sparingly and justify it in
+an adjacent comment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# rule name -> directories (relative to repo root) it applies to.
+RULE_SCOPES = {
+    "no-raw-rand": ("src", "tools", "bench", "examples"),
+    "no-assert": ("src",),
+    "pragma-once": ("src", "tools", "bench", "tests"),
+    "no-using-namespace": ("src", "tools", "bench"),
+}
+
+ALLOW_RE = re.compile(r"//\s*ssjoin-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_RAND_RE = re.compile(r"(?<![\w:.])(std\s*::\s*)?s?rand\s*\(")
+ASSERT_RE = re.compile(r"(?<![\w:.])(assert\s*\(|static_assert\s*\()")
+CASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+USING_NAMESPACE_RE = re.compile(r"(?<!\w)using\s+namespace\s+[\w:]+")
+INCLUDE_GUARD_RE = re.compile(r"#\s*ifndef\s+\w*_H_?\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so the regex rules only see code. A trailing line comment is
+    kept when it is an ssjoin-lint allow marker (checked separately)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            span = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in span))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j, n - 1)
+            out.append(" " * (j + 1 - i))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str):
+        self.violations.append((path, line, rule, message))
+
+    def in_scope(self, rule: str, rel: Path) -> bool:
+        return rel.parts and rel.parts[0] in RULE_SCOPES[rule]
+
+    def lint_file(self, path: Path):
+        rel = path.relative_to(self.root)
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+
+        def allowed(lineno: int, rule: str) -> bool:
+            line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            m = ALLOW_RE.search(line)
+            return bool(m and m.group(1) == rule)
+
+        for lineno, line in enumerate(code_lines, start=1):
+            if self.in_scope("no-raw-rand", rel) and RAW_RAND_RE.search(line):
+                if not allowed(lineno, "no-raw-rand"):
+                    self.report(rel, lineno, "no-raw-rand",
+                                "use the seeded Rng from util/random.h, not "
+                                "rand()/srand()")
+            if self.in_scope("no-assert", rel):
+                m = ASSERT_RE.search(line)
+                if m and not m.group(1).startswith("static_assert"):
+                    if not allowed(lineno, "no-assert"):
+                        self.report(rel, lineno, "no-assert",
+                                    "use SSJOIN_CHECK/SSJOIN_DCHECK from "
+                                    "util/check.h instead of assert()")
+                if CASSERT_INCLUDE_RE.search(line):
+                    if not allowed(lineno, "no-assert"):
+                        self.report(rel, lineno, "no-assert",
+                                    "do not include <cassert>; use "
+                                    "util/check.h")
+            if (self.in_scope("no-using-namespace", rel)
+                    and path.suffix in HEADER_SUFFIXES
+                    and USING_NAMESPACE_RE.search(line)
+                    and not allowed(lineno, "no-using-namespace")):
+                self.report(rel, lineno, "no-using-namespace",
+                            "headers must not contain `using namespace`")
+
+        if (path.suffix in HEADER_SUFFIXES
+                and self.in_scope("pragma-once", rel)):
+            if "#pragma once" not in raw:
+                self.report(rel, 1, "pragma-once",
+                            "header lacks `#pragma once`")
+            m = INCLUDE_GUARD_RE.search(code)
+            if m:
+                lineno = code[: m.start()].count("\n") + 1
+                if not allowed(lineno, "pragma-once"):
+                    self.report(rel, lineno, "pragma-once",
+                                "use `#pragma once`, not #ifndef include "
+                                "guards (repo convention)")
+
+    def run(self) -> int:
+        scopes = sorted({d for dirs in RULE_SCOPES.values() for d in dirs})
+        files = sorted(
+            p
+            for scope in scopes
+            for p in (self.root / scope).rglob("*")
+            if p.is_file() and p.suffix in SOURCE_SUFFIXES
+        )
+        if not files:
+            print(f"ssjoin_lint: no sources found under {self.root}",
+                  file=sys.stderr)
+            return 2
+        for path in files:
+            self.lint_file(path)
+        for rel, lineno, rule, message in self.violations:
+            print(f"{rel}:{lineno}: {rule}: {message}")
+        if self.violations:
+            print(f"ssjoin_lint: {len(self.violations)} violation(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"ssjoin_lint: OK ({len(files)} files)")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and scopes, then exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule, dirs in RULE_SCOPES.items():
+            print(f"{rule}: {', '.join(dirs)}")
+        return 0
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"ssjoin_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
