@@ -3,9 +3,99 @@
 
 #include "bench_common.h"
 
+#include <cstring>
+
 #include "bench_schemes.h"
 
 namespace ssjoin::bench {
+
+namespace {
+
+// Returns the value of `--name V` / `--name=V` at argv[*i], or nullptr.
+const char* FlagValue(const char* name, int argc, char** argv, int* i) {
+  std::string prefix = std::string("--") + name;
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return nullptr;
+  const char* rest = arg + prefix.size();
+  if (*rest == '=') return rest + 1;
+  if (*rest != '\0') return nullptr;  // e.g. --threadsX
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s needs a value\n", prefix.c_str());
+    std::exit(2);
+  }
+  return argv[++*i];
+}
+
+}  // namespace
+
+BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue("threads", argc, argv, &i)) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: --threads wants an integer >= 0\n");
+        std::exit(2);
+      }
+      flags.threads = static_cast<size_t>(n);
+      flags.threads_given = true;
+    } else if (const char* v2 = FlagValue("json-out", argc, argv, &i)) {
+      flags.json_out = v2;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown argument '%s'\n"
+                   "usage: %s [--threads N] [--json-out PATH]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+bool WriteParallelScalingJson(const std::string& path,
+                              const std::string& workload,
+                              size_t input_size,
+                              const std::vector<ScalingPoint>& points) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  double baseline = 0;
+  for (const ScalingPoint& p : points) {
+    if (p.threads == 1) baseline = p.wall_seconds;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"workload\": \"%s\",\n"
+               "  \"input_size\": %zu,\n"
+               "  \"baseline_wall_seconds\": %.6f,\n"
+               "  \"points\": [\n",
+               workload.c_str(), input_size, baseline);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    double speedup =
+        p.wall_seconds > 0 && baseline > 0 ? baseline / p.wall_seconds : 0;
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"wall_seconds\": %.6f, "
+        "\"siggen_seconds\": %.6f, \"candpair_seconds\": %.6f, "
+        "\"postfilter_seconds\": %.6f, \"total_seconds\": %.6f, "
+        "\"candidates\": %llu, \"results\": %llu, "
+        "\"speedup_vs_1_thread\": %.3f}%s\n",
+        p.threads, p.wall_seconds, p.stats.siggen_seconds,
+        p.stats.candpair_seconds, p.stats.postfilter_seconds,
+        p.stats.TotalSeconds(),
+        static_cast<unsigned long long>(p.stats.candidates),
+        static_cast<unsigned long long>(p.stats.results), speedup,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
 
 Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
                                           const SetCollection& input,

@@ -130,6 +130,40 @@ inline void PrintF2Row(size_t size, const std::string& threshold,
   std::fflush(stdout);
 }
 
+/// Minimal command-line parsing for the bench harnesses (kept free of
+/// the tools/flags dependency): recognizes `--threads N` / `--threads=N`
+/// and `--json-out PATH` / `--json-out=PATH`; anything else aborts with
+/// a usage message so typos never silently run the default workload.
+struct BenchFlags {
+  /// Join parallelism (JoinOptions::num_threads semantics: 0 = one per
+  /// core). Only meaningful when threads_given.
+  size_t threads = 1;
+  bool threads_given = false;
+  /// Override for the machine-readable output path ("" = bench default).
+  std::string json_out;
+};
+
+BenchFlags ParseBenchFlags(int argc, char** argv);
+
+/// One measured point of a parallel-scaling trajectory: a full join at
+/// `threads` workers plus its wall-clock seconds (phase times live in
+/// `stats`; `wall_seconds` is the end-to-end stopwatch around the call).
+struct ScalingPoint {
+  size_t threads = 0;
+  double wall_seconds = 0;
+  JoinStats stats;
+};
+
+/// Writes the machine-readable perf trajectory consumed by future PRs to
+/// track regressions: one JSON object with the workload identity and a
+/// `points` array carrying threads, per-phase seconds, wall seconds, and
+/// speedup relative to the threads == 1 point. Returns false (after
+/// printing to stderr) if the file cannot be written.
+bool WriteParallelScalingJson(const std::string& path,
+                              const std::string& workload,
+                              size_t input_size,
+                              const std::vector<ScalingPoint>& points);
+
 /// Least-squares slope of log(y) vs log(x) — the scaling exponent read
 /// off the paper's log-log Figure 14.
 inline double LogLogSlope(const std::vector<double>& x,

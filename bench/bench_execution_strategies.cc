@@ -6,14 +6,23 @@
 // output and on the implementation-independent measures (signatures,
 // collisions, candidates) while differing only in wall time.
 
+// Pass --threads N to additionally run every strategy at N workers: the
+// parallel rows must reproduce the serial output and counters exactly
+// (the determinism contract of DESIGN.md Section 6), differing only in
+// wall time.
+
 #include "bench_common.h"
 #include "bench_schemes.h"
 #include "core/predicate.h"
+#include "util/thread_pool.h"
 
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  size_t threads =
+      flags.threads_given ? ResolveThreadCount(flags.threads) : 1;
   std::printf(
       "=== Execution strategies: sorted vs pipelined vs binary ===\n\n");
   PrintTimeHeader();
@@ -45,12 +54,39 @@ int main() {
       SetCollection s = s_builder.Build();
       JoinResult binary = SignatureJoin(r, s, *made->scheme, predicate);
       PrintTimeRow(size, threshold, "binary/halves", binary.stats);
+
+      if (threads > 1) {
+        JoinOptions options;
+        options.num_threads = threads;
+        char label[40];
+        std::snprintf(label, sizeof(label), "self/sorted(t=%zu)", threads);
+        JoinResult par_sorted =
+            SignatureSelfJoin(input, *made->scheme, predicate, options);
+        PrintTimeRow(size, threshold, label, par_sorted.stats);
+        std::snprintf(label, sizeof(label), "self/pipelined(t=%zu)",
+                      threads);
+        JoinResult par_pipelined =
+            PipelinedSelfJoin(input, *made->scheme, predicate, options);
+        PrintTimeRow(size, threshold, label, par_pipelined.stats);
+        std::snprintf(label, sizeof(label), "binary/halves(t=%zu)",
+                      threads);
+        JoinResult par_binary =
+            SignatureJoin(r, s, *made->scheme, predicate, options);
+        PrintTimeRow(size, threshold, label, par_binary.stats);
+        if (par_sorted.pairs != sorted.pairs ||
+            par_pipelined.pairs != sorted.pairs ||
+            par_binary.pairs != binary.pairs) {
+          std::printf("!! parallel output DIVERGES from serial\n");
+          return 1;
+        }
+      }
     }
     std::printf("\n");
   }
   std::printf(
       "(expected: identical candidates/results between sorted and\n"
-      " pipelined; the paper's 'relative performances similar for binary\n"
-      " SSJoins' expectation shows as proportional costs on the halves)\n");
+      " pipelined — and between serial and parallel rows; the paper's\n"
+      " 'relative performances similar for binary SSJoins' expectation\n"
+      " shows as proportional costs on the halves)\n");
   return 0;
 }

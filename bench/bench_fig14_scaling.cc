@@ -10,10 +10,19 @@
 // by the advisor at every input size (the Table 1 methodology; a *fixed*
 // setting would scale quadratically, Section 4.3).
 
+// With --threads N the harness instead measures the parallel-execution
+// trajectory: the same equi-sized PEN join at n = Scaled(100000), run at
+// 1, 2, 4, ... up to N threads, outputs byte-compared against the serial
+// run, and the per-phase times + speedups written to
+// BENCH_parallel_scaling.json (override with --json-out) so future PRs
+// can diff perf machine-readably.
+
 #include "bench_common.h"
 #include "bench_schemes.h"
 #include "core/partenum_jaccard.h"
 #include "core/predicate.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace ssjoin;
 using namespace ssjoin::bench;
@@ -127,9 +136,77 @@ void RunGammaSweep() {
       " more than LSH(0.95) across the board)\n");
 }
 
+// Thread-scaling trajectory on the Figure-14 workload (see file header).
+int RunParallelScaling(const BenchFlags& flags) {
+  size_t max_threads = ResolveThreadCount(flags.threads);
+  size_t n = Scaled(100000);
+  double gamma = 0.9;
+  std::printf(
+      "=== Parallel scaling: Figure-14 workload, %zu sets, gamma=%.1f "
+      "===\n\n",
+      n, gamma);
+  SetCollection input = SyntheticSets(n);
+  auto made = MakeEquisizedPen(input, gamma);
+  if (!made.ok()) {
+    std::fprintf(stderr, "error: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  JaccardPredicate predicate(gamma);
+
+  std::vector<size_t> grid = {1};
+  for (size_t t = 2; t < max_threads; t *= 2) grid.push_back(t);
+  if (max_threads > 1) grid.push_back(max_threads);
+
+  PrintTimeHeader();
+  std::vector<ScalingPoint> points;
+  std::vector<SetPair> reference;
+  for (size_t threads : grid) {
+    JoinOptions options;
+    options.num_threads = threads;
+    Stopwatch watch;
+    JoinResult result =
+        SignatureSelfJoin(input, *made->scheme, predicate, options);
+    ScalingPoint point;
+    point.threads = threads;
+    point.wall_seconds = watch.ElapsedSeconds();
+    point.stats = result.stats;
+    points.push_back(point);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s/t=%zu", made->label.c_str(),
+                  threads);
+    PrintTimeRow(n, "0.90", label, result.stats);
+    if (threads == 1) {
+      reference = std::move(result.pairs);
+    } else if (result.pairs != reference) {
+      std::printf("!! output at %zu threads DIVERGES from serial\n",
+                  threads);
+      return 1;
+    }
+  }
+
+  double baseline = points.front().wall_seconds;
+  std::printf("\nspeedup vs 1 thread:");
+  for (const ScalingPoint& p : points) {
+    std::printf("  t=%zu: %.2fx", p.threads,
+                p.wall_seconds > 0 ? baseline / p.wall_seconds : 0.0);
+  }
+  std::printf("\n");
+
+  std::string path = flags.json_out.empty() ? "BENCH_parallel_scaling.json"
+                                            : flags.json_out;
+  if (!WriteParallelScalingJson(path, "fig14-synthetic-equisized-pen", n,
+                                points)) {
+    return 1;
+  }
+  std::printf("trajectory written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  if (flags.threads_given) return RunParallelScaling(flags);
   std::printf("=== Figure 14: scaling, synthetic equi-sized data ===\n\n");
   RunScalingSeries(0.9);
   RunScalingSeries(0.8);

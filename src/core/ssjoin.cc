@@ -1,15 +1,22 @@
 #include "core/ssjoin.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "util/hashing.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ssjoin {
 
 namespace {
+
+// One (signature, set id) occurrence; sorted order groups equal
+// signatures and, within a group, ascends by id.
+using Posting = std::pair<Signature, SetId>;
 
 // Flattened per-set signature lists (CSR). Signatures are deduplicated
 // within each set: Sign(s) is a set, and duplicates would double-count
@@ -21,125 +28,281 @@ struct SignatureTable {
   uint64_t total() const { return values.size(); }
 };
 
+// Replaces *scratch with the deduplicated, sorted Sign(set).
+void GenerateSorted(const SignatureScheme& scheme,
+                    std::span<const ElementId> set,
+                    std::vector<Signature>* scratch) {
+  scratch->clear();
+  scheme.Generate(set, scratch);
+  std::sort(scratch->begin(), scratch->end());
+  scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                 scratch->end());
+}
+
+// Signature generation, fanned out per set into thread-local CSR chunks
+// that are stitched back in set order — the layout is identical to the
+// serial loop for any thread count.
 SignatureTable GenerateAll(const SetCollection& input,
-                           const SignatureScheme& scheme) {
+                           const SignatureScheme& scheme, ThreadPool& pool) {
+  size_t chunks = pool.size();
+  if (chunks == 1 || input.size() < 2 * chunks) {
+    SignatureTable table;
+    table.offsets.reserve(input.size() + 1);
+    table.offsets.push_back(0);
+    std::vector<Signature> scratch;
+    for (SetId id = 0; id < input.size(); ++id) {
+      GenerateSorted(scheme, input.set(id), &scratch);
+      table.values.insert(table.values.end(), scratch.begin(),
+                          scratch.end());
+      table.offsets.push_back(table.values.size());
+    }
+    return table;
+  }
+
+  std::vector<SignatureTable> parts(chunks);
+  ParallelFor(pool, input.size(), [&](size_t begin, size_t end, size_t c) {
+    SignatureTable& part = parts[c];
+    part.offsets.reserve(end - begin + 1);
+    part.offsets.push_back(0);
+    std::vector<Signature> scratch;
+    for (size_t id = begin; id < end; ++id) {
+      GenerateSorted(scheme, input.set(static_cast<SetId>(id)), &scratch);
+      part.values.insert(part.values.end(), scratch.begin(), scratch.end());
+      part.offsets.push_back(part.values.size());
+    }
+  });
+
   SignatureTable table;
+  size_t total = 0;
+  for (const SignatureTable& part : parts) total += part.values.size();
+  table.values.reserve(total);
   table.offsets.reserve(input.size() + 1);
   table.offsets.push_back(0);
-  std::vector<Signature> scratch;
-  for (SetId id = 0; id < input.size(); ++id) {
-    scratch.clear();
-    scheme.Generate(input.set(id), &scratch);
-    std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    table.values.insert(table.values.end(), scratch.begin(), scratch.end());
-    table.offsets.push_back(table.values.size());
+  for (SignatureTable& part : parts) {
+    size_t base = table.values.size();
+    table.values.insert(table.values.end(), part.values.begin(),
+                        part.values.end());
+    for (size_t i = 1; i < part.offsets.size(); ++i) {
+      table.offsets.push_back(base + part.offsets[i]);
+    }
   }
   return table;
 }
 
-// (signature, set id) pairs sorted by signature, for group-by-signature
-// candidate generation. Sorting beats a hash table here: one pass, cache
-// friendly, deterministic iteration order.
-std::vector<std::pair<Signature, SetId>> ToSortedPostings(
-    const SignatureTable& table) {
-  std::vector<std::pair<Signature, SetId>> postings;
-  postings.reserve(table.values.size());
-  for (SetId id = 0; id + 1 < table.offsets.size(); ++id) {
-    for (size_t i = table.offsets[id]; i < table.offsets[id + 1]; ++i) {
-      postings.emplace_back(table.values[i], id);
+// Shard assignment for candidate generation. All postings of one
+// signature land in one shard, so a signature group never straddles
+// shards: per-shard collision counts sum to exactly the serial total,
+// and the Section 4 / Theorem 2 accounting is preserved.
+size_t ShardOf(Signature sig, size_t shards) {
+  return shards == 1 ? 0 : static_cast<size_t>(Mix64(sig) % shards);
+}
+
+// Scatters a CSR table into per-(producer, shard) posting buckets.
+// Producer c writes only buckets[c * shards + *], so the pass is
+// race-free; shard s later reads buckets[* * shards + s].
+std::vector<std::vector<Posting>> BucketPostings(const SignatureTable& table,
+                                                 ThreadPool& pool) {
+  size_t shards = pool.size();
+  std::vector<std::vector<Posting>> buckets(shards * shards);
+  size_t num_sets = table.offsets.size() - 1;
+  ParallelFor(pool, num_sets, [&](size_t begin, size_t end, size_t c) {
+    std::vector<Posting>* mine = &buckets[c * shards];
+    for (size_t id = begin; id < end; ++id) {
+      for (size_t i = table.offsets[id]; i < table.offsets[id + 1]; ++i) {
+        Signature sig = table.values[i];
+        mine[ShardOf(sig, shards)].emplace_back(sig,
+                                                static_cast<SetId>(id));
+      }
     }
+  });
+  return buckets;
+}
+
+// Concatenates shard `shard`'s buckets (in producer order) and sorts,
+// yielding this shard's slice of the sorted posting list.
+std::vector<Posting> ShardPostings(
+    const std::vector<std::vector<Posting>>& buckets, size_t shards,
+    size_t shard) {
+  std::vector<Posting> postings;
+  size_t total = 0;
+  for (size_t p = 0; p < shards; ++p) {
+    total += buckets[p * shards + shard].size();
+  }
+  postings.reserve(total);
+  for (size_t p = 0; p < shards; ++p) {
+    const std::vector<Posting>& bucket = buckets[p * shards + shard];
+    postings.insert(postings.end(), bucket.begin(), bucket.end());
   }
   std::sort(postings.begin(), postings.end());
   return postings;
 }
 
-void PostFilter(const SetCollection& r, const SetCollection& s,
-                const std::unordered_set<uint64_t>& candidates,
-                const Predicate& predicate, JoinResult* result) {
-  result->pairs.reserve(candidates.size() / 4 + 1);
-  for (uint64_t packed : candidates) {
-    auto [id_r, id_s] = UnpackPair(packed);
-    if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
-      result->pairs.emplace_back(id_r, id_s);
-      ++result->stats.results;
-    } else {
-      ++result->stats.false_positives;
+// One shard's candidate output: packed pairs, sorted and duplicate-free
+// within the shard (a pair can still surface in two shards via two
+// different signatures; UnionShards removes those).
+struct ShardCandidates {
+  std::vector<uint64_t> packed;
+  uint64_t collisions = 0;
+};
+
+void SortUnique(std::vector<uint64_t>* packed) {
+  std::sort(packed->begin(), packed->end());
+  packed->erase(std::unique(packed->begin(), packed->end()), packed->end());
+}
+
+// Self-join candidate generation over one shard's sorted postings.
+// Within a signature group the (sig, id) postings are unique and sorted,
+// so ids ascend: a < b already yields first < second.
+ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
+                              size_t reserve) {
+  ShardCandidates out;
+  out.packed.reserve(reserve);
+  size_t i = 0;
+  while (i < postings.size()) {
+    size_t j = i;
+    while (j < postings.size() && postings[j].first == postings[i].first) {
+      ++j;
     }
-  }
-  // Deterministic output order regardless of hash-set iteration.
-  std::sort(result->pairs.begin(), result->pairs.end());
-}
-
-}  // namespace
-
-std::string JoinStats::ToString() const {
-  std::ostringstream os;
-  os << "time=" << TotalSeconds() << "s (sig=" << siggen_seconds
-     << " cand=" << candpair_seconds << " post=" << postfilter_seconds
-     << ") sigs=" << signatures_r << "+" << signatures_s
-     << " collisions=" << signature_collisions << " F2=" << F2()
-     << " candidates=" << candidates << " results=" << results
-     << " false_pos=" << false_positives;
-  return os.str();
-}
-
-JoinResult SignatureSelfJoin(const SetCollection& input,
-                             const SignatureScheme& scheme,
-                             const Predicate& predicate,
-                             const JoinOptions& options) {
-  JoinResult result;
-  PhaseTimer timer;
-
-  SignatureTable table;
-  {
-    auto scope = timer.Measure(kPhaseSigGen);
-    table = GenerateAll(input, scheme);
-  }
-  result.stats.signatures_r = table.total();
-  result.stats.signatures_s = table.total();
-
-  std::unordered_set<uint64_t> candidates;
-  if (options.table_reserve > 0) candidates.reserve(options.table_reserve);
-  {
-    auto scope = timer.Measure(kPhaseCandPair);
-    std::vector<std::pair<Signature, SetId>> postings =
-        ToSortedPostings(table);
-    size_t i = 0;
-    while (i < postings.size()) {
-      size_t j = i;
-      while (j < postings.size() && postings[j].first == postings[i].first) {
-        ++j;
+    uint64_t group = j - i;
+    out.collisions += group * (group - 1) / 2;
+    for (size_t a = i; a < j; ++a) {
+      for (size_t b = a + 1; b < j; ++b) {
+        out.packed.push_back(
+            PackPair(postings[a].second, postings[b].second));
       }
-      uint64_t group = j - i;
-      result.stats.signature_collisions += group * (group - 1) / 2;
-      for (size_t a = i; a < j; ++a) {
-        for (size_t b = a + 1; b < j; ++b) {
-          SetId lo = std::min(postings[a].second, postings[b].second);
-          SetId hi = std::max(postings[a].second, postings[b].second);
-          if (lo != hi) candidates.insert(PackPair(lo, hi));
+    }
+    i = j;
+  }
+  SortUnique(&out.packed);
+  return out;
+}
+
+// Binary-join candidate generation: merge-join of the two shard slices.
+ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
+                                const std::vector<Posting>& postings_s,
+                                size_t reserve) {
+  ShardCandidates out;
+  out.packed.reserve(reserve);
+  size_t i = 0, j = 0;
+  while (i < postings_r.size() && j < postings_s.size()) {
+    Signature sig_r = postings_r[i].first;
+    Signature sig_s = postings_s[j].first;
+    if (sig_r < sig_s) {
+      ++i;
+    } else if (sig_s < sig_r) {
+      ++j;
+    } else {
+      size_t ei = i, ej = j;
+      while (ei < postings_r.size() && postings_r[ei].first == sig_r) ++ei;
+      while (ej < postings_s.size() && postings_s[ej].first == sig_r) ++ej;
+      out.collisions += static_cast<uint64_t>(ei - i) * (ej - j);
+      for (size_t a = i; a < ei; ++a) {
+        for (size_t b = j; b < ej; ++b) {
+          out.packed.push_back(
+              PackPair(postings_r[a].second, postings_s[b].second));
         }
       }
-      i = j;
+      i = ei;
+      j = ej;
     }
-    result.stats.candidates = candidates.size();
   }
-
-  {
-    auto scope = timer.Measure(kPhasePostFilter);
-    PostFilter(input, input, candidates, predicate, &result);
-  }
-
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
-  return result;
+  SortUnique(&out.packed);
+  return out;
 }
 
-JoinResult PipelinedSelfJoin(const SetCollection& input,
-                             const SignatureScheme& scheme,
-                             const Predicate& predicate,
-                             const JoinOptions& options) {
+// Unions sorted duplicate-free candidate lists: log2(n) pairwise
+// set_union rounds, the merges of each round running in parallel.
+std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
+                                  ThreadPool& pool) {
+  if (lists.empty()) return {};
+  while (lists.size() > 1) {
+    size_t pairs = lists.size() / 2;
+    std::vector<std::vector<uint64_t>> next(pairs + lists.size() % 2);
+    ParallelFor(pool, pairs, [&](size_t begin, size_t end, size_t) {
+      for (size_t p = begin; p < end; ++p) {
+        const std::vector<uint64_t>& a = lists[2 * p];
+        const std::vector<uint64_t>& b = lists[2 * p + 1];
+        std::vector<uint64_t> merged;
+        merged.reserve(a.size() + b.size());
+        std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                       std::back_inserter(merged));
+        next[p] = std::move(merged);
+      }
+    });
+    if (lists.size() % 2) next.back() = std::move(lists.back());
+    lists = std::move(next);
+  }
+  return std::move(lists[0]);
+}
+
+// Shared candidate-generation phase: bucket by signature hash, run
+// `shard_fn` per shard, then union the shard outputs. Fills
+// stats.signature_collisions / stats.candidates and returns the global
+// sorted duplicate-free candidate vector.
+template <typename ShardFn>
+std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
+                                         const ShardFn& shard_fn,
+                                         JoinStats* stats) {
+  size_t shards = pool.size();
+  std::vector<ShardCandidates> per_shard(shards);
+  pool.RunOnAll([&](size_t shard) { per_shard[shard] = shard_fn(shard); });
+  std::vector<std::vector<uint64_t>> lists;
+  lists.reserve(shards);
+  for (ShardCandidates& sc : per_shard) {
+    stats->signature_collisions += sc.collisions;
+    lists.push_back(std::move(sc.packed));
+  }
+  std::vector<uint64_t> candidates = UnionShards(std::move(lists), pool);
+  stats->candidates = candidates.size();
+  return candidates;
+}
+
+// Verifies a sorted candidate vector in parallel ranges. The chunks are
+// contiguous slices of a sorted vector, so concatenating the per-chunk
+// outputs in chunk order yields result->pairs already sorted — the
+// serial and every parallel execution produce the identical vector.
+void PostFilter(const SetCollection& r, const SetCollection& s,
+                const std::vector<uint64_t>& candidates,
+                const Predicate& predicate, ThreadPool& pool,
+                JoinResult* result) {
+  size_t chunks = pool.size();
+  std::vector<std::vector<SetPair>> pairs(chunks);
+  std::vector<uint64_t> results(chunks, 0);
+  std::vector<uint64_t> false_positives(chunks, 0);
+  ParallelFor(pool, candidates.size(),
+              [&](size_t begin, size_t end, size_t c) {
+                std::vector<SetPair>& mine = pairs[c];
+                mine.reserve((end - begin) / 4 + 1);
+                uint64_t hits = 0, misses = 0;
+                for (size_t i = begin; i < end; ++i) {
+                  auto [id_r, id_s] = UnpackPair(candidates[i]);
+                  if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+                    mine.emplace_back(id_r, id_s);
+                    ++hits;
+                  } else {
+                    ++misses;
+                  }
+                }
+                results[c] = hits;
+                false_positives[c] = misses;
+              });
+  size_t total = 0;
+  for (const std::vector<SetPair>& p : pairs) total += p.size();
+  result->pairs.reserve(total);
+  for (size_t c = 0; c < chunks; ++c) {
+    result->pairs.insert(result->pairs.end(), pairs[c].begin(),
+                         pairs[c].end());
+    result->stats.results += results[c];
+    result->stats.false_positives += false_positives[c];
+  }
+}
+
+// The serial pipelined driver — the num_threads == 1 reference path,
+// kept verbatim as the baseline the block-parallel variant must match.
+JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
+                                   const SignatureScheme& scheme,
+                                   const Predicate& predicate,
+                                   const JoinOptions& options) {
   JoinResult result;
   PhaseTimer timer;
 
@@ -149,12 +312,9 @@ JoinResult PipelinedSelfJoin(const SetCollection& input,
   std::vector<Signature> sigs;
   std::vector<SetId> probe_candidates;  // per-probe scratch, deduped
   for (SetId id = 0; id < input.size(); ++id) {
-    sigs.clear();
     {
       auto scope = timer.Measure(kPhaseSigGen);
-      scheme.Generate(input.set(id), &sigs);
-      std::sort(sigs.begin(), sigs.end());
-      sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+      GenerateSorted(scheme, input.set(id), &sigs);
       result.stats.signatures_r += sigs.size();
     }
     {
@@ -197,60 +357,248 @@ JoinResult PipelinedSelfJoin(const SetCollection& input,
   return result;
 }
 
+// Block-synchronous parallel pipelined driver. Sets are processed in
+// blocks of 256 * threads: each block generates signatures, probes the
+// (read-only during the block) inverted index plus a sorted block-local
+// posting list for intra-block partners with smaller id, verifies, and
+// only then appends the block to the index. Every probe still sees
+// exactly the sets with smaller id — via the index for earlier blocks
+// and the block posting list for its own — so candidates, collisions
+// and output match the serial pipelined driver pair for pair. Peak
+// memory is per-block instead of per-probe, the price of parallelism.
+JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
+                                     const SignatureScheme& scheme,
+                                     const Predicate& predicate,
+                                     const JoinOptions& options,
+                                     ThreadPool& pool) {
+  JoinResult result;
+  PhaseTimer timer;
+  size_t chunks = pool.size();
+
+  std::unordered_map<Signature, std::vector<SetId>> index;
+  if (options.table_reserve > 0) index.reserve(options.table_reserve);
+  const size_t block = 256 * chunks;
+  std::vector<std::vector<Signature>> block_sigs;
+  std::vector<std::vector<SetId>> block_partners;
+  std::vector<Posting> block_postings;
+
+  for (size_t b0 = 0; b0 < input.size(); b0 += block) {
+    size_t b1 = std::min(static_cast<size_t>(input.size()), b0 + block);
+    size_t n = b1 - b0;
+    block_sigs.assign(n, {});
+    {
+      auto scope = timer.Measure(kPhaseSigGen);
+      std::vector<uint64_t> counts(chunks, 0);
+      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
+        uint64_t count = 0;
+        for (size_t i = begin; i < end; ++i) {
+          GenerateSorted(scheme, input.set(static_cast<SetId>(b0 + i)),
+                         &block_sigs[i]);
+          count += block_sigs[i].size();
+        }
+        counts[c] = count;
+      });
+      for (uint64_t count : counts) result.stats.signatures_r += count;
+    }
+    block_partners.assign(n, {});
+    {
+      auto scope = timer.Measure(kPhaseCandPair);
+      block_postings.clear();
+      for (size_t i = 0; i < n; ++i) {
+        for (Signature sig : block_sigs[i]) {
+          block_postings.emplace_back(sig, static_cast<SetId>(b0 + i));
+        }
+      }
+      std::sort(block_postings.begin(), block_postings.end());
+      std::vector<uint64_t> collisions(chunks, 0);
+      std::vector<uint64_t> candidates(chunks, 0);
+      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
+        uint64_t hits = 0, kept = 0;
+        for (size_t i = begin; i < end; ++i) {
+          SetId id = static_cast<SetId>(b0 + i);
+          std::vector<SetId>& partners = block_partners[i];
+          for (Signature sig : block_sigs[i]) {
+            auto it = index.find(sig);
+            if (it != index.end()) {
+              hits += it->second.size();
+              partners.insert(partners.end(), it->second.begin(),
+                              it->second.end());
+            }
+            for (auto p = std::lower_bound(block_postings.begin(),
+                                           block_postings.end(),
+                                           Posting(sig, 0));
+                 p != block_postings.end() && p->first == sig &&
+                 p->second < id;
+                 ++p) {
+              partners.push_back(p->second);
+              ++hits;
+            }
+          }
+          std::sort(partners.begin(), partners.end());
+          partners.erase(std::unique(partners.begin(), partners.end()),
+                         partners.end());
+          kept += partners.size();
+        }
+        collisions[c] = hits;
+        candidates[c] = kept;
+      });
+      for (size_t c = 0; c < chunks; ++c) {
+        result.stats.signature_collisions += collisions[c];
+        result.stats.candidates += candidates[c];
+      }
+    }
+    {
+      auto scope = timer.Measure(kPhasePostFilter);
+      std::vector<std::vector<SetPair>> pairs(chunks);
+      std::vector<uint64_t> results(chunks, 0);
+      std::vector<uint64_t> false_positives(chunks, 0);
+      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
+        std::vector<SetPair>& mine = pairs[c];
+        uint64_t hits = 0, misses = 0;
+        for (size_t i = begin; i < end; ++i) {
+          SetId id = static_cast<SetId>(b0 + i);
+          for (SetId partner : block_partners[i]) {
+            if (predicate.Evaluate(input.set(partner), input.set(id))) {
+              mine.emplace_back(partner, id);
+              ++hits;
+            } else {
+              ++misses;
+            }
+          }
+        }
+        results[c] = hits;
+        false_positives[c] = misses;
+      });
+      for (size_t c = 0; c < chunks; ++c) {
+        result.pairs.insert(result.pairs.end(), pairs[c].begin(),
+                            pairs[c].end());
+        result.stats.results += results[c];
+        result.stats.false_positives += false_positives[c];
+      }
+    }
+    {
+      auto scope = timer.Measure(kPhaseSigGen);
+      for (size_t i = 0; i < n; ++i) {
+        for (Signature sig : block_sigs[i]) {
+          index[sig].push_back(static_cast<SetId>(b0 + i));
+        }
+      }
+    }
+  }
+  result.stats.signatures_s = result.stats.signatures_r;
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  return result;
+}
+
+}  // namespace
+
+std::string JoinStats::ToString() const {
+  std::ostringstream os;
+  os << "time=" << TotalSeconds() << "s (sig=" << siggen_seconds
+     << " cand=" << candpair_seconds << " post=" << postfilter_seconds
+     << ") sigs=" << signatures_r << "+" << signatures_s
+     << " collisions=" << signature_collisions << " F2=" << F2()
+     << " candidates=" << candidates << " results=" << results
+     << " false_pos=" << false_positives;
+  return os.str();
+}
+
+JoinResult SignatureSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  JoinResult result;
+  PhaseTimer timer;
+  ThreadPool pool(ResolveThreadCount(options.num_threads));
+  size_t shards = pool.size();
+
+  SignatureTable table;
+  {
+    auto scope = timer.Measure(kPhaseSigGen);
+    table = GenerateAll(input, scheme, pool);
+  }
+  result.stats.signatures_r = table.total();
+  result.stats.signatures_s = table.total();
+
+  std::vector<uint64_t> candidates;
+  {
+    auto scope = timer.Measure(kPhaseCandPair);
+    std::vector<std::vector<Posting>> buckets = BucketPostings(table, pool);
+    size_t reserve = options.table_reserve / shards;
+    candidates = GenerateCandidates(
+        pool,
+        [&](size_t shard) {
+          return SelfJoinShard(ShardPostings(buckets, shards, shard),
+                               reserve);
+        },
+        &result.stats);
+  }
+
+  {
+    auto scope = timer.Measure(kPhasePostFilter);
+    PostFilter(input, input, candidates, predicate, pool, &result);
+  }
+
+  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  return result;
+}
+
+JoinResult PipelinedSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads == 1) {
+    return PipelinedSelfJoinSerial(input, scheme, predicate, options);
+  }
+  ThreadPool pool(threads);
+  return PipelinedSelfJoinParallel(input, scheme, predicate, options, pool);
+}
+
 JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
                          const SignatureScheme& scheme,
                          const Predicate& predicate,
                          const JoinOptions& options) {
   JoinResult result;
   PhaseTimer timer;
+  ThreadPool pool(ResolveThreadCount(options.num_threads));
+  size_t shards = pool.size();
 
   SignatureTable table_r, table_s;
   {
     auto scope = timer.Measure(kPhaseSigGen);
-    table_r = GenerateAll(r, scheme);
-    table_s = GenerateAll(s, scheme);
+    table_r = GenerateAll(r, scheme, pool);
+    table_s = GenerateAll(s, scheme, pool);
   }
   result.stats.signatures_r = table_r.total();
   result.stats.signatures_s = table_s.total();
 
-  std::unordered_set<uint64_t> candidates;
-  if (options.table_reserve > 0) candidates.reserve(options.table_reserve);
+  std::vector<uint64_t> candidates;
   {
     auto scope = timer.Measure(kPhaseCandPair);
-    std::vector<std::pair<Signature, SetId>> postings_r =
-        ToSortedPostings(table_r);
-    std::vector<std::pair<Signature, SetId>> postings_s =
-        ToSortedPostings(table_s);
-    size_t i = 0, j = 0;
-    while (i < postings_r.size() && j < postings_s.size()) {
-      Signature sig_r = postings_r[i].first;
-      Signature sig_s = postings_s[j].first;
-      if (sig_r < sig_s) {
-        ++i;
-      } else if (sig_s < sig_r) {
-        ++j;
-      } else {
-        size_t ei = i, ej = j;
-        while (ei < postings_r.size() && postings_r[ei].first == sig_r) ++ei;
-        while (ej < postings_s.size() && postings_s[ej].first == sig_r) ++ej;
-        result.stats.signature_collisions +=
-            static_cast<uint64_t>(ei - i) * (ej - j);
-        for (size_t a = i; a < ei; ++a) {
-          for (size_t b = j; b < ej; ++b) {
-            candidates.insert(
-                PackPair(postings_r[a].second, postings_s[b].second));
-          }
-        }
-        i = ei;
-        j = ej;
-      }
-    }
-    result.stats.candidates = candidates.size();
+    std::vector<std::vector<Posting>> buckets_r =
+        BucketPostings(table_r, pool);
+    std::vector<std::vector<Posting>> buckets_s =
+        BucketPostings(table_s, pool);
+    size_t reserve = options.table_reserve / shards;
+    candidates = GenerateCandidates(
+        pool,
+        [&](size_t shard) {
+          return BinaryJoinShard(ShardPostings(buckets_r, shards, shard),
+                                 ShardPostings(buckets_s, shards, shard),
+                                 reserve);
+        },
+        &result.stats);
   }
 
   {
     auto scope = timer.Measure(kPhasePostFilter);
-    PostFilter(r, s, candidates, predicate, &result);
+    PostFilter(r, s, candidates, predicate, pool, &result);
   }
 
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);

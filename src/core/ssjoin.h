@@ -10,6 +10,10 @@
 // time, signature counts, candidate counts, false positives, and the
 // intermediate-result size
 //   sum_r |Sign(r)| + sum_s |Sign(s)| + sum_(r,s) |Sign(r) ∩ Sign(s)|.
+//
+// All three phases are shard-parallel (paper Section 4's cost model
+// treats them as independent); JoinOptions::num_threads selects the
+// parallelism and the output is byte-identical for every thread count.
 
 #pragma once
 
@@ -30,8 +34,16 @@ struct JoinOptions {
   /// Also count candidate pairs that fail the predicate (false positives)
   /// separately in the stats. Costs nothing; kept for symmetry.
   bool verify = true;
-  /// Reserve hint for the signature hash table (0 = derive from input).
+  /// Reserve hint for the candidate containers / signature index
+  /// (0 = derive from input).
   size_t table_reserve = 0;
+  /// Worker threads for the drivers: 1 (default) runs the serial
+  /// reference path on the calling thread, 0 means one thread per
+  /// hardware core, any other value is used literally. Every thread
+  /// count produces byte-identical pairs and stats — parallel execution
+  /// uses deterministic static sharding (DESIGN.md Section 6), never
+  /// work stealing.
+  size_t num_threads = 1;
 };
 
 /// Evaluation measures of one join execution (paper Section 3.2).

@@ -35,6 +35,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -108,7 +109,27 @@ class WtEnumScheme final : public SignatureScheme {
   double gamma_ = 0;      // jaccard mode
   double base_size_ = 0;  // jaccard mode: b_0 = min weighted size
   double growth_ = 0;     // jaccard mode: interval growth factor ~ 1/gamma
-  mutable bool overflowed_ = false;
+  // Atomic because Generate may run concurrently across join worker
+  // threads (JoinOptions::num_threads > 1); relaxed ordering suffices for
+  // a sticky diagnostic flag. Copy/move load the current value so the
+  // scheme stays movable (it travels through Result<WtEnumScheme>).
+  struct RelaxedFlag {
+    std::atomic<bool> value{false};
+    RelaxedFlag() = default;
+    RelaxedFlag(const RelaxedFlag& other)
+        : value(other.value.load(std::memory_order_relaxed)) {}
+    RelaxedFlag& operator=(const RelaxedFlag& other) {
+      value.store(other.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+    RelaxedFlag& operator=(bool b) {
+      value.store(b, std::memory_order_relaxed);
+      return *this;
+    }
+    operator bool() const { return value.load(std::memory_order_relaxed); }
+  };
+  mutable RelaxedFlag overflowed_;
 };
 
 }  // namespace ssjoin

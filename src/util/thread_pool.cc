@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ssjoin {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ChunkRange ChunkOf(size_t total, size_t chunks, size_t index) {
+  SSJOIN_CHECK(chunks > 0 && index < chunks,
+               "ChunkOf: index {} out of {} chunks", index, chunks);
+  size_t base = total / chunks;
+  size_t extra = total % chunks;
+  size_t begin = index * base + std::min(index, extra);
+  size_t size = base + (index < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(size_t)>& job) {
+  if (threads_.empty()) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SSJOIN_CHECK(job_ == nullptr, "ThreadPool::RunOnAll is not reentrant");
+    job_ = &job;
+    remaining_ = threads_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  job(threads_.size());  // The caller is the last worker.
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(
+          lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t chunks = pool.size();
+  if (chunks == 1) {
+    fn(0, total, 0);
+    return;
+  }
+  pool.RunOnAll([&](size_t chunk) {
+    ChunkRange range = ChunkOf(total, chunks, chunk);
+    fn(range.begin, range.end, chunk);
+  });
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,83 @@
+// A deliberately small parallel-execution layer for the join drivers.
+//
+// Design constraints (DESIGN.md Section 6):
+//   * deterministic — work is split by *static* chunking, never stolen, so
+//     a join produces byte-identical output for any thread count;
+//   * zero-cost at num_threads == 1 — no threads are spawned and every
+//     ParallelFor body runs inline on the caller, preserving the serial
+//     reference path exactly;
+//   * reusable — one pool serves all phases of a join, paying the thread
+//     spawn once per driver invocation instead of once per phase.
+//
+// The pool owns size() - 1 worker threads; the calling thread acts as the
+// last worker, so ThreadPool(1) is a pure no-op wrapper.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssjoin {
+
+/// Resolves a JoinOptions-style thread count: 0 means one thread per
+/// hardware core (at least 1), anything else is taken literally.
+size_t ResolveThreadCount(size_t requested);
+
+/// The half-open range of items chunk `index` owns when `total` items are
+/// split into `chunks` contiguous chunks as evenly as possible (sizes
+/// differ by at most one, lower indices get the larger chunks).
+struct ChunkRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+ChunkRange ChunkOf(size_t total, size_t chunks, size_t index);
+
+/// Fixed-size pool of worker threads with fork-join execution.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the caller; the pool
+  /// spawns num_threads - 1 workers. 0 is treated as 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: spawned workers + the calling thread.
+  size_t size() const { return threads_.size() + 1; }
+
+  /// Runs job(worker_index) once for every worker_index in [0, size()),
+  /// index size()-1 on the calling thread, and returns when all are done.
+  /// Not reentrant: a job must not call back into the same pool.
+  void RunOnAll(const std::function<void(size_t)>& job);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Fork-join loop over [0, total): fn(begin, end, chunk) is invoked once
+/// per chunk in [0, pool.size()) with the static ChunkOf ranges. With a
+/// 1-thread pool this is a plain inline call — no synchronization, no
+/// spawn — so serial callers pay nothing.
+void ParallelFor(ThreadPool& pool, size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace ssjoin

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace ssjoin {
@@ -44,6 +45,12 @@ class Stopwatch {
 ///   PhaseTimer timer;
 ///   { auto scope = timer.Measure("SigGen"); ... }
 ///   double t = timer.Seconds("SigGen");
+///
+/// Accumulation (Add, including via Scope destruction) is thread-safe:
+/// concurrent scopes from worker threads serialize on an internal mutex.
+/// The readers (Seconds, TotalSeconds, phases) also take the mutex,
+/// except phases(), which returns a reference and must only be called
+/// once all measuring threads have joined.
 class PhaseTimer {
  public:
   class Scope {
@@ -63,29 +70,37 @@ class PhaseTimer {
   /// Starts measuring `phase`; the time is added when the Scope dies.
   Scope Measure(std::string phase) { return Scope(this, std::move(phase)); }
 
-  /// Adds `seconds` to the accumulated time of `phase`.
+  /// Adds `seconds` to the accumulated time of `phase`. Thread-safe.
   void Add(const std::string& phase, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     phases_[phase] += seconds;
   }
 
   /// Accumulated seconds for `phase` (0 if never measured).
   double Seconds(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = phases_.find(phase);
     return it == phases_.end() ? 0.0 : it->second;
   }
 
   /// Sum over all phases.
   double TotalSeconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     double total = 0;
     for (const auto& [_, s] : phases_) total += s;
     return total;
   }
 
+  /// Unsynchronized view; callers must have joined all measuring threads.
   const std::map<std::string, double>& phases() const { return phases_; }
 
-  void Reset() { phases_.clear(); }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phases_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, double> phases_;
 };
 

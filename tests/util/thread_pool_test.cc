@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ssjoin {
+namespace {
+
+TEST(ChunkOfTest, CoversRangeExactlyOnce) {
+  for (size_t total : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t chunks : {1u, 2u, 3u, 8u, 13u}) {
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        ChunkRange range = ChunkOf(total, chunks, c);
+        EXPECT_EQ(range.begin, prev_end);
+        EXPECT_LE(range.begin, range.end);
+        prev_end = range.end;
+        covered += range.size();
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ChunkOfTest, BalancedWithinOne) {
+  for (size_t c = 0; c < 7; ++c) {
+    ChunkRange range = ChunkOf(100, 7, c);
+    EXPECT_GE(range.size(), 100u / 7);
+    EXPECT_LE(range.size(), 100u / 7 + 1);
+  }
+}
+
+TEST(ResolveThreadCountTest, ZeroMeansHardware) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(5), 5u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<size_t> seen;
+  pool.RunOnAll([&](size_t index) { seen.push_back(index); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0}));
+}
+
+TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> counts(4);
+  pool.RunOnAll([&](size_t index) { ++counts[index]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunOnAll([&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  std::vector<int> values(1000);
+  std::iota(values.begin(), values.end(), 1);
+  long expected = std::accumulate(values.begin(), values.end(), 0L);
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    std::vector<long> partial(pool.size(), 0);
+    ParallelFor(pool, values.size(),
+                [&](size_t begin, size_t end, size_t chunk) {
+                  long sum = 0;
+                  for (size_t i = begin; i < end; ++i) sum += values[i];
+                  partial[chunk] = sum;
+                });
+    EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L),
+              expected);
+  }
+}
+
+TEST(ParallelForTest, EmptyRange) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(pool, 0, [&](size_t begin, size_t end, size_t) {
+    EXPECT_EQ(begin, end);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  ParallelFor(pool, 3, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+}  // namespace
+}  // namespace ssjoin

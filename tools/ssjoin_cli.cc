@@ -51,11 +51,16 @@ commands:
   stats    --input <file> [--format strings|sets|bin]
   jaccard  --input <file> --gamma <g> [--algo pen|pf|lsh|probecount|paircount]
            [--format strings|sets|bin] [--accuracy <f>] [--out <file>]
-           [--time]
+           [--threads <n>] [--time]
   edit     --input <file> --k <n> [--algo pen|pf] [--q <n>] [--out <file>]
            [--time]
   weighted --input <file> --gamma <g> [--algo wen|wpf|wlsh] [--out <file>]
-           [--time]
+           [--threads <n>] [--time]
+
+--threads selects the join parallelism for the signature-based
+algorithms (pen, pf, lsh, wen, wpf, wlsh): 1 = serial (default),
+0 = one thread per core, N = exactly N. Output is identical for every
+value.
 )";
 
 Status WritePairs(const std::vector<SetPair>& pairs,
@@ -95,6 +100,17 @@ Result<SetCollection> LoadInput(Flags& flags) {
     return tokenizer.TokenizeAll(strings);
   }
   return Status::InvalidArgument("--format must be strings, sets or bin");
+}
+
+// Reads --threads into JoinOptions::num_threads (see kUsage).
+Result<JoinOptions> ThreadedJoinOptions(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  JoinOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  return options;
 }
 
 Status RunGenerate(Flags& flags) {
@@ -155,6 +171,7 @@ Status RunJaccard(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(double accuracy,
                           flags.GetDouble("accuracy", 0.95));
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
@@ -168,12 +185,12 @@ Status RunJaccard(Flags& flags) {
     params.max_set_size = input.max_set_size();
     auto scheme = PartEnumJaccardScheme::Create(params);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "pf") {
     auto pred = std::make_shared<JaccardPredicate>(gamma);
     auto scheme = PrefixFilterScheme::Create(pred, input);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "lsh") {
     auto choice = ChooseLshParams(input, gamma, 1.0 - accuracy, 6);
     LshParams params =
@@ -184,7 +201,7 @@ Status RunJaccard(Flags& flags) {
     std::fprintf(stderr,
                  "note: LSH is approximate (configured recall %.0f%%)\n",
                  accuracy * 100);
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "probecount") {
     result = ProbeCountSelfJoin(input, predicate);
   } else if (algo == "paircount") {
@@ -233,6 +250,7 @@ Status RunWeighted(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(double accuracy,
                           flags.GetDouble("accuracy", 0.95));
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
@@ -257,12 +275,12 @@ Status RunWeighted(Flags& flags) {
     auto scheme = WtEnumScheme::CreateJaccard(weights, weights, gamma,
                                               min_ws, params);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "wpf") {
     auto scheme =
         WeightedPrefixFilterScheme::Create(gamma, weights, input, min_ws);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "wlsh") {
     LshParams params = LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
     auto scheme = WeightedLshScheme::Create(params, weights);
@@ -271,7 +289,7 @@ Status RunWeighted(Flags& flags) {
                  "note: weighted LSH is approximate (configured recall "
                  "~%.0f%%)\n",
                  accuracy * 100);
-    result = SignatureSelfJoin(input, *scheme, predicate);
+    result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
