@@ -42,10 +42,44 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.threads_given = true;
     } else if (const char* v2 = FlagValue("json-out", argc, argv, &i)) {
       flags.json_out = v2;
+    } else if (const char* v3 = FlagValue("deadline-ms", argc, argv, &i)) {
+      char* end = nullptr;
+      long n = std::strtol(v3, &end, 10);
+      if (end == v3 || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: --deadline-ms wants an integer >= 0\n");
+        std::exit(2);
+      }
+      flags.budget.deadline_ms = n;
+      flags.guard_given = flags.guard_given || n > 0;
+    } else if (const char* v4 =
+                   FlagValue("memory-budget-mb", argc, argv, &i)) {
+      char* end = nullptr;
+      long n = std::strtol(v4, &end, 10);
+      if (end == v4 || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "error: --memory-budget-mb wants an integer >= 0\n");
+        std::exit(2);
+      }
+      flags.budget.memory_budget_bytes =
+          static_cast<size_t>(n) * 1024 * 1024;
+      flags.guard_given = flags.guard_given || n > 0;
+    } else if (const char* v5 =
+                   FlagValue("max-candidate-ratio", argc, argv, &i)) {
+      char* end = nullptr;
+      double r = std::strtod(v5, &end);
+      if (end == v5 || *end != '\0' || r < 0) {
+        std::fprintf(stderr,
+                     "error: --max-candidate-ratio wants a number >= 0\n");
+        std::exit(2);
+      }
+      flags.budget.max_candidate_ratio = r;
+      flags.guard_given = flags.guard_given || r > 0;
     } else {
       std::fprintf(stderr,
                    "error: unknown argument '%s'\n"
-                   "usage: %s [--threads N] [--json-out PATH]\n",
+                   "usage: %s [--threads N] [--json-out PATH] "
+                   "[--deadline-ms N] [--memory-budget-mb N] "
+                   "[--max-candidate-ratio F]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -131,9 +131,11 @@ inline void PrintF2Row(size_t size, const std::string& threshold,
 }
 
 /// Minimal command-line parsing for the bench harnesses (kept free of
-/// the tools/flags dependency): recognizes `--threads N` / `--threads=N`
-/// and `--json-out PATH` / `--json-out=PATH`; anything else aborts with
-/// a usage message so typos never silently run the default workload.
+/// the tools/flags dependency): recognizes `--threads N` / `--threads=N`,
+/// `--json-out PATH` / `--json-out=PATH`, and the guardrail limits
+/// `--deadline-ms N`, `--memory-budget-mb N`, `--max-candidate-ratio F`
+/// (0 = off; see core/execution_guard.h); anything else aborts with a
+/// usage message so typos never silently run the default workload.
 struct BenchFlags {
   /// Join parallelism (JoinOptions::num_threads semantics: 0 = one per
   /// core). Only meaningful when threads_given.
@@ -141,6 +143,9 @@ struct BenchFlags {
   bool threads_given = false;
   /// Override for the machine-readable output path ("" = bench default).
   std::string json_out;
+  /// Guardrail limits forwarded to an ExecutionGuard when guard_given.
+  ExecutionBudget budget;
+  bool guard_given = false;
 };
 
 BenchFlags ParseBenchFlags(int argc, char** argv);

@@ -1,0 +1,241 @@
+#include "core/execution_guard.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ssjoin {
+
+std::string_view JoinPhaseName(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kSigGen:
+      return "SigGen";
+    case JoinPhase::kCandGen:
+      return "CandGen";
+    case JoinPhase::kVerify:
+      return "Verify";
+  }
+  return "Unknown";
+}
+
+namespace fault {
+namespace {
+
+// One armed injection for the whole process. -1 phase = any phase,
+// -2 = disarmed. A plain struct behind atomics keeps the hook free of
+// locks; tests arm/clear serially.
+std::atomic<int> g_armed_phase{-2};
+std::atomic<int> g_armed_code{0};
+
+}  // namespace
+
+bool Enabled() {
+#ifdef SSJOIN_FAULT_INJECT
+  return true;
+#else
+  return false;
+#endif
+}
+
+void InjectTrip(std::optional<JoinPhase> phase, StatusCode code) {
+#ifdef SSJOIN_FAULT_INJECT
+  g_armed_code.store(static_cast<int>(code), std::memory_order_relaxed);
+  g_armed_phase.store(phase ? static_cast<int>(*phase) : -1,
+                      std::memory_order_release);
+#else
+  (void)phase;
+  (void)code;
+#endif
+}
+
+void Clear() { g_armed_phase.store(-2, std::memory_order_release); }
+
+namespace {
+
+// Consumes the armed injection if it targets `phase`; returns the forced
+// StatusCode.
+std::optional<StatusCode> Consume(JoinPhase phase) {
+#ifdef SSJOIN_FAULT_INJECT
+  int armed = g_armed_phase.load(std::memory_order_acquire);
+  if (armed == -2) return std::nullopt;
+  if (armed != -1 && armed != static_cast<int>(phase)) return std::nullopt;
+  // One-shot: disarm before reporting so a retry run is not re-tripped.
+  if (!g_armed_phase.compare_exchange_strong(armed, -2,
+                                             std::memory_order_acq_rel)) {
+    return std::nullopt;
+  }
+  return static_cast<StatusCode>(
+      g_armed_code.load(std::memory_order_relaxed));
+#else
+  (void)phase;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace
+}  // namespace fault
+
+ExecutionGuard::ExecutionGuard(const ExecutionBudget& budget,
+                               CancellationToken token)
+    : budget_(budget),
+      token_(std::move(token)),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ExecutionGuard::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+Status ExecutionGuard::Latch(JoinPhase phase, TripReason reason,
+                             Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trip_reason_ == TripReason::kNone) {
+    trip_status_ = std::move(status);
+    trip_phase_ = phase;
+    trip_reason_ = reason;
+    stop_.store(true, std::memory_order_release);
+  }
+  return trip_status_;
+}
+
+Status ExecutionGuard::trip_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trip_status_;
+}
+
+JoinPhase ExecutionGuard::trip_phase() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trip_phase_;
+}
+
+ExecutionGuard::TripReason ExecutionGuard::trip_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trip_reason_;
+}
+
+void ExecutionGuard::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trip_status_ = Status::OK();
+  trip_reason_ = TripReason::kNone;
+  stop_.store(false, std::memory_order_release);
+  memory_bytes_.store(0, std::memory_order_relaxed);
+  poll_count_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<std::pair<ExecutionGuard::TripReason, Status>>
+ExecutionGuard::PollTimingLimits(JoinPhase phase) {
+  if (token_.CancelRequested()) {
+    return std::make_pair(
+        TripReason::kCancelled,
+        Status::Cancelled(std::string("join cancelled during ") +
+                          std::string(JoinPhaseName(phase))));
+  }
+  if (budget_.deadline_ms > 0) {
+    double elapsed_ms = ElapsedSeconds() * 1e3;
+    if (elapsed_ms > static_cast<double>(budget_.deadline_ms)) {
+      std::ostringstream os;
+      os << "join deadline of " << budget_.deadline_ms
+         << " ms exceeded during " << JoinPhaseName(phase) << " ("
+         << static_cast<int64_t>(elapsed_ms) << " ms elapsed)";
+      return std::make_pair(TripReason::kDeadline,
+                            Status::DeadlineExceeded(os.str()));
+    }
+  }
+  return std::nullopt;
+}
+
+Status ExecutionGuard::Checkpoint(JoinPhase phase) {
+  if (tripped()) return trip_status();
+  if (auto forced = fault::Consume(phase)) {
+    TripReason reason = TripReason::kNone;
+    switch (*forced) {
+      case StatusCode::kCancelled:
+        reason = TripReason::kCancelled;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        reason = TripReason::kDeadline;
+        break;
+      default:
+        reason = TripReason::kMemory;
+        break;
+    }
+    std::ostringstream os;
+    os << "fault injection: forced " << StatusCodeToString(*forced)
+       << " trip in " << JoinPhaseName(phase);
+    return Latch(phase, reason, Status(*forced, os.str()));
+  }
+  if (auto trip = PollTimingLimits(phase)) {
+    return Latch(phase, trip->first, std::move(trip->second));
+  }
+  if (budget_.memory_budget_bytes > 0) {
+    size_t charged = memory_bytes_.load(std::memory_order_acquire);
+    if (charged > budget_.memory_budget_bytes) {
+      std::ostringstream os;
+      os << "join memory budget exceeded during " << JoinPhaseName(phase)
+         << ": " << charged << " bytes charged, budget "
+         << budget_.memory_budget_bytes << " bytes";
+      return Latch(phase, TripReason::kMemory,
+                   Status::ResourceExhausted(os.str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ExecutionGuard::CheckBreaker(JoinPhase phase, uint64_t candidates,
+                                    uint64_t results) {
+  if (tripped()) return trip_status();
+  if (budget_.max_candidate_ratio <= 0) return Status::OK();
+  if (candidates < budget_.breaker_min_candidates) return Status::OK();
+  double floor = results == 0 ? 1.0 : static_cast<double>(results);
+  double ratio = static_cast<double>(candidates) / floor;
+  if (ratio <= budget_.max_candidate_ratio) return Status::OK();
+  std::ostringstream os;
+  os << "candidate explosion during " << JoinPhaseName(phase) << ": "
+     << candidates << " candidates for " << results
+     << " verified pairs (ratio " << ratio << " > limit "
+     << budget_.max_candidate_ratio << ")";
+  return Latch(phase, TripReason::kCandidateExplosion,
+               Status::ResourceExhausted(os.str()));
+}
+
+bool ExecutionGuard::ShouldStop(JoinPhase phase) {
+  if (stop_.load(std::memory_order_acquire)) return true;
+  if (token_.CancelRequested()) {
+    Latch(phase, TripReason::kCancelled,
+          Status::Cancelled(std::string("join cancelled during ") +
+                            std::string(JoinPhaseName(phase))));
+    return true;
+  }
+  if (budget_.deadline_ms > 0) {
+    // Clock reads are rate-limited: only every 256th poll (across all
+    // workers) pays for one. Deadline promptness stays well under a
+    // worker block's granularity.
+    uint32_t n = poll_count_.fetch_add(1, std::memory_order_relaxed);
+    if (n % 256 == 0 &&
+        ElapsedSeconds() * 1e3 > static_cast<double>(budget_.deadline_ms)) {
+      std::ostringstream os;
+      os << "join deadline of " << budget_.deadline_ms
+         << " ms exceeded during " << JoinPhaseName(phase);
+      Latch(phase, TripReason::kDeadline,
+            Status::DeadlineExceeded(os.str()));
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExecutionGuard::ChargeMemory(size_t bytes) {
+  size_t now =
+      memory_bytes_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+  size_t high = memory_high_water_.load(std::memory_order_relaxed);
+  while (now > high && !memory_high_water_.compare_exchange_weak(
+                           high, now, std::memory_order_relaxed)) {
+  }
+}
+
+void ExecutionGuard::ReleaseMemory(size_t bytes) {
+  memory_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,207 @@
+// Runtime guardrails for join execution.
+//
+// The paper's own experiments (Sections 4.3, 8, Table 1) show that
+// PartEnum/WtEnum cost is exquisitely sensitive to its parameters: a bad
+// (n1, n2) choice blows candidate generation up by orders of magnitude.
+// For a join that runs inside a service rather than a benchmark, that
+// sensitivity demands a substrate that can *bound* a run: cancel it from
+// another thread, stop it at a wall-clock deadline, cap its memory, and
+// trip a circuit breaker when candidates-per-verified-pair explodes —
+// returning a structured Status with partial stats instead of melting
+// down. ExecutionGuard is that substrate; all drivers in core/ssjoin.cc
+// (and the relational plans in relational/sql_ssjoin.cc) consult one when
+// JoinOptions::guard is set.
+//
+// Determinism contract (DESIGN.md Section 7): budget and circuit-breaker
+// decisions are evaluated only at deterministic barriers — phase
+// boundaries and fixed-size verification chunks — against totals that are
+// identical for every thread count, so a budget trip happens at the same
+// point with the same partial stats whether the join ran on 1 thread or
+// N. Deadline and cancellation are inherently timing-driven; their *trip
+// point* is best-effort, but the returned Status code is always exact.
+// When a guard is attached and never trips, the join output is
+// byte-identical to an unguarded run.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// The Figure-2 phase a guard checkpoint is issued from. Used for trip
+/// diagnostics and to target fault injection at a specific phase.
+enum class JoinPhase { kSigGen = 0, kCandGen = 1, kVerify = 2 };
+
+std::string_view JoinPhaseName(JoinPhase phase);
+
+/// \brief Shared cooperative cancellation flag.
+///
+/// Copies share state: hand one copy to the thread running the join (via
+/// ExecutionGuard) and keep another to call RequestCancel() from anywhere.
+/// Cancellation is cooperative — the join stops at its next guard poll.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Thread-safe, idempotent.
+  void RequestCancel() { flag_->store(true, std::memory_order_release); }
+
+  bool CancelRequested() const {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Limits a guard enforces. Zero values disable the corresponding check.
+struct ExecutionBudget {
+  /// Wall-clock budget in milliseconds, measured from ExecutionGuard
+  /// construction (or the last Reset()). 0 = no deadline.
+  int64_t deadline_ms = 0;
+  /// Upper bound on bytes charged via ChargeMemory (postings, candidate
+  /// and result allocations — the structures whose size is input- and
+  /// parameter-dependent, not the fixed-size scaffolding). 0 = unlimited.
+  size_t memory_budget_bytes = 0;
+  /// Circuit breaker: trip when, at a verification barrier,
+  ///   candidates_verified > max_candidate_ratio * max(1, results_found)
+  /// i.e. the join is grinding through this many candidates per verified
+  /// pair. 0 = breaker off.
+  double max_candidate_ratio = 0;
+  /// The breaker never trips before this many candidates were verified,
+  /// so small joins cannot trip on startup noise.
+  uint64_t breaker_min_candidates = 4096;
+};
+
+/// \brief Cancellation + deadline + memory budget + candidate-explosion
+/// circuit breaker for one join run (a "JoinGuard").
+///
+/// Drivers call Checkpoint(phase) at barriers (authoritative, latches the
+/// first trip), ShouldStop() from worker loops (cheap poll that makes a
+/// deadline/cancellation stop prompt), ChargeMemory/ReleaseMemory around
+/// data-dependent allocations, and CheckBreaker at verification barriers.
+/// Once tripped, every subsequent check returns the same latched Status;
+/// the driver unwinds, fills partial stats, and returns it.
+///
+/// Thread-safety: all methods are safe to call concurrently; trip
+/// latching serializes on an internal mutex, everything on the fast path
+/// is a relaxed atomic.
+class ExecutionGuard {
+ public:
+  explicit ExecutionGuard(const ExecutionBudget& budget,
+                          CancellationToken token = {});
+
+  ExecutionGuard(const ExecutionGuard&) = delete;
+  ExecutionGuard& operator=(const ExecutionGuard&) = delete;
+
+  /// Authoritative barrier check: injected faults, cancellation, the
+  /// deadline, and the memory budget, in that order. Returns OK or the
+  /// (now latched) trip Status. Call between phases and between
+  /// fixed-size verification chunks — never from inside a parallel
+  /// region, so budget decisions stay deterministic.
+  Status Checkpoint(JoinPhase phase);
+
+  /// Circuit-breaker barrier check (see ExecutionBudget). `candidates` /
+  /// `results` are the totals verified / matched so far; both must be
+  /// thread-count-independent at the call site.
+  Status CheckBreaker(JoinPhase phase, uint64_t candidates,
+                      uint64_t results);
+
+  /// Cheap worker-loop poll: returns true once the guard has tripped or a
+  /// cancellation / deadline stop is pending. Latches cancellation
+  /// immediately; the deadline is re-read at most every few hundred polls
+  /// so the clock read stays off the hot path.
+  bool ShouldStop(JoinPhase phase);
+
+  /// Adds `bytes` to the tracked allocation total. Thread-safe; checked
+  /// only at the next Checkpoint, so workers may charge freely from
+  /// parallel regions.
+  void ChargeMemory(size_t bytes);
+  /// Subtracts `bytes` (freed structures). Thread-safe.
+  void ReleaseMemory(size_t bytes);
+
+  size_t memory_charged() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t memory_high_water() const {
+    return memory_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds since construction / last Reset().
+  double ElapsedSeconds() const;
+
+  bool tripped() const { return stop_.load(std::memory_order_acquire); }
+  /// The latched trip Status (OK if the guard never tripped).
+  Status trip_status() const;
+  /// Phase the trip was latched in (meaningful only when tripped()).
+  JoinPhase trip_phase() const;
+
+  /// Why the guard tripped; drives the PartEnum advisor-retry policy
+  /// (retry only makes sense after a candidate explosion).
+  enum class TripReason {
+    kNone = 0,
+    kCancelled,
+    kDeadline,
+    kMemory,
+    kCandidateExplosion,
+  };
+  TripReason trip_reason() const;
+
+  /// Clears the trip latch and the memory charge so the guard can watch a
+  /// retry run. The deadline stays anchored at construction time (a retry
+  /// does not earn extra wall-clock) and the cancellation token is kept.
+  void Reset();
+
+  const ExecutionBudget& budget() const { return budget_; }
+
+ private:
+  // Latches `status` as the trip (first caller wins) and raises stop_.
+  Status Latch(JoinPhase phase, TripReason reason, Status status);
+  // Non-latching poll of cancellation and deadline; returns the would-be
+  // trip, or nullopt.
+  std::optional<std::pair<TripReason, Status>> PollTimingLimits(
+      JoinPhase phase);
+
+  const ExecutionBudget budget_;
+  CancellationToken token_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> memory_bytes_{0};
+  std::atomic<size_t> memory_high_water_{0};
+  std::atomic<uint32_t> poll_count_{0};
+
+  mutable std::mutex mutex_;  // guards the trip record below
+  Status trip_status_;        // OK until tripped
+  JoinPhase trip_phase_ = JoinPhase::kSigGen;
+  TripReason trip_reason_ = TripReason::kNone;
+};
+
+namespace fault {
+
+/// True when the library was compiled with SSJOIN_FAULT_INJECT (the
+/// default; Release service builds may switch it off).
+bool Enabled();
+
+/// Arms a one-shot forced trip: the next ExecutionGuard::Checkpoint
+/// issued from `phase` (any phase if nullopt) latches `code` as if the
+/// corresponding real limit had tripped there. Used by tests to exercise
+/// every guardrail path deterministically. No-op without
+/// SSJOIN_FAULT_INJECT.
+void InjectTrip(std::optional<JoinPhase> phase, StatusCode code);
+
+/// Disarms any pending injection.
+void Clear();
+
+}  // namespace fault
+
+}  // namespace ssjoin

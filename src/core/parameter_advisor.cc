@@ -218,4 +218,48 @@ Result<LshChoice> ChooseLshParams(const SetCollection& input, double gamma,
   return choices.front();
 }
 
+Result<GuardedPartEnumResult> PartEnumJaccardSelfJoinWithRetry(
+    const SetCollection& input, const PartEnumJaccardParams& params,
+    ExecutionGuard& guard, const JoinOptions& options,
+    const AdvisorOptions& advisor) {
+  GuardedPartEnumResult out;
+  JoinOptions guarded = options;
+  guarded.guard = &guard;
+
+  SSJOIN_ASSIGN_OR_RETURN(auto scheme,
+                          PartEnumJaccardScheme::Create(params));
+  JaccardPredicate predicate(params.gamma);
+  out.join = SignatureSelfJoin(input, scheme, predicate, guarded);
+  if (out.join.status.ok() ||
+      guard.trip_reason() !=
+          ExecutionGuard::TripReason::kCandidateExplosion) {
+    return out;
+  }
+
+  // The breaker fired: the (n1, n2) shape filters too weakly for this
+  // input. Re-tune on a sample and retry once with the advisor's choice.
+  uint32_t avg =
+      static_cast<uint32_t>(input.average_set_size() + 0.5);
+  uint32_t k = PartEnumJaccardScheme::EquisizedHammingThreshold(
+      std::max(1u, avg), params.gamma);
+  Result<PartEnumChoice> choice =
+      ChoosePartEnumParams(input, k, input.size(), advisor);
+  if (!choice.ok()) return out;  // No safer shape known; keep the trip.
+
+  PartEnumJaccardParams tuned_params = params;
+  PartEnumParams tuned = choice->params;
+  tuned_params.chooser = [tuned](uint32_t threshold) {
+    PartEnumParams p = tuned;
+    p.k = threshold;
+    return p;
+  };
+  SSJOIN_ASSIGN_OR_RETURN(auto retry_scheme,
+                          PartEnumJaccardScheme::Create(tuned_params));
+  guard.Reset();
+  out.retried = true;
+  out.retry_params = tuned;
+  out.join = SignatureSelfJoin(input, retry_scheme, predicate, guarded);
+  return out;
+}
+
 }  // namespace ssjoin

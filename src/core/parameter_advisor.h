@@ -24,7 +24,10 @@
 #include <vector>
 
 #include "baselines/lsh.h"
+#include "core/execution_guard.h"
 #include "core/partenum.h"
+#include "core/partenum_jaccard.h"
+#include "core/ssjoin.h"
 #include "core/wtenum.h"
 #include "data/collection.h"
 #include "util/status.h"
@@ -110,5 +113,33 @@ Result<WtEnumChoice> ChooseWtEnumPruningThreshold(
     const WeightFunction& order_weights, double overlap_threshold,
     const std::vector<double>& candidates, size_t target_input_size = 0,
     const AdvisorOptions& options = {});
+
+/// Outcome of PartEnumJaccardSelfJoinWithRetry.
+struct GuardedPartEnumResult {
+  /// The final run's result; `join.status` is non-OK when the run (or the
+  /// retry) was stopped by the guard.
+  JoinResult join;
+  /// True when the first run tripped the candidate-explosion breaker and
+  /// a retry with advisor-tuned parameters was executed.
+  bool retried = false;
+  /// The (n1, n2) shape the retry used (valid only when `retried`).
+  PartEnumParams retry_params;
+};
+
+/// Guard + advisor closing the loop (the paper's parameter-sensitivity
+/// story turned into a recovery policy): runs a PartEnum jaccard
+/// self-join under `guard`; if — and only if — the guard trips its
+/// candidate-explosion breaker, re-tunes (n1, n2) with
+/// ChoosePartEnumParams on a sample and retries exactly once with the
+/// safer shape. The guard is Reset() for the retry, so its memory
+/// accounting restarts but its deadline stays anchored at the original
+/// start — a retry does not earn extra wall-clock. Any other trip
+/// (cancellation, deadline, memory), a failed re-tune, or a second
+/// explosion is returned as-is in `join.status`. Returns a non-OK
+/// Result only for invalid inputs (scheme construction failure).
+Result<GuardedPartEnumResult> PartEnumJaccardSelfJoinWithRetry(
+    const SetCollection& input, const PartEnumJaccardParams& params,
+    ExecutionGuard& guard, const JoinOptions& options = {},
+    const AdvisorOptions& advisor = {});
 
 }  // namespace ssjoin

@@ -1,6 +1,7 @@
 #include "core/ssjoin.h"
 
 #include <algorithm>
+#include <functional>
 #include <iterator>
 #include <sstream>
 #include <unordered_map>
@@ -18,6 +19,15 @@ namespace {
 // signatures and, within a group, ascends by id.
 using Posting = std::pair<Signature, SetId>;
 
+// Wraps guard->ShouldStop(phase) for the interruptible ParallelFor
+// overload. Empty when no guard is attached, which selects the plain
+// (single-invocation-per-chunk) ParallelFor — unguarded runs execute the
+// exact pre-guard code path.
+std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
+  if (guard == nullptr) return {};
+  return [guard, phase] { return guard->ShouldStop(phase); };
+}
+
 // Flattened per-set signature lists (CSR). Signatures are deduplicated
 // within each set: Sign(s) is a set, and duplicates would double-count
 // collisions.
@@ -27,6 +37,11 @@ struct SignatureTable {
 
   uint64_t total() const { return values.size(); }
 };
+
+size_t TableBytes(const SignatureTable& table) {
+  return table.values.size() * sizeof(Signature) +
+         table.offsets.size() * sizeof(size_t);
+}
 
 // Replaces *scratch with the deduplicated, sorted Sign(set).
 void GenerateSorted(const SignatureScheme& scheme,
@@ -41,9 +56,12 @@ void GenerateSorted(const SignatureScheme& scheme,
 
 // Signature generation, fanned out per set into thread-local CSR chunks
 // that are stitched back in set order — the layout is identical to the
-// serial loop for any thread count.
+// serial loop for any thread count. A tripped/cancelled guard stops the
+// pass early; the caller must discard the (incomplete) table when
+// guard->tripped().
 SignatureTable GenerateAll(const SetCollection& input,
-                           const SignatureScheme& scheme, ThreadPool& pool) {
+                           const SignatureScheme& scheme, ThreadPool& pool,
+                           ExecutionGuard* guard) {
   size_t chunks = pool.size();
   if (chunks == 1 || input.size() < 2 * chunks) {
     SignatureTable table;
@@ -51,6 +69,10 @@ SignatureTable GenerateAll(const SetCollection& input,
     table.offsets.push_back(0);
     std::vector<Signature> scratch;
     for (SetId id = 0; id < input.size(); ++id) {
+      if (guard != nullptr && (id & 255u) == 0 &&
+          guard->ShouldStop(JoinPhase::kSigGen)) {
+        break;
+      }
       GenerateSorted(scheme, input.set(id), &scratch);
       table.values.insert(table.values.end(), scratch.begin(),
                           scratch.end());
@@ -60,17 +82,23 @@ SignatureTable GenerateAll(const SetCollection& input,
   }
 
   std::vector<SignatureTable> parts(chunks);
-  ParallelFor(pool, input.size(), [&](size_t begin, size_t end, size_t c) {
-    SignatureTable& part = parts[c];
-    part.offsets.reserve(end - begin + 1);
-    part.offsets.push_back(0);
-    std::vector<Signature> scratch;
-    for (size_t id = begin; id < end; ++id) {
-      GenerateSorted(scheme, input.set(static_cast<SetId>(id)), &scratch);
-      part.values.insert(part.values.end(), scratch.begin(), scratch.end());
-      part.offsets.push_back(part.values.size());
-    }
-  });
+  ParallelFor(
+      pool, input.size(),
+      [&](size_t begin, size_t end, size_t c) {
+        SignatureTable& part = parts[c];
+        // With a guard the chunk arrives as several sub-blocks; only the
+        // first one plants the leading CSR offset.
+        if (part.offsets.empty()) part.offsets.push_back(0);
+        std::vector<Signature> scratch;
+        for (size_t id = begin; id < end; ++id) {
+          GenerateSorted(scheme, input.set(static_cast<SetId>(id)),
+                         &scratch);
+          part.values.insert(part.values.end(), scratch.begin(),
+                             scratch.end());
+          part.offsets.push_back(part.values.size());
+        }
+      },
+      StopFn(guard, JoinPhase::kSigGen));
 
   SignatureTable table;
   size_t total = 0;
@@ -101,20 +129,25 @@ size_t ShardOf(Signature sig, size_t shards) {
 // Producer c writes only buckets[c * shards + *], so the pass is
 // race-free; shard s later reads buckets[* * shards + s].
 std::vector<std::vector<Posting>> BucketPostings(const SignatureTable& table,
-                                                 ThreadPool& pool) {
+                                                 ThreadPool& pool,
+                                                 ExecutionGuard* guard) {
   size_t shards = pool.size();
   std::vector<std::vector<Posting>> buckets(shards * shards);
   size_t num_sets = table.offsets.size() - 1;
-  ParallelFor(pool, num_sets, [&](size_t begin, size_t end, size_t c) {
-    std::vector<Posting>* mine = &buckets[c * shards];
-    for (size_t id = begin; id < end; ++id) {
-      for (size_t i = table.offsets[id]; i < table.offsets[id + 1]; ++i) {
-        Signature sig = table.values[i];
-        mine[ShardOf(sig, shards)].emplace_back(sig,
-                                                static_cast<SetId>(id));
-      }
-    }
-  });
+  ParallelFor(
+      pool, num_sets,
+      [&](size_t begin, size_t end, size_t c) {
+        std::vector<Posting>* mine = &buckets[c * shards];
+        for (size_t id = begin; id < end; ++id) {
+          for (size_t i = table.offsets[id]; i < table.offsets[id + 1];
+               ++i) {
+            Signature sig = table.values[i];
+            mine[ShardOf(sig, shards)].emplace_back(
+                sig, static_cast<SetId>(id));
+          }
+        }
+      },
+      StopFn(guard, JoinPhase::kCandGen));
   return buckets;
 }
 
@@ -154,11 +187,14 @@ void SortUnique(std::vector<uint64_t>* packed) {
 // Within a signature group the (sig, id) postings are unique and sorted,
 // so ids ascend: a < b already yields first < second.
 ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
-                              size_t reserve) {
+                              size_t reserve,
+                              const std::function<bool()>& stop) {
   ShardCandidates out;
   out.packed.reserve(reserve);
   size_t i = 0;
+  uint64_t groups = 0;
   while (i < postings.size()) {
+    if (stop && (groups++ & 63u) == 0 && stop()) break;
     size_t j = i;
     while (j < postings.size() && postings[j].first == postings[i].first) {
       ++j;
@@ -180,11 +216,14 @@ ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
 // Binary-join candidate generation: merge-join of the two shard slices.
 ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
                                 const std::vector<Posting>& postings_s,
-                                size_t reserve) {
+                                size_t reserve,
+                                const std::function<bool()>& stop) {
   ShardCandidates out;
   out.packed.reserve(reserve);
   size_t i = 0, j = 0;
+  uint64_t iters = 0;
   while (i < postings_r.size() && j < postings_s.size()) {
+    if (stop && (iters++ & 1023u) == 0 && stop()) break;
     Signature sig_r = postings_r[i].first;
     Signature sig_s = postings_s[j].first;
     if (sig_r < sig_s) {
@@ -213,13 +252,15 @@ ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
 // Unions sorted duplicate-free candidate lists: log2(n) pairwise
 // set_union rounds, the merges of each round running in parallel.
 std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
-                                  ThreadPool& pool) {
+                                  ThreadPool& pool,
+                                  const std::function<bool()>& stop) {
   if (lists.empty()) return {};
   while (lists.size() > 1) {
     size_t pairs = lists.size() / 2;
     std::vector<std::vector<uint64_t>> next(pairs + lists.size() % 2);
     ParallelFor(pool, pairs, [&](size_t begin, size_t end, size_t) {
       for (size_t p = begin; p < end; ++p) {
+        if (stop && stop()) return;
         const std::vector<uint64_t>& a = lists[2 * p];
         const std::vector<uint64_t>& b = lists[2 * p + 1];
         std::vector<uint64_t> merged;
@@ -231,6 +272,7 @@ std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
     });
     if (lists.size() % 2) next.back() = std::move(lists.back());
     lists = std::move(next);
+    if (stop && stop()) break;
   }
   return std::move(lists[0]);
 }
@@ -242,6 +284,7 @@ std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
 template <typename ShardFn>
 std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
                                          const ShardFn& shard_fn,
+                                         const std::function<bool()>& stop,
                                          JoinStats* stats) {
   size_t shards = pool.size();
   std::vector<ShardCandidates> per_shard(shards);
@@ -252,7 +295,8 @@ std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
     stats->signature_collisions += sc.collisions;
     lists.push_back(std::move(sc.packed));
   }
-  std::vector<uint64_t> candidates = UnionShards(std::move(lists), pool);
+  std::vector<uint64_t> candidates =
+      UnionShards(std::move(lists), pool, stop);
   stats->candidates = candidates.size();
   return candidates;
 }
@@ -261,40 +305,93 @@ std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
 // contiguous slices of a sorted vector, so concatenating the per-chunk
 // outputs in chunk order yields result->pairs already sorted — the
 // serial and every parallel execution produce the identical vector.
-void PostFilter(const SetCollection& r, const SetCollection& s,
-                const std::vector<uint64_t>& candidates,
-                const Predicate& predicate, ThreadPool& pool,
-                JoinResult* result) {
+//
+// With a guard the vector is walked in fixed-size super-chunks
+// (kVerifyChunk candidates, independent of thread count); each boundary
+// is a deterministic barrier where the guard checkpoint and the
+// candidate-explosion breaker run against totals that are identical for
+// every thread count. Returns the trip Status (partial super-chunks are
+// never committed; result->pairs is cleared by the driver).
+Status PostFilter(const SetCollection& r, const SetCollection& s,
+                  const std::vector<uint64_t>& candidates,
+                  const Predicate& predicate, ThreadPool& pool,
+                  ExecutionGuard* guard, JoinResult* result) {
   size_t chunks = pool.size();
-  std::vector<std::vector<SetPair>> pairs(chunks);
-  std::vector<uint64_t> results(chunks, 0);
-  std::vector<uint64_t> false_positives(chunks, 0);
-  ParallelFor(pool, candidates.size(),
-              [&](size_t begin, size_t end, size_t c) {
-                std::vector<SetPair>& mine = pairs[c];
-                mine.reserve((end - begin) / 4 + 1);
-                uint64_t hits = 0, misses = 0;
-                for (size_t i = begin; i < end; ++i) {
-                  auto [id_r, id_s] = UnpackPair(candidates[i]);
-                  if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
-                    mine.emplace_back(id_r, id_s);
-                    ++hits;
-                  } else {
-                    ++misses;
+  if (guard == nullptr) {
+    std::vector<std::vector<SetPair>> pairs(chunks);
+    std::vector<uint64_t> results(chunks, 0);
+    std::vector<uint64_t> false_positives(chunks, 0);
+    ParallelFor(pool, candidates.size(),
+                [&](size_t begin, size_t end, size_t c) {
+                  std::vector<SetPair>& mine = pairs[c];
+                  mine.reserve((end - begin) / 4 + 1);
+                  uint64_t hits = 0, misses = 0;
+                  for (size_t i = begin; i < end; ++i) {
+                    auto [id_r, id_s] = UnpackPair(candidates[i]);
+                    if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+                      mine.emplace_back(id_r, id_s);
+                      ++hits;
+                    } else {
+                      ++misses;
+                    }
                   }
-                }
-                results[c] = hits;
-                false_positives[c] = misses;
-              });
-  size_t total = 0;
-  for (const std::vector<SetPair>& p : pairs) total += p.size();
-  result->pairs.reserve(total);
-  for (size_t c = 0; c < chunks; ++c) {
-    result->pairs.insert(result->pairs.end(), pairs[c].begin(),
-                         pairs[c].end());
-    result->stats.results += results[c];
-    result->stats.false_positives += false_positives[c];
+                  results[c] = hits;
+                  false_positives[c] = misses;
+                });
+    size_t total = 0;
+    for (const std::vector<SetPair>& p : pairs) total += p.size();
+    result->pairs.reserve(total);
+    for (size_t c = 0; c < chunks; ++c) {
+      result->pairs.insert(result->pairs.end(), pairs[c].begin(),
+                           pairs[c].end());
+      result->stats.results += results[c];
+      result->stats.false_positives += false_positives[c];
+    }
+    return Status::OK();
   }
+
+  constexpr size_t kVerifyChunk = 16384;
+  SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+  for (size_t s0 = 0; s0 < candidates.size(); s0 += kVerifyChunk) {
+    if (s0 > 0) {
+      SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+    }
+    SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(JoinPhase::kVerify, s0,
+                                             result->stats.results));
+    size_t s1 = std::min(candidates.size(), s0 + kVerifyChunk);
+    std::vector<std::vector<SetPair>> pairs(chunks);
+    std::vector<uint64_t> results(chunks, 0);
+    std::vector<uint64_t> false_positives(chunks, 0);
+    ParallelFor(pool, s1 - s0, [&](size_t begin, size_t end, size_t c) {
+      std::vector<SetPair>& mine = pairs[c];
+      uint64_t hits = 0, misses = 0;
+      for (size_t i = begin; i < end; ++i) {
+        auto [id_r, id_s] = UnpackPair(candidates[s0 + i]);
+        if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+          mine.emplace_back(id_r, id_s);
+          ++hits;
+        } else {
+          ++misses;
+        }
+      }
+      results[c] = hits;
+      false_positives[c] = misses;
+    });
+    size_t appended = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      result->pairs.insert(result->pairs.end(), pairs[c].begin(),
+                           pairs[c].end());
+      appended += pairs[c].size();
+      result->stats.results += results[c];
+      result->stats.false_positives += false_positives[c];
+    }
+    guard->ChargeMemory(appended * sizeof(SetPair));
+  }
+  // Final breaker evaluation over the complete totals: a join whose
+  // explosion only crosses the ratio in its last super-chunk still trips
+  // (this is the trigger the PartEnum advisor-retry path keys off).
+  return guard->CheckBreaker(JoinPhase::kVerify, candidates.size(),
+                             result->stats.results);
 }
 
 // The serial pipelined driver — the num_threads == 1 reference path,
@@ -305,13 +402,37 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
                                    const JoinOptions& options) {
   JoinResult result;
   PhaseTimer timer;
+  ExecutionGuard* guard = options.guard;
 
   // Inverted index: signature -> ids of already-processed sets.
   std::unordered_map<Signature, std::vector<SetId>> index;
   if (options.table_reserve > 0) index.reserve(options.table_reserve);
   std::vector<Signature> sigs;
   std::vector<SetId> probe_candidates;  // per-probe scratch, deduped
+  uint64_t charged_sigs = 0;
+  Status trip;
+
+  // Guard barrier for the pipelined loop: phases interleave per set, so
+  // every barrier (each 1024 sets, sets being the deterministic unit
+  // here) charges the inverted-index growth and runs all three phase
+  // checkpoints plus the breaker. Stats at a barrier cover whole sets
+  // only, so a deterministic trip reports deterministic partials.
+  auto barrier = [&]() -> Status {
+    guard->ChargeMemory(
+        (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
+    charged_sigs = result.stats.signatures_r;
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+    return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
+                               result.stats.results);
+  };
+
   for (SetId id = 0; id < input.size(); ++id) {
+    if (guard != nullptr && id % 1024 == 0) {
+      trip = barrier();
+      if (!trip.ok()) break;
+    }
     {
       auto scope = timer.Measure(kPhaseSigGen);
       GenerateSorted(scheme, input.set(id), &sigs);
@@ -349,11 +470,17 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
       for (Signature sig : sigs) index[sig].push_back(id);
     }
   }
+  if (guard != nullptr && trip.ok()) trip = barrier();
   result.stats.signatures_s = result.stats.signatures_r;
-  std::sort(result.pairs.begin(), result.pairs.end());
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
   result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
   result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  if (guard != nullptr && !trip.ok()) {
+    result.pairs.clear();
+    result.status = std::move(trip);
+    return result;
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
   return result;
 }
 
@@ -374,6 +501,7 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   JoinResult result;
   PhaseTimer timer;
   size_t chunks = pool.size();
+  ExecutionGuard* guard = options.guard;
 
   std::unordered_map<Signature, std::vector<SetId>> index;
   if (options.table_reserve > 0) index.reserve(options.table_reserve);
@@ -381,8 +509,30 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   std::vector<std::vector<Signature>> block_sigs;
   std::vector<std::vector<SetId>> block_partners;
   std::vector<Posting> block_postings;
+  uint64_t charged_sigs = 0;
+  Status trip;
+
+  // Same barrier protocol as the serial pipelined driver, at block
+  // granularity (the block being this driver's deterministic unit; note
+  // the block size — unlike the signature driver's verify super-chunks —
+  // scales with the thread count, so budget trip *points* here are
+  // deterministic per thread count, not across thread counts).
+  auto barrier = [&]() -> Status {
+    guard->ChargeMemory(
+        (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
+    charged_sigs = result.stats.signatures_r;
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+    return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
+                               result.stats.results);
+  };
 
   for (size_t b0 = 0; b0 < input.size(); b0 += block) {
+    if (guard != nullptr) {
+      trip = barrier();
+      if (!trip.ok()) break;
+    }
     size_t b1 = std::min(static_cast<size_t>(input.size()), b0 + block);
     size_t n = b1 - b0;
     block_sigs.assign(n, {});
@@ -485,11 +635,17 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
       }
     }
   }
+  if (guard != nullptr && trip.ok()) trip = barrier();
   result.stats.signatures_s = result.stats.signatures_r;
-  std::sort(result.pairs.begin(), result.pairs.end());
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
   result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
   result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  if (guard != nullptr && !trip.ok()) {
+    result.pairs.clear();
+    result.status = std::move(trip);
+    return result;
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
   return result;
 }
 
@@ -514,33 +670,72 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
   PhaseTimer timer;
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   size_t shards = pool.size();
+  ExecutionGuard* guard = options.guard;
+
+  auto trip_return = [&](Status st) {
+    result.pairs.clear();
+    result.status = std::move(st);
+    result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+    result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+    result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+    return std::move(result);
+  };
+
+  if (guard != nullptr) {
+    Status st = guard->Checkpoint(JoinPhase::kSigGen);
+    if (!st.ok()) return trip_return(std::move(st));
+  }
 
   SignatureTable table;
   {
     auto scope = timer.Measure(kPhaseSigGen);
-    table = GenerateAll(input, scheme, pool);
+    table = GenerateAll(input, scheme, pool, guard);
+  }
+  if (guard != nullptr && guard->tripped()) {
+    // Stopped mid-SigGen: the table is incomplete, commit nothing.
+    return trip_return(guard->trip_status());
   }
   result.stats.signatures_r = table.total();
   result.stats.signatures_s = table.total();
+  if (guard != nullptr) {
+    guard->ChargeMemory(TableBytes(table));
+    Status st = guard->Checkpoint(JoinPhase::kCandGen);
+    if (!st.ok()) return trip_return(std::move(st));
+  }
 
   std::vector<uint64_t> candidates;
   {
     auto scope = timer.Measure(kPhaseCandPair);
-    std::vector<std::vector<Posting>> buckets = BucketPostings(table, pool);
+    std::vector<std::vector<Posting>> buckets =
+        BucketPostings(table, pool, guard);
     size_t reserve = options.table_reserve / shards;
+    std::function<bool()> stop = StopFn(guard, JoinPhase::kCandGen);
     candidates = GenerateCandidates(
         pool,
         [&](size_t shard) {
           return SelfJoinShard(ShardPostings(buckets, shards, shard),
-                               reserve);
+                               reserve, stop);
         },
-        &result.stats);
+        stop, &result.stats);
+  }
+  if (guard != nullptr && guard->tripped()) {
+    // Stopped mid-CandGen: its counters are partial garbage, drop them.
+    result.stats.signature_collisions = 0;
+    result.stats.candidates = 0;
+    return trip_return(guard->trip_status());
+  }
+  if (guard != nullptr) {
+    guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
   }
 
+  Status post_status;
   {
     auto scope = timer.Measure(kPhasePostFilter);
-    PostFilter(input, input, candidates, predicate, pool, &result);
+    post_status =
+        PostFilter(input, input, candidates, predicate, pool, guard,
+                   &result);
   }
+  if (!post_status.ok()) return trip_return(std::move(post_status));
 
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
   result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
@@ -568,38 +763,75 @@ JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
   PhaseTimer timer;
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   size_t shards = pool.size();
+  ExecutionGuard* guard = options.guard;
+
+  auto trip_return = [&](Status st) {
+    result.pairs.clear();
+    result.status = std::move(st);
+    result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
+    result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
+    result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+    return std::move(result);
+  };
+
+  if (guard != nullptr) {
+    Status st = guard->Checkpoint(JoinPhase::kSigGen);
+    if (!st.ok()) return trip_return(std::move(st));
+  }
 
   SignatureTable table_r, table_s;
   {
     auto scope = timer.Measure(kPhaseSigGen);
-    table_r = GenerateAll(r, scheme, pool);
-    table_s = GenerateAll(s, scheme, pool);
+    table_r = GenerateAll(r, scheme, pool, guard);
+    if (guard == nullptr || !guard->tripped()) {
+      table_s = GenerateAll(s, scheme, pool, guard);
+    }
+  }
+  if (guard != nullptr && guard->tripped()) {
+    return trip_return(guard->trip_status());
   }
   result.stats.signatures_r = table_r.total();
   result.stats.signatures_s = table_s.total();
+  if (guard != nullptr) {
+    guard->ChargeMemory(TableBytes(table_r) + TableBytes(table_s));
+    Status st = guard->Checkpoint(JoinPhase::kCandGen);
+    if (!st.ok()) return trip_return(std::move(st));
+  }
 
   std::vector<uint64_t> candidates;
   {
     auto scope = timer.Measure(kPhaseCandPair);
     std::vector<std::vector<Posting>> buckets_r =
-        BucketPostings(table_r, pool);
+        BucketPostings(table_r, pool, guard);
     std::vector<std::vector<Posting>> buckets_s =
-        BucketPostings(table_s, pool);
+        BucketPostings(table_s, pool, guard);
     size_t reserve = options.table_reserve / shards;
+    std::function<bool()> stop = StopFn(guard, JoinPhase::kCandGen);
     candidates = GenerateCandidates(
         pool,
         [&](size_t shard) {
           return BinaryJoinShard(ShardPostings(buckets_r, shards, shard),
                                  ShardPostings(buckets_s, shards, shard),
-                                 reserve);
+                                 reserve, stop);
         },
-        &result.stats);
+        stop, &result.stats);
+  }
+  if (guard != nullptr && guard->tripped()) {
+    result.stats.signature_collisions = 0;
+    result.stats.candidates = 0;
+    return trip_return(guard->trip_status());
+  }
+  if (guard != nullptr) {
+    guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
   }
 
+  Status post_status;
   {
     auto scope = timer.Measure(kPhasePostFilter);
-    PostFilter(r, s, candidates, predicate, pool, &result);
+    post_status =
+        PostFilter(r, s, candidates, predicate, pool, guard, &result);
   }
+  if (!post_status.ok()) return trip_return(std::move(post_status));
 
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
   result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_guard.h"
 #include "core/predicate.h"
 #include "core/signature_scheme.h"
 #include "core/types.h"
@@ -44,6 +45,14 @@ struct JoinOptions {
   /// uses deterministic static sharding (DESIGN.md Section 6), never
   /// work stealing.
   size_t num_threads = 1;
+  /// Optional execution guardrails (cancellation, deadline, memory
+  /// budget, candidate-explosion breaker — DESIGN.md Section 7). Not
+  /// owned; must outlive the driver call. When the guard trips, the
+  /// driver stops at the next barrier and returns a JoinResult whose
+  /// `status` carries the trip (pairs empty, stats partial). A guard
+  /// that never trips leaves the output byte-identical to an unguarded
+  /// run. nullptr = no guardrails (zero overhead).
+  ExecutionGuard* guard = nullptr;
 };
 
 /// Evaluation measures of one join execution (paper Section 3.2).
@@ -84,6 +93,13 @@ struct JoinStats {
 struct JoinResult {
   std::vector<SetPair> pairs;
   JoinStats stats;
+  /// OK unless JoinOptions::guard tripped (kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted). On a trip `pairs` is empty
+  /// — a partial pair list would be silently wrong — while `stats`
+  /// reports the accounting of the work that completed before the trip
+  /// (completed phases, and completed verification chunks within
+  /// PostFilter), which is exactly what an operator needs to re-budget.
+  Status status;
 };
 
 /// Binary SSJoin between collections R and S (Figure 2). The same scheme

@@ -49,6 +49,12 @@ Status SaveSetsBinary(const std::string& path,
 Result<SetCollection> LoadSetsBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  // Sizes in the header are untrusted until cross-checked against the
+  // actual file size: a corrupt count must produce a Status, never a
+  // multi-gigabyte allocation (bad_alloc / OOM kill).
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -62,6 +68,16 @@ Result<SetCollection> LoadSetsBinary(const std::string& path) {
   uint64_t num_sets = 0;
   if (!ReadPod(in, &num_sets)) {
     return Status::InvalidArgument(path + ": truncated header");
+  }
+  const uint64_t header_bytes =
+      sizeof(kMagic) + sizeof(kVersion) + sizeof(num_sets);
+  // num_sets + 1 offsets of 8 bytes each must fit in what follows the
+  // header (this also rules out num_sets + 1 overflowing).
+  if (num_sets >= (file_size - header_bytes) / sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        path + ": header claims " + std::to_string(num_sets) +
+        " sets, more than the " + std::to_string(file_size) +
+        "-byte file can hold");
   }
   std::vector<uint64_t> offsets(num_sets + 1);
   for (uint64_t& o : offsets) {
@@ -78,6 +94,15 @@ Result<SetCollection> LoadSetsBinary(const std::string& path) {
     }
   }
   uint64_t total = offsets.back();
+  const uint64_t elements_pos =
+      header_bytes + (num_sets + 1) * sizeof(uint64_t);
+  if (total != (file_size - elements_pos) / sizeof(ElementId) ||
+      elements_pos + total * sizeof(ElementId) != file_size) {
+    return Status::InvalidArgument(
+        path + ": offsets claim " + std::to_string(total) +
+        " elements but the file holds " +
+        std::to_string((file_size - elements_pos) / sizeof(ElementId)));
+  }
   std::vector<ElementId> elements(total);
   in.read(reinterpret_cast<char*>(elements.data()),
           static_cast<std::streamsize>(total * sizeof(ElementId)));

@@ -59,6 +59,14 @@ Result<Table> BuildCandPair(const Table& signature, JoinStats* stats) {
   return cand;
 }
 
+// Rough per-row footprint of a materialized relational table, for memory
+// budgeting (Row = vector of 8-byte Values plus vector overhead).
+size_t TableRowBytes(const Table& table) {
+  return table.num_rows() *
+         (table.schema().num_columns() * sizeof(int64_t) +
+          sizeof(void*) * 3);
+}
+
 std::vector<SetPair> DecodePairs(const Table& output) {
   std::vector<SetPair> pairs;
   pairs.reserve(output.num_rows());
@@ -117,9 +125,14 @@ Result<Table> IndexIntersect(const Table& cand,
 Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
                                     const SignatureScheme& scheme,
                                     const Predicate& predicate,
-                                    IntersectPlan plan) {
+                                    IntersectPlan plan,
+                                    ExecutionGuard* guard) {
   DbmsJoinResult result;
   PhaseTimer timer;
+
+  if (guard != nullptr) {
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
+  }
 
   // Base relations (materialized in advance in the paper's setup, so not
   // counted in any phase): Set(id, elem), SetLen(id, len).
@@ -151,9 +164,21 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
     auto scope = timer.Measure(kPhaseSigGen);
     signature = BuildSignatureTable(input, scheme, &result.stats);
   }
+  if (guard != nullptr) {
+    // Plan-step barrier: the Signature relation is materialized.
+    guard->ChargeMemory(TableRowBytes(signature));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
+  }
   {
     auto scope = timer.Measure(kPhaseCandPair);
     SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
+  }
+  if (guard != nullptr) {
+    // Plan-step barrier: CandPair is materialized; the breaker can
+    // already compare its size against the sample-free floor of 0
+    // verified results (min-candidates gate keeps small joins safe).
+    guard->ChargeMemory(TableRowBytes(cand));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   }
 
   Table output(Schema{{"id1", ValueType::kInt64},
@@ -209,6 +234,11 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
     result.stats.false_positives +=
         cand.num_rows() - with_len2.num_rows();
   }
+  if (guard != nullptr) {
+    SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(
+        JoinPhase::kVerify, result.stats.candidates, result.stats.results));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+  }
 
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
   result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
@@ -220,9 +250,13 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
 
 Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     const std::vector<std::string>& strings, uint32_t edit_threshold,
-    uint32_t q, const SignatureScheme& scheme) {
+    uint32_t q, const SignatureScheme& scheme, ExecutionGuard* guard) {
   DbmsJoinResult result;
   PhaseTimer timer;
+
+  if (guard != nullptr) {
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
+  }
 
   // String(id, str) is the base relation; n-gram bags are generated
   // on-the-fly in application code during signature generation
@@ -238,9 +272,17 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     SetCollection bags = builder.Build();
     signature = BuildSignatureTable(bags, scheme, &result.stats);
   }
+  if (guard != nullptr) {
+    guard->ChargeMemory(TableRowBytes(signature));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
+  }
   {
     auto scope = timer.Measure(kPhaseCandPair);
     SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
+  }
+  if (guard != nullptr) {
+    guard->ChargeMemory(TableRowBytes(cand));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   }
 
   Table output(Schema{{"id1", ValueType::kInt64},
@@ -262,6 +304,11 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
         ++result.stats.false_positives;
       }
     }
+  }
+  if (guard != nullptr) {
+    SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(
+        JoinPhase::kVerify, result.stats.candidates, result.stats.results));
+    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   }
 
   result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);

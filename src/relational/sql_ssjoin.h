@@ -48,17 +48,25 @@ enum class IntersectPlan { kHashJoin, kClusteredIndex };
 /// Output. The predicate is evaluated from (len1, len2, isize), so any
 /// Predicate whose Matches is count-determined works (jaccard, hamming,
 /// overlap — not the weighted predicates).
+///
+/// `guard` (optional, not owned) attaches execution guardrails: the plan
+/// checkpoints between its steps — materialized-table sizes are charged
+/// against the memory budget and cancellation / deadline / breaker trips
+/// surface as the Result's error Status (kCancelled, kDeadlineExceeded,
+/// kResourceExhausted), mirroring the in-memory driver.
 Result<DbmsJoinResult> DbmsSelfJoin(
     const SetCollection& input, const SignatureScheme& scheme,
     const Predicate& predicate,
-    IntersectPlan plan = IntersectPlan::kHashJoin);
+    IntersectPlan plan = IntersectPlan::kHashJoin,
+    ExecutionGuard* guard = nullptr);
 
 /// Figure 16/17: edit-distance string join through the relational plan:
 /// String/Signature → CandPair → edit-distance check in "application
 /// code". `scheme` must be built over the strings' q-gram bags (q = gram
-/// length used to build it).
+/// length used to build it). `guard` as in DbmsSelfJoin.
 Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     const std::vector<std::string>& strings, uint32_t edit_threshold,
-    uint32_t q, const SignatureScheme& scheme);
+    uint32_t q, const SignatureScheme& scheme,
+    ExecutionGuard* guard = nullptr);
 
 }  // namespace ssjoin::relational

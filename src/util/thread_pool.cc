@@ -39,6 +39,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::RecordException(std::exception_ptr err) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::move(err);
+}
+
 void ThreadPool::RunOnAll(const std::function<void(size_t)>& job) {
   if (threads_.empty()) {
     job(0);
@@ -47,15 +52,26 @@ void ThreadPool::RunOnAll(const std::function<void(size_t)>& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SSJOIN_CHECK(job_ == nullptr, "ThreadPool::RunOnAll is not reentrant");
+    first_error_ = nullptr;
     job_ = &job;
     remaining_ = threads_.size();
     ++generation_;
   }
   work_ready_.notify_all();
-  job(threads_.size());  // The caller is the last worker.
+  try {
+    job(threads_.size());  // The caller is the last worker.
+  } catch (...) {
+    RecordException(std::current_exception());
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
@@ -70,7 +86,13 @@ void ThreadPool::WorkerLoop(size_t index) {
       seen = generation_;
       job = job_;
     }
-    (*job)(index);
+    // An exception must not escape on a worker thread (std::terminate);
+    // park it for the calling thread to rethrow after the join.
+    try {
+      (*job)(index);
+    } catch (...) {
+      RecordException(std::current_exception());
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) work_done_.notify_all();
@@ -89,6 +111,29 @@ void ParallelFor(ThreadPool& pool, size_t total,
     ChunkRange range = ChunkOf(total, chunks, chunk);
     fn(range.begin, range.end, chunk);
   });
+}
+
+void ParallelFor(ThreadPool& pool, size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& fn,
+                 const std::function<bool()>& should_stop, size_t block) {
+  if (!should_stop) {
+    ParallelFor(pool, total, fn);
+    return;
+  }
+  SSJOIN_CHECK(block > 0, "ParallelFor: sub-block size must be positive");
+  size_t chunks = pool.size();
+  auto run_chunk = [&](size_t chunk) {
+    ChunkRange range = ChunkOf(total, chunks, chunk);
+    for (size_t begin = range.begin; begin < range.end; begin += block) {
+      if (should_stop()) return;
+      fn(begin, std::min(begin + block, range.end), chunk);
+    }
+  };
+  if (chunks == 1) {
+    run_chunk(0);
+    return;
+  }
+  pool.RunOnAll(run_chunk);
 }
 
 }  // namespace ssjoin

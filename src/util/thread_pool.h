@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -58,16 +59,25 @@ class ThreadPool {
   /// Runs job(worker_index) once for every worker_index in [0, size()),
   /// index size()-1 on the calling thread, and returns when all are done.
   /// Not reentrant: a job must not call back into the same pool.
+  ///
+  /// If any invocation throws, the fork-join still completes (every other
+  /// worker finishes its invocation) and the first-recorded exception is
+  /// rethrown on the calling thread — it never escapes on a worker, which
+  /// would std::terminate the process.
   void RunOnAll(const std::function<void(size_t)>& job);
 
  private:
   void WorkerLoop(size_t index);
+  // Stores `err` as the fork-join's exception unless one is already
+  // recorded. Thread-safe.
+  void RecordException(std::exception_ptr err);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const std::function<void(size_t)>* job_ = nullptr;
+  std::exception_ptr first_error_;
   uint64_t generation_ = 0;
   size_t remaining_ = 0;
   bool shutdown_ = false;
@@ -79,5 +89,19 @@ class ThreadPool {
 /// spawn — so serial callers pay nothing.
 void ParallelFor(ThreadPool& pool, size_t total,
                  const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Interruptible variant: each chunk executes as fixed-size sub-blocks of
+/// `block` items, polling `should_stop` before every sub-block and
+/// abandoning the rest of the chunk once it returns true. `fn` may
+/// therefore run several times for the same chunk index, over adjacent
+/// sub-ranges, in order, on the same worker — bodies must *accumulate*
+/// into per-chunk slots (`+=`), never assign. Chunk boundaries are the
+/// same static ChunkOf split as the plain overload, so completed work is
+/// deterministic per thread count; which sub-blocks were skipped after a
+/// stop is not (callers discard partial output on a stop).
+void ParallelFor(ThreadPool& pool, size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& fn,
+                 const std::function<bool()>& should_stop,
+                 size_t block = 4096);
 
 }  // namespace ssjoin

@@ -89,6 +89,107 @@ TEST_F(SerializationTest, TruncationRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
+// Overwrites sizeof(T) bytes at `offset` in `path`. The on-disk layout is
+// magic(4) version(4) num_sets(8) offsets((n+1)*8) elements(total*4).
+template <typename T>
+void PatchAt(const std::string& path, std::streamoff offset, T value) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset, std::ios::beg);
+  f.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  ASSERT_TRUE(f.good());
+}
+
+TEST_F(SerializationTest, HugeSetCountRejectedWithoutAllocating) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}, {4, 5}});
+  ASSERT_TRUE(SaveSetsBinary(Path("h.bin"), original).ok());
+  // A corrupt header claiming ~2^60 sets must come back as a Status, not
+  // as a multi-exabyte vector allocation (bad_alloc / OOM kill).
+  PatchAt<uint64_t>(Path("h.bin"), 8, uint64_t{1} << 60);
+  auto loaded = LoadSetsBinary(Path("h.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("can hold"), std::string::npos);
+}
+
+TEST_F(SerializationTest, UnsupportedVersionRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}});
+  ASSERT_TRUE(SaveSetsBinary(Path("v.bin"), original).ok());
+  PatchAt<uint32_t>(Path("v.bin"), 4, 99);
+  auto loaded = LoadSetsBinary(Path("v.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, HeaderOnlyFileRejected) {
+  // Magic + version but no set count: truncated header, not a crash.
+  std::ofstream out(Path("hdr.bin"), std::ios::binary);
+  out.write("SSJC", 4);
+  uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.close();
+  auto loaded = LoadSetsBinary(Path("hdr.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, TruncatedOffsetsRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}, {4, 5}});
+  ASSERT_TRUE(SaveSetsBinary(Path("to.bin"), original).ok());
+  // Cut the file inside the offsets array (header is 16 bytes, the three
+  // offsets span bytes 16..40).
+  std::filesystem::resize_file(Path("to.bin"), 30);
+  auto loaded = LoadSetsBinary(Path("to.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, NonMonotoneOffsetsRejected) {
+  SetCollection original =
+      SetCollection::FromVectors({{1, 2, 3}, {4, 5}, {6}});
+  ASSERT_TRUE(SaveSetsBinary(Path("m.bin"), original).ok());
+  // offsets[1] lives at byte 24; bump it above offsets[2] (== 5).
+  PatchAt<uint64_t>(Path("m.bin"), 24, 100);
+  auto loaded = LoadSetsBinary(Path("m.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("monotone"), std::string::npos);
+}
+
+TEST_F(SerializationTest, NonZeroFirstOffsetRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}});
+  ASSERT_TRUE(SaveSetsBinary(Path("z.bin"), original).ok());
+  PatchAt<uint64_t>(Path("z.bin"), 16, 1);
+  auto loaded = LoadSetsBinary(Path("z.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("start at 0"),
+            std::string::npos);
+}
+
+TEST_F(SerializationTest, TrailingBytesRejected) {
+  SetCollection original = SetCollection::FromVectors({{1, 2, 3}, {4, 5}});
+  ASSERT_TRUE(SaveSetsBinary(Path("tr.bin"), original).ok());
+  std::ofstream out(Path("tr.bin"),
+                    std::ios::binary | std::ios::app);
+  uint32_t junk = 0xDEAD;
+  out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  out.close();
+  auto loaded = LoadSetsBinary(Path("tr.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, OffsetsElementMismatchRejected) {
+  SetCollection original =
+      SetCollection::FromVectors({{1, 2, 3}, {4, 5}, {6}});
+  ASSERT_TRUE(SaveSetsBinary(Path("mm.bin"), original).ok());
+  // Shrink the last offset (byte 40): the offsets now claim fewer
+  // elements than the file carries.
+  PatchAt<uint64_t>(Path("mm.bin"), 40, 5);
+  auto loaded = LoadSetsBinary(Path("mm.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("elements"), std::string::npos);
+}
+
 TEST_F(SerializationTest, CorruptedOrderRejected) {
   SetCollection original = SetCollection::FromVectors({{1, 2, 3}});
   ASSERT_TRUE(SaveSetsBinary(Path("o.bin"), original).ok());

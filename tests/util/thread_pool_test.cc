@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace ssjoin {
@@ -101,6 +103,98 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
     for (size_t i = begin; i < end; ++i) ++touched[i];
   });
   for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+// An exception thrown inside a worker job must not std::terminate the
+// process (the pre-fix behavior: it escaped WorkerLoop); it is captured
+// and rethrown on the calling thread, and the pool stays usable.
+TEST(ThreadPoolTest, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.RunOnAll([&](size_t index) {
+          if (index == 2) throw std::runtime_error("worker boom");
+        }),
+        std::runtime_error);
+    // The pool survives the throw and runs a clean round afterwards.
+    std::atomic<int> ran{0};
+    pool.RunOnAll([&](size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
+
+TEST(ThreadPoolTest, CallerExceptionRethrownToo) {
+  // The calling thread doubles as the last worker; its job's exception
+  // takes the same capture-and-rethrow path, not a direct escape that
+  // would skip the barrier and leave workers running.
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.RunOnAll([&](size_t index) {
+                 if (index == pool.size() - 1)
+                   throw std::runtime_error("caller boom");
+               }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.RunOnAll([&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ParallelForTest, ExceptionInBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 1000,
+                           [&](size_t begin, size_t, size_t) {
+                             if (begin == 0)
+                               throw std::logic_error("body boom");
+                           }),
+               std::logic_error);
+}
+
+// The interruptible overload with a never-true stop predicate covers the
+// range exactly once, like the plain overload (bodies may run as several
+// sub-block invocations; accumulation still sees each index once).
+TEST(ParallelForTest, InterruptibleCoversRangeWhenNotStopped) {
+  std::vector<int> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  long expected = std::accumulate(values.begin(), values.end(), 0L);
+  for (size_t threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    std::vector<long> partial(pool.size(), 0);
+    ParallelFor(
+        pool, values.size(),
+        [&](size_t begin, size_t end, size_t chunk) {
+          for (size_t i = begin; i < end; ++i) partial[chunk] += values[i];
+        },
+        [] { return false; });
+    EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L),
+              expected);
+  }
+}
+
+TEST(ParallelForTest, InterruptibleStopsEarly) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> visited{0};
+  ParallelFor(
+      pool, 1 << 20,
+      [&](size_t begin, size_t end, size_t) {
+        visited += end - begin;
+        stop.store(true, std::memory_order_release);
+      },
+      [&] { return stop.load(std::memory_order_acquire); });
+  // Each worker processes at most its first sub-block after the flag
+  // flips; the vast majority of the range is skipped.
+  EXPECT_LT(visited.load(), size_t{1} << 20);
+}
+
+TEST(ParallelForTest, InterruptibleEmptyPredicateMatchesPlain) {
+  // An empty std::function delegates to the plain overload: exactly one
+  // invocation per chunk, no sub-blocking.
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(
+      pool, 100000,
+      [&](size_t, size_t, size_t) { ++calls; },
+      std::function<bool()>{});
+  EXPECT_EQ(calls.load(), 4);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@ Rules (scope: the directories named in RULE_SCOPES):
                        include guards, no unguarded headers).
   no-using-namespace   `using namespace` in a header leaks into every
                        includer; fully qualify or alias instead.
+  no-dropped-status    a bare-statement call to a util::Status-returning
+                       guardrail/IO function (Checkpoint, CheckBreaker,
+                       SaveSetsBinary, ...) silently discards a trip or an
+                       IO failure; propagate it (SSJOIN_RETURN_NOT_OK,
+                       assign, or branch on it).
 
 Usage:
   tools/lint/ssjoin_lint.py [--root REPO_ROOT] [--list-rules]
@@ -40,6 +45,7 @@ RULE_SCOPES = {
     "no-assert": ("src",),
     "pragma-once": ("src", "tools", "bench", "tests"),
     "no-using-namespace": ("src", "tools", "bench"),
+    "no-dropped-status": ("src", "tools", "bench", "examples"),
 }
 
 ALLOW_RE = re.compile(r"//\s*ssjoin-lint:\s*allow\(([a-z-]+)\)")
@@ -49,6 +55,17 @@ ASSERT_RE = re.compile(r"(?<![\w:.])(assert\s*\(|static_assert\s*\()")
 CASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
 USING_NAMESPACE_RE = re.compile(r"(?<!\w)using\s+namespace\s+[\w:]+")
 INCLUDE_GUARD_RE = re.compile(r"#\s*ifndef\s+\w*_H_?\b")
+# Functions whose util::Status return must not be discarded. A line that
+# consists of nothing but such a call (optionally through `obj.` / `ptr->`)
+# followed by `;` drops the Status on the floor: a guard trip or an IO
+# failure would vanish. `return f(...)`, `auto s = f(...)`,
+# `SSJOIN_RETURN_NOT_OK(f(...))` and `if (f(...).ok())` all keep the value
+# and do not match (the call is then not the start of the statement).
+STATUS_FUNCTIONS = ("Checkpoint", "CheckBreaker", "SaveSetsBinary",
+                    "SavePairsBinary", "Validate")
+DROPPED_STATUS_RE = re.compile(
+    r"^\s*(?:\(void\)\s*)?(?:\w+(?:\.|->))?(%s)\s*\(.*\)\s*;\s*$"
+    % "|".join(STATUS_FUNCTIONS))
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -125,6 +142,13 @@ class Linter:
                         self.report(rel, lineno, "no-assert",
                                     "do not include <cassert>; use "
                                     "util/check.h")
+            if self.in_scope("no-dropped-status", rel):
+                m = DROPPED_STATUS_RE.match(line)
+                if m and not allowed(lineno, "no-dropped-status"):
+                    self.report(rel, lineno, "no-dropped-status",
+                                f"util::Status returned by {m.group(1)}() is "
+                                "discarded; propagate it "
+                                "(SSJOIN_RETURN_NOT_OK / assign / branch)")
             if (self.in_scope("no-using-namespace", rel)
                     and path.suffix in HEADER_SUFFIXES
                     and USING_NAMESPACE_RE.search(line)

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "baselines/lsh.h"
@@ -51,16 +52,25 @@ commands:
   stats    --input <file> [--format strings|sets|bin]
   jaccard  --input <file> --gamma <g> [--algo pen|pf|lsh|probecount|paircount]
            [--format strings|sets|bin] [--accuracy <f>] [--out <file>]
-           [--threads <n>] [--time]
+           [--threads <n>] [--time] [guardrail flags]
   edit     --input <file> --k <n> [--algo pen|pf] [--q <n>] [--out <file>]
            [--time]
   weighted --input <file> --gamma <g> [--algo wen|wpf|wlsh] [--out <file>]
-           [--threads <n>] [--time]
+           [--threads <n>] [--time] [guardrail flags]
 
 --threads selects the join parallelism for the signature-based
 algorithms (pen, pf, lsh, wen, wpf, wlsh): 1 = serial (default),
 0 = one thread per core, N = exactly N. Output is identical for every
 value.
+
+guardrail flags (jaccard / weighted, signature-based algorithms only;
+0 = limit off, the default):
+  --deadline-ms <n>          abort the join after n milliseconds
+  --memory-budget-mb <n>     abort when tracked join allocations pass n MiB
+  --max-candidate-ratio <f>  abort when verified candidates exceed
+                             f * max(1, results) — candidate explosion
+A tripped guardrail exits with "error: Cancelled/Deadline exceeded/
+Resource exhausted: ..." and no pairs are written.
 )";
 
 Status WritePairs(const std::vector<SetPair>& pairs,
@@ -111,6 +121,39 @@ Result<JoinOptions> ThreadedJoinOptions(Flags& flags) {
   JoinOptions options;
   options.num_threads = static_cast<size_t>(threads);
   return options;
+}
+
+// Reads the guardrail flags (see kUsage) into an ExecutionBudget.
+// `enabled` is false when every limit is off — no guard is attached then,
+// keeping the default run on the zero-overhead path.
+struct GuardFlags {
+  ExecutionBudget budget;
+  bool enabled = false;
+};
+
+Result<GuardFlags> ParseGuardFlags(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(int64_t deadline_ms,
+                          flags.GetInt("deadline-ms", 0));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t budget_mb,
+                          flags.GetInt("memory-budget-mb", 0));
+  SSJOIN_ASSIGN_OR_RETURN(double ratio,
+                          flags.GetDouble("max-candidate-ratio", 0));
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("--deadline-ms must be >= 0");
+  }
+  if (budget_mb < 0) {
+    return Status::InvalidArgument("--memory-budget-mb must be >= 0");
+  }
+  if (ratio < 0) {
+    return Status::InvalidArgument("--max-candidate-ratio must be >= 0");
+  }
+  GuardFlags out;
+  out.budget.deadline_ms = deadline_ms;
+  out.budget.memory_budget_bytes =
+      static_cast<size_t>(budget_mb) * 1024 * 1024;
+  out.budget.max_candidate_ratio = ratio;
+  out.enabled = deadline_ms > 0 || budget_mb > 0 || ratio > 0;
+  return out;
 }
 
 Status RunGenerate(Flags& flags) {
@@ -172,9 +215,15 @@ Status RunJaccard(Flags& flags) {
                           flags.GetDouble("accuracy", 0.95));
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
   SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
+  SSJOIN_ASSIGN_OR_RETURN(GuardFlags guard_flags, ParseGuardFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
+  }
+  std::optional<ExecutionGuard> guard;
+  if (guard_flags.enabled) {
+    guard.emplace(guard_flags.budget);
+    options.guard = &*guard;
   }
 
   JaccardPredicate predicate(gamma);
@@ -203,13 +252,22 @@ Status RunJaccard(Flags& flags) {
                  accuracy * 100);
     result = SignatureSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "probecount") {
+    if (guard_flags.enabled) {
+      return Status::InvalidArgument(
+          "guardrail flags require a signature-based --algo");
+    }
     result = ProbeCountSelfJoin(input, predicate);
   } else if (algo == "paircount") {
+    if (guard_flags.enabled) {
+      return Status::InvalidArgument(
+          "guardrail flags require a signature-based --algo");
+    }
     result = PairCountSelfJoin(input, predicate);
   } else {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
+  SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
 }
 
@@ -251,9 +309,15 @@ Status RunWeighted(Flags& flags) {
                           flags.GetDouble("accuracy", 0.95));
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
   SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
+  SSJOIN_ASSIGN_OR_RETURN(GuardFlags guard_flags, ParseGuardFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
+  }
+  std::optional<ExecutionGuard> guard;
+  if (guard_flags.enabled) {
+    guard.emplace(guard_flags.budget);
+    options.guard = &*guard;
   }
 
   auto idf = std::make_shared<IdfWeights>(IdfWeights::Compute(input));
@@ -294,6 +358,7 @@ Status RunWeighted(Flags& flags) {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
+  SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
 }
 
