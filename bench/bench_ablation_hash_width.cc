@@ -13,7 +13,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("ablation_hash_width", flags);
   std::printf("=== Ablation: signature hash width (Section 4.2) ===\n\n");
   SetCollection input = AddressTokenSets(Scaled(20000));
   double gamma = 0.85;
@@ -32,7 +34,7 @@ int main() {
     if (bits < 64) {
       scheme = std::make_shared<NarrowedScheme>(made->scheme, bits);
     }
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = run.SelfJoin(input, *scheme, predicate);
     if (bits == 64) results64 = result.stats.results;
     std::printf("%-8d %14llu %14llu %12llu %10llu%s\n", bits,
                 static_cast<unsigned long long>(
@@ -48,5 +50,5 @@ int main() {
       "\n(hash collisions only merge signatures, so results are identical\n"
       " at every width; 32 bits adds negligible false positives — the\n"
       " paper's claim — while 16 bits visibly inflates the candidate set)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -43,7 +43,9 @@ SetCollection WideSizeSets(size_t n, uint64_t seed = 17) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("ablation_size_filter", flags);
   std::printf("=== Ablation: size-based filtering (Section 5) ===\n\n");
   PrintTimeHeader();
   for (size_t size : {Scaled(5000), Scaled(20000)}) {
@@ -57,7 +59,7 @@ int main() {
         params.size_filter = size_filter;
         auto scheme = PrefixFilterScheme::Create(predicate, input, params);
         if (!scheme.ok()) continue;
-        JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+        JoinResult result = run.SelfJoin(input, *scheme, *predicate);
         PrintTimeRow(size, threshold,
                      size_filter ? "PF(size-filtered)" : "PF(original)",
                      result.stats);
@@ -78,5 +80,5 @@ int main() {
       "(expected: size filtering cuts PF candidates sharply on this\n"
       " wide-size workload — the paper applied it before every PF\n"
       " comparison because the unaugmented original \"was very poor\")\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -19,7 +19,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("ablation_weighted_expansion", flags);
   std::printf(
       "=== Ablation: weighted join via bag expansion vs WtEnum "
       "(Section 7) ===\n\n");
@@ -54,7 +56,7 @@ int main() {
       auto scheme = PartEnumScheme::Create(params);
       if (scheme.ok()) {
         HammingPredicate bag_predicate(k);
-        JoinResult result = SignatureSelfJoin(bags, *scheme, bag_predicate);
+        JoinResult result = run.SelfJoin(bags, *scheme, bag_predicate);
         // Count true results under the weighted predicate.
         uint64_t true_results = 0;
         for (const SetPair& p : result.pairs) {
@@ -87,7 +89,7 @@ int main() {
       auto scheme = WtEnumScheme::CreateOverlap(weights, order_weights,
                                                 threshold, params);
       if (scheme.ok()) {
-        JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+        JoinResult result = run.SelfJoin(input, *scheme, predicate);
         std::printf("%-8.0f %-26s %12llu %12llu %12.3f %10llu\n", alpha,
                     "WtEnum",
                     static_cast<unsigned long long>(
@@ -102,5 +104,5 @@ int main() {
   std::printf(
       "\n(Section 7: the expansion needs O(alpha^2.39) more signatures for\n"
       " the same join as alpha grows; WtEnum is invariant to weight scale)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 #include "bench_common.h"
 
 #include <cstring>
+#include <utility>
 
 #include "bench_schemes.h"
+#include "obs/export.h"
 
 namespace ssjoin::bench {
 
@@ -74,17 +76,117 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       }
       flags.budget.max_candidate_ratio = r;
       flags.guard_given = flags.guard_given || r > 0;
+    } else if (const char* v6 = FlagValue("report-out", argc, argv, &i)) {
+      flags.report_out = v6;
+    } else if (const char* v7 = FlagValue("trace-out", argc, argv, &i)) {
+      flags.trace_out = v7;
+    } else if (const char* v8 = FlagValue("metrics-out", argc, argv, &i)) {
+      flags.metrics_out = v8;
     } else {
       std::fprintf(stderr,
                    "error: unknown argument '%s'\n"
                    "usage: %s [--threads N] [--json-out PATH] "
                    "[--deadline-ms N] [--memory-budget-mb N] "
-                   "[--max-candidate-ratio F]\n",
+                   "[--max-candidate-ratio F] [--report-out PATH] "
+                   "[--trace-out PATH] [--metrics-out PATH]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
   }
   return flags;
+}
+
+BenchRun::BenchRun(std::string bench_name, const BenchFlags& flags)
+    : name_(std::move(bench_name)), flags_(flags) {}
+
+JoinOptions BenchRun::Options() {
+  JoinOptions options;
+  if (flags_.threads_given) options.num_threads = flags_.threads;
+  options.tracer = &tracer_;
+  options.metrics = &metrics_;
+  return options;
+}
+
+JoinResult BenchRun::Run(const SetCollection* left,
+                         const SetCollection* right,
+                         const SignatureScheme& scheme,
+                         const Predicate& predicate, ExecutionMode mode,
+                         JoinOptions options) {
+  options.tracer = &tracer_;
+  options.metrics = &metrics_;
+  JoinRequest request;
+  request.left = left;
+  request.right = right;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = mode;
+  request.options = options;
+  return Join(request);
+}
+
+JoinResult BenchRun::SelfJoin(const SetCollection& input,
+                              const SignatureScheme& scheme,
+                              const Predicate& predicate) {
+  return SelfJoin(input, scheme, predicate, Options());
+}
+
+JoinResult BenchRun::SelfJoin(const SetCollection& input,
+                              const SignatureScheme& scheme,
+                              const Predicate& predicate,
+                              JoinOptions options) {
+  return Run(&input, nullptr, scheme, predicate, ExecutionMode::kSelfJoin,
+             std::move(options));
+}
+
+JoinResult BenchRun::BinaryJoin(const SetCollection& r,
+                                const SetCollection& s,
+                                const SignatureScheme& scheme,
+                                const Predicate& predicate) {
+  return BinaryJoin(r, s, scheme, predicate, Options());
+}
+
+JoinResult BenchRun::BinaryJoin(const SetCollection& r,
+                                const SetCollection& s,
+                                const SignatureScheme& scheme,
+                                const Predicate& predicate,
+                                JoinOptions options) {
+  return Run(&r, &s, scheme, predicate, ExecutionMode::kBinaryJoin,
+             std::move(options));
+}
+
+JoinResult BenchRun::Pipelined(const SetCollection& input,
+                               const SignatureScheme& scheme,
+                               const Predicate& predicate) {
+  return Pipelined(input, scheme, predicate, Options());
+}
+
+JoinResult BenchRun::Pipelined(const SetCollection& input,
+                               const SignatureScheme& scheme,
+                               const Predicate& predicate,
+                               JoinOptions options) {
+  return Run(&input, nullptr, scheme, predicate,
+             ExecutionMode::kPipelinedSelfJoin, std::move(options));
+}
+
+bool BenchRun::Finish() {
+  std::string report = flags_.report_out.empty()
+                           ? "BENCH_" + name_ + "_report.jsonl"
+                           : flags_.report_out;
+  Status status = obs::WriteJsonlReport(&tracer_, &metrics_, report);
+  if (status.ok()) {
+    std::printf("wrote %s\n", report.c_str());
+    if (!flags_.trace_out.empty()) {
+      status = obs::WriteTraceAuto(tracer_, flags_.trace_out);
+    }
+  }
+  if (status.ok() && !flags_.metrics_out.empty()) {
+    status = obs::WriteMetricsJsonl(metrics_, flags_.metrics_out);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 bool WriteParallelScalingJson(const std::string& path,

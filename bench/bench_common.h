@@ -18,6 +18,8 @@
 #include "core/ssjoin.h"
 #include "data/collection.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace ssjoin::bench {
@@ -132,10 +134,13 @@ inline void PrintF2Row(size_t size, const std::string& threshold,
 
 /// Minimal command-line parsing for the bench harnesses (kept free of
 /// the tools/flags dependency): recognizes `--threads N` / `--threads=N`,
-/// `--json-out PATH` / `--json-out=PATH`, and the guardrail limits
+/// `--json-out PATH` / `--json-out=PATH`, the guardrail limits
 /// `--deadline-ms N`, `--memory-budget-mb N`, `--max-candidate-ratio F`
-/// (0 = off; see core/execution_guard.h); anything else aborts with a
-/// usage message so typos never silently run the default workload.
+/// (0 = off; see core/execution_guard.h), and the observability outputs
+/// `--report-out PATH` (structured run report, "" = bench default),
+/// `--trace-out PATH` (.jsonl = deterministic stream, else Chrome
+/// trace_event JSON) and `--metrics-out PATH`; anything else aborts with
+/// a usage message so typos never silently run the default workload.
 struct BenchFlags {
   /// Join parallelism (JoinOptions::num_threads semantics: 0 = one per
   /// core). Only meaningful when threads_given.
@@ -146,9 +151,77 @@ struct BenchFlags {
   /// Guardrail limits forwarded to an ExecutionGuard when guard_given.
   ExecutionBudget budget;
   bool guard_given = false;
+  /// Override for the structured run report path ("" = bench default).
+  std::string report_out;
+  /// Extra trace / metrics exports ("" = off).
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 BenchFlags ParseBenchFlags(int argc, char** argv);
+
+/// Shared execution context for a bench binary: owns the run's Tracer and
+/// MetricsRegistry, seeds JoinOptions from the flags, routes every
+/// signature join through the unified Join() facade, and writes the
+/// structured run report on Finish(). This replaces the per-bench
+/// JoinOptions / sink plumbing — a bench builds workloads and calls
+/// SelfJoin / BinaryJoin / Pipelined, nothing else.
+class BenchRun {
+ public:
+  /// `bench_name` names the default report file,
+  /// BENCH_<bench_name>_report.jsonl.
+  BenchRun(std::string bench_name, const BenchFlags& flags);
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// JoinOptions seeded from --threads with this run's sinks attached.
+  JoinOptions Options();
+
+  /// Join through the facade with Options(). The JoinOptions overloads
+  /// are for benches that vary threads or attach a guard per call — the
+  /// run's sinks are (re-)attached on top of the supplied options.
+  JoinResult SelfJoin(const SetCollection& input,
+                      const SignatureScheme& scheme,
+                      const Predicate& predicate);
+  JoinResult SelfJoin(const SetCollection& input,
+                      const SignatureScheme& scheme,
+                      const Predicate& predicate, JoinOptions options);
+  JoinResult BinaryJoin(const SetCollection& r, const SetCollection& s,
+                        const SignatureScheme& scheme,
+                        const Predicate& predicate);
+  JoinResult BinaryJoin(const SetCollection& r, const SetCollection& s,
+                        const SignatureScheme& scheme,
+                        const Predicate& predicate, JoinOptions options);
+  JoinResult Pipelined(const SetCollection& input,
+                       const SignatureScheme& scheme,
+                       const Predicate& predicate);
+  JoinResult Pipelined(const SetCollection& input,
+                       const SignatureScheme& scheme,
+                       const Predicate& predicate, JoinOptions options);
+
+  /// The run's sinks, for joins that do not go through the facade
+  /// (string joins, DBMS plans).
+  obs::Tracer* tracer() { return &tracer_; }
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Writes the structured run report — one deterministic JSONL file with
+  /// the stable spans then the stable metrics — to --report-out (default
+  /// BENCH_<bench_name>_report.jsonl), plus any --trace-out /
+  /// --metrics-out exports. Returns false (after printing to stderr) on
+  /// I/O error.
+  bool Finish();
+
+ private:
+  JoinResult Run(const SetCollection* left, const SetCollection* right,
+                 const SignatureScheme& scheme, const Predicate& predicate,
+                 ExecutionMode mode, JoinOptions options);
+
+  std::string name_;
+  BenchFlags flags_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+};
 
 /// One measured point of a parallel-scaling trajectory: a full join at
 /// `threads` workers plus its wall-clock seconds (phase times live in

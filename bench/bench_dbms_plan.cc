@@ -12,7 +12,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("dbms_plan", flags);
   std::printf("=== DBMS plan vs in-memory driver (Figures 10/11) ===\n\n");
   size_t size = Scaled(4000);
   SetCollection input = AddressTokenSets(size);
@@ -22,11 +24,14 @@ int main() {
     auto made = MakeJaccardScheme(Algo::kPartEnum, input, gamma);
     if (!made.ok()) continue;
     JaccardPredicate predicate(gamma);
-    JoinResult driver = SignatureSelfJoin(input, *made->scheme, predicate);
-    auto dbms = relational::DbmsSelfJoin(input, *made->scheme, predicate);
+    JoinResult driver = run.SelfJoin(input, *made->scheme, predicate);
+    auto dbms = relational::DbmsSelfJoin(
+        input, *made->scheme, predicate, relational::IntersectPlan::kHashJoin,
+        /*guard=*/nullptr, run.tracer(), run.metrics());
     auto indexed = relational::DbmsSelfJoin(
         input, *made->scheme, predicate,
-        relational::IntersectPlan::kClusteredIndex);
+        relational::IntersectPlan::kClusteredIndex,
+        /*guard=*/nullptr, run.tracer(), run.metrics());
     if (!dbms.ok() || !indexed.ok()) {
       std::printf("%.2f dbms plan failed\n", gamma);
       continue;
@@ -50,5 +55,5 @@ int main() {
   std::printf(
       "\n(F2 is identical across engines by construction; wall time\n"
       " differs by the relational engine's materialization overhead)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

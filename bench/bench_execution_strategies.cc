@@ -21,6 +21,7 @@ using namespace ssjoin::bench;
 
 int main(int argc, char** argv) {
   BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("execution_strategies", flags);
   size_t threads =
       flags.threads_given ? ResolveThreadCount(flags.threads) : 1;
   std::printf(
@@ -35,10 +36,11 @@ int main(int argc, char** argv) {
       char threshold[16];
       std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
 
-      JoinResult sorted = SignatureSelfJoin(input, *made->scheme, predicate);
+      JoinResult sorted =
+          run.SelfJoin(input, *made->scheme, predicate, JoinOptions{});
       PrintTimeRow(size, threshold, "self/sorted", sorted.stats);
       JoinResult pipelined =
-          PipelinedSelfJoin(input, *made->scheme, predicate);
+          run.Pipelined(input, *made->scheme, predicate, JoinOptions{});
       PrintTimeRow(size, threshold, "self/pipelined", pipelined.stats);
       if (sorted.pairs != pipelined.pairs) {
         std::printf("!! sorted and pipelined outputs DISAGREE\n");
@@ -52,7 +54,8 @@ int main(int argc, char** argv) {
       }
       SetCollection r = r_builder.Build();
       SetCollection s = s_builder.Build();
-      JoinResult binary = SignatureJoin(r, s, *made->scheme, predicate);
+      JoinResult binary =
+          run.BinaryJoin(r, s, *made->scheme, predicate, JoinOptions{});
       PrintTimeRow(size, threshold, "binary/halves", binary.stats);
 
       if (threads > 1) {
@@ -61,17 +64,17 @@ int main(int argc, char** argv) {
         char label[40];
         std::snprintf(label, sizeof(label), "self/sorted(t=%zu)", threads);
         JoinResult par_sorted =
-            SignatureSelfJoin(input, *made->scheme, predicate, options);
+            run.SelfJoin(input, *made->scheme, predicate, options);
         PrintTimeRow(size, threshold, label, par_sorted.stats);
         std::snprintf(label, sizeof(label), "self/pipelined(t=%zu)",
                       threads);
         JoinResult par_pipelined =
-            PipelinedSelfJoin(input, *made->scheme, predicate, options);
+            run.Pipelined(input, *made->scheme, predicate, options);
         PrintTimeRow(size, threshold, label, par_pipelined.stats);
         std::snprintf(label, sizeof(label), "binary/halves(t=%zu)",
                       threads);
         JoinResult par_binary =
-            SignatureJoin(r, s, *made->scheme, predicate, options);
+            run.BinaryJoin(r, s, *made->scheme, predicate, options);
         PrintTimeRow(size, threshold, label, par_binary.stats);
         if (par_sorted.pairs != sorted.pairs ||
             par_pipelined.pairs != sorted.pairs ||
@@ -88,5 +91,5 @@ int main(int argc, char** argv) {
       " pipelined — and between serial and parallel rows; the paper's\n"
       " 'relative performances similar for binary SSJoins' expectation\n"
       " shows as proportional costs on the halves)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -15,7 +15,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("fig12_jaccard_time", flags);
   std::printf(
       "=== Figure 12: jaccard SSJoin total time, address data ===\n"
       "(sizes scaled %.0fx down from the paper's 100K/500K/1M; set\n"
@@ -33,8 +35,7 @@ int main() {
                       "?", made.status().ToString().c_str());
           continue;
         }
-        JoinResult result =
-            SignatureSelfJoin(input, *made->scheme, predicate);
+        JoinResult result = run.SelfJoin(input, *made->scheme, predicate);
         char threshold[16];
         std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
         PrintTimeRow(size, threshold, made->label, result.stats);
@@ -42,5 +43,5 @@ int main() {
     }
     std::printf("\n");
   }
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("fig13_jaccard_f2", flags);
   std::printf(
       "=== Figure 13: jaccard SSJoin F2 size, address data ===\n\n");
   PrintF2Header();
@@ -20,8 +22,7 @@ int main() {
       for (Algo algo : {Algo::kPartEnum, Algo::kLsh, Algo::kPrefixFilter}) {
         auto made = MakeJaccardScheme(algo, input, gamma);
         if (!made.ok()) continue;
-        JoinResult result =
-            SignatureSelfJoin(input, *made->scheme, predicate);
+        JoinResult result = run.SelfJoin(input, *made->scheme, predicate);
         char threshold[16];
         std::snprintf(threshold, sizeof(threshold), "%.2f", gamma);
         PrintF2Row(size, threshold, made->label, result.stats);
@@ -32,5 +33,5 @@ int main() {
   std::printf(
       "Check (paper Section 8.1): F2 should order the algorithms the same\n"
       "way as the Figure 12 wall-clock times.\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

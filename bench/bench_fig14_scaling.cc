@@ -51,7 +51,7 @@ Result<SchemeUnderTest> MakeEquisizedPen(const SetCollection& input,
 }
 
 // For each algorithm, joins at every size and returns the F2 series.
-void RunScalingSeries(double gamma) {
+void RunScalingSeries(BenchRun& run, double gamma) {
   std::vector<size_t> sizes = {Scaled(1000), Scaled(2000), Scaled(4000),
                                Scaled(8000), Scaled(16000)};
   std::printf("--- Figure 14 (%s): F2 vs input size, gamma=%.1f ---\n",
@@ -67,7 +67,7 @@ void RunScalingSeries(double gamma) {
       auto made = MakeEquisizedPen(input, gamma);
       if (made.ok()) {
         row[0] = static_cast<double>(
-            SignatureSelfJoin(input, *made->scheme, predicate).stats.F2());
+            run.SelfJoin(input, *made->scheme, predicate).stats.F2());
       }
     }
     int col = 1;
@@ -75,7 +75,7 @@ void RunScalingSeries(double gamma) {
       auto made = MakeJaccardScheme(algo, input, gamma);
       if (made.ok()) {
         JoinResult result =
-            SignatureSelfJoin(input, *made->scheme, predicate);
+            run.SelfJoin(input, *made->scheme, predicate);
         row[col] = static_cast<double>(result.stats.F2());
       }
       ++col;
@@ -95,7 +95,7 @@ void RunScalingSeries(double gamma) {
       LogLogSlope(xs, pf_f2));
 }
 
-void RunGammaSweep() {
+void RunGammaSweep(BenchRun& run) {
   size_t size = Scaled(10000);
   SetCollection input = SyntheticSets(size);
   std::printf(
@@ -110,21 +110,21 @@ void RunGammaSweep() {
       auto made = MakeJaccardScheme(Algo::kLsh, input, gamma, 0.05);
       if (made.ok()) {
         values[0] = static_cast<double>(
-            SignatureSelfJoin(input, *made->scheme, predicate).stats.F2());
+            run.SelfJoin(input, *made->scheme, predicate).stats.F2());
       }
     }
     {
       auto made = MakeJaccardScheme(Algo::kLsh, input, gamma, 0.01);
       if (made.ok()) {
         values[1] = static_cast<double>(
-            SignatureSelfJoin(input, *made->scheme, predicate).stats.F2());
+            run.SelfJoin(input, *made->scheme, predicate).stats.F2());
       }
     }
     {
       auto made = MakeEquisizedPen(input, gamma);
       if (made.ok()) {
         values[2] = static_cast<double>(
-            SignatureSelfJoin(input, *made->scheme, predicate).stats.F2());
+            run.SelfJoin(input, *made->scheme, predicate).stats.F2());
       }
     }
     std::printf("%-8.2f %-14.3g %-14.3g %-14.3g\n", gamma, values[0],
@@ -137,7 +137,7 @@ void RunGammaSweep() {
 }
 
 // Thread-scaling trajectory on the Figure-14 workload (see file header).
-int RunParallelScaling(const BenchFlags& flags) {
+int RunParallelScaling(BenchRun& run, const BenchFlags& flags) {
   size_t max_threads = ResolveThreadCount(flags.threads);
   size_t n = Scaled(100000);
   double gamma = 0.9;
@@ -165,7 +165,7 @@ int RunParallelScaling(const BenchFlags& flags) {
     options.num_threads = threads;
     Stopwatch watch;
     JoinResult result =
-        SignatureSelfJoin(input, *made->scheme, predicate, options);
+        run.SelfJoin(input, *made->scheme, predicate, options);
     ScalingPoint point;
     point.threads = threads;
     point.wall_seconds = watch.ElapsedSeconds();
@@ -206,10 +206,15 @@ int RunParallelScaling(const BenchFlags& flags) {
 
 int main(int argc, char** argv) {
   BenchFlags flags = ParseBenchFlags(argc, argv);
-  if (flags.threads_given) return RunParallelScaling(flags);
+  BenchRun run("fig14_scaling", flags);
+  if (flags.threads_given) {
+    int rc = RunParallelScaling(run, flags);
+    if (!run.Finish()) return 1;
+    return rc;
+  }
   std::printf("=== Figure 14: scaling, synthetic equi-sized data ===\n\n");
-  RunScalingSeries(0.9);
-  RunScalingSeries(0.8);
-  RunGammaSweep();
-  return 0;
+  RunScalingSeries(run, 0.9);
+  RunScalingSeries(run, 0.8);
+  RunGammaSweep(run);
+  return run.Finish() ? 0 : 1;
 }

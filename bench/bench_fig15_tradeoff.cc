@@ -13,7 +13,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("fig15_tradeoff", flags);
   std::printf(
       "=== Figure 15: signatures vs collisions across (n1, n2) ===\n\n");
   // Synthetic equi-sized workload at gamma 0.8 => hamming k = 11, as in
@@ -47,7 +49,7 @@ int main() {
                   scheme.status().ToString().c_str());
       continue;
     }
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = run.SelfJoin(input, *scheme, predicate);
     uint64_t num_sign = result.stats.signatures_r * 2;
     uint64_t collisions = result.stats.F2() - num_sign;
     char shape[16];
@@ -63,5 +65,5 @@ int main() {
   std::printf(
       "\n(paper Figure 15: moving right, NumSign rises monotonically while\n"
       " collisions fall by orders of magnitude)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("fig18_edit_distance", flags);
   std::printf(
       "=== Figure 18: edit-distance string join, address strings ===\n\n");
   PrintTimeHeader();
@@ -30,6 +32,8 @@ int main() {
       };
       for (const Config& config : configs) {
         StringJoinOptions options;
+        options.tracer = run.tracer();
+        options.metrics = run.metrics();
         options.edit_threshold = k;
         options.q = config.q;
         options.algorithm = config.algorithm;
@@ -49,5 +53,5 @@ int main() {
   std::printf(
       "(paper Figure 18: PEN(1) beats PF at every size/threshold, by a\n"
       " growing factor at 500K/1M)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

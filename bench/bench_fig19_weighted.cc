@@ -16,7 +16,9 @@
 using namespace ssjoin;
 using namespace ssjoin::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("fig19_weighted", flags);
   std::printf(
       "=== Figure 19: weighted jaccard SSJoin (IDF), address data ===\n\n");
   PrintTimeHeader();
@@ -45,8 +47,7 @@ int main() {
         auto scheme = WtEnumScheme::CreateJaccard(weights, weights, gamma,
                                                   min_ws, params);
         if (scheme.ok()) {
-          JoinResult result =
-              SignatureSelfJoin(input, *scheme, predicate);
+          JoinResult result = run.SelfJoin(input, *scheme, predicate);
           PrintTimeRow(size, threshold, "WEN", result.stats);
         }
       }
@@ -54,8 +55,7 @@ int main() {
         LshParams params = LshParams::ForAccuracy(gamma, 0.05, 3);
         auto scheme = WeightedLshScheme::Create(params, weights);
         if (scheme.ok()) {
-          JoinResult result =
-              SignatureSelfJoin(input, *scheme, predicate);
+          JoinResult result = run.SelfJoin(input, *scheme, predicate);
           PrintTimeRow(size, threshold, "LSH(0.95)", result.stats);
         }
       }
@@ -64,8 +64,7 @@ int main() {
         auto scheme = WeightedPrefixFilterScheme::Create(
             gamma, weights, input, min_ws);
         if (scheme.ok()) {
-          JoinResult result =
-              SignatureSelfJoin(input, *scheme, predicate);
+          JoinResult result = run.SelfJoin(input, *scheme, predicate);
           PrintTimeRow(size, threshold, "PF", result.stats);
         }
       }
@@ -75,5 +74,5 @@ int main() {
   std::printf(
       "(paper Figure 19: WEN clearly fastest — it exploits IDF frequency\n"
       " information — and does not degrade steeply at lower gamma)\n");
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

@@ -130,6 +130,7 @@ bool WriteJson(const std::string& path, size_t input_size, size_t threads,
 
 int main(int argc, char** argv) {
   BenchFlags flags = ParseBenchFlags(argc, argv);
+  BenchRun run("guardrail_overhead", flags);
   size_t threads = flags.threads_given ? flags.threads : 1;
   size_t n = Scaled(100000);
   SetCollection input = SyntheticSets(n);
@@ -156,12 +157,12 @@ int main(int argc, char** argv) {
   auto sorted = [&](ExecutionGuard* guard) {
     JoinOptions options = base;
     options.guard = guard;
-    return SignatureSelfJoin(input, *made->scheme, predicate, options);
+    return run.SelfJoin(input, *made->scheme, predicate, options);
   };
   auto pipelined = [&](ExecutionGuard* guard) {
     JoinOptions options = base;
     options.guard = guard;
-    return PipelinedSelfJoin(input, *made->scheme, predicate, options);
+    return run.Pipelined(input, *made->scheme, predicate, options);
   };
 
   std::printf("--- Guardrail overhead: %s, n=%zu, gamma=%.1f, threads=%zu "
@@ -184,5 +185,5 @@ int main(int argc, char** argv) {
                          : flags.json_out;
   if (!WriteJson(json, input.size(), threads, rows)) return 1;
   std::printf("wrote %s\n", json.c_str());
-  return 0;
+  return run.Finish() ? 0 : 1;
 }

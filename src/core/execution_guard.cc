@@ -4,7 +4,25 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ssjoin {
+
+std::string_view TripReasonName(ExecutionGuard::TripReason reason) {
+  switch (reason) {
+    case ExecutionGuard::TripReason::kNone:
+      return "none";
+    case ExecutionGuard::TripReason::kCancelled:
+      return "cancelled";
+    case ExecutionGuard::TripReason::kDeadline:
+      return "deadline";
+    case ExecutionGuard::TripReason::kMemory:
+      return "memory";
+    case ExecutionGuard::TripReason::kCandidateExplosion:
+      return "candidate_explosion";
+  }
+  return "unknown";
+}
 
 std::string_view JoinPhaseName(JoinPhase phase) {
   switch (phase) {
@@ -95,8 +113,19 @@ Status ExecutionGuard::Latch(JoinPhase phase, TripReason reason,
     trip_phase_ = phase;
     trip_reason_ = reason;
     stop_.store(true, std::memory_order_release);
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter(std::string("guard.trips.") +
+                    std::string(TripReasonName(reason)))
+          .Add(1);
+    }
   }
   return trip_status_;
+}
+
+void ExecutionGuard::BindMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
 }
 
 Status ExecutionGuard::trip_status() const {

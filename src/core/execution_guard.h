@@ -35,6 +35,10 @@
 
 #include "util/status.h"
 
+namespace ssjoin::obs {
+class MetricsRegistry;
+}  // namespace ssjoin::obs
+
 namespace ssjoin {
 
 /// The Figure-2 phase a guard checkpoint is issued from. Used for trip
@@ -156,6 +160,12 @@ class ExecutionGuard {
   };
   TripReason trip_reason() const;
 
+  /// Publishes trip causes into `metrics` (counters named
+  /// "guard.trips.<reason>", incremented when a trip latches). Not owned;
+  /// nullptr detaches. Drivers bind the registry from
+  /// JoinOptions::metrics before the first checkpoint.
+  void BindMetrics(obs::MetricsRegistry* metrics);
+
   /// Clears the trip latch and the memory charge so the guard can watch a
   /// retry run. The deadline stays anchored at construction time (a retry
   /// does not earn extra wall-clock) and the cancellation token is kept.
@@ -184,7 +194,13 @@ class ExecutionGuard {
   Status trip_status_;        // OK until tripped
   JoinPhase trip_phase_ = JoinPhase::kSigGen;
   TripReason trip_reason_ = TripReason::kNone;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
+
+/// Stable lowercase name of a trip reason ("none", "cancelled",
+/// "deadline", "memory", "candidate_explosion") — the token used in span
+/// events and in the guard.trips.* metric names.
+std::string_view TripReasonName(ExecutionGuard::TripReason reason);
 
 namespace fault {
 

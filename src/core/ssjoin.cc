@@ -7,9 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/join_telemetry.h"
 #include "util/hashing.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace ssjoin {
 
@@ -26,6 +26,43 @@ using Posting = std::pair<Signature, SetId>;
 std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
   if (guard == nullptr) return {};
   return [guard, phase] { return guard->ShouldStop(phase); };
+}
+
+// Publishes the end-of-join accounting — root-span attributes plus the
+// join.* metrics — and, when the guard tripped, the trip cause as a span
+// event on the root. Called on every exit path, so traces and metrics of
+// tripped runs still carry the partial accounting the stats report.
+// Everything published here is derived from JoinStats, which is
+// byte-identical for every thread count (the determinism contract).
+void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
+                ExecutionGuard* guard) {
+  if (guard != nullptr && guard->tripped()) {
+    std::string_view reason = TripReasonName(guard->trip_reason());
+    telem.Event("guard_trip", reason);
+    telem.Attr("trip", reason);
+  }
+  const JoinStats& stats = result.stats;
+  telem.Attr("signatures_r", stats.signatures_r);
+  telem.Attr("signatures_s", stats.signatures_s);
+  telem.Attr("signature_collisions", stats.signature_collisions);
+  telem.Attr("candidates", stats.candidates);
+  telem.Attr("results", stats.results);
+  telem.Attr("false_positives", stats.false_positives);
+  telem.AddCount("join.runs", 1);
+  telem.AddCount("join.signatures", stats.signatures_r + stats.signatures_s);
+  telem.AddCount("join.signature_collisions", stats.signature_collisions);
+  telem.AddCount("join.candidates", stats.candidates);
+  telem.AddCount("join.results", stats.results);
+  telem.AddCount("join.false_positives", stats.false_positives);
+  // Candidates kept per signature collision: the dedup effectiveness of
+  // candidate generation (1.0 = every collision was a distinct pair).
+  telem.SetGauge("join.candidate_dedup_ratio",
+                 stats.signature_collisions > 0
+                     ? static_cast<double>(stats.candidates) /
+                           static_cast<double>(stats.signature_collisions)
+                     : 1.0);
+  telem.SetGauge("join.seconds.total", stats.TotalSeconds(),
+                 obs::Stability::kRuntime);
 }
 
 // Flattened per-set signature lists (CSR). Signatures are deduplicated
@@ -285,10 +322,35 @@ template <typename ShardFn>
 std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
                                          const ShardFn& shard_fn,
                                          const std::function<bool()>& stop,
-                                         JoinStats* stats) {
+                                         JoinStats* stats,
+                                         obs::JoinTelemetry* telem) {
   size_t shards = pool.size();
   std::vector<ShardCandidates> per_shard(shards);
-  pool.RunOnAll([&](size_t shard) { per_shard[shard] = shard_fn(shard); });
+  obs::Histogram* shard_candidates =
+      telem->metrics() != nullptr
+          ? &telem->metrics()->histogram("join.shard.candidates")
+          : nullptr;
+  obs::Histogram* shard_micros =
+      telem->metrics() != nullptr
+          ? &telem->metrics()->histogram("join.shard.micros")
+          : nullptr;
+  pool.RunOnAll([&](size_t shard) {
+    {
+      // Runtime span per shard (lane = shard + 1; lane 0 is the control
+      // thread) — excluded from the deterministic export.
+      auto sample = telem->Sample("shard", shard_micros,
+                                  static_cast<uint32_t>(shard) + 1);
+      per_shard[shard] = shard_fn(shard);
+      if (sample.span() != obs::kNoSpan) {
+        telem->tracer()->SetAttr(
+            sample.span(), "candidates",
+            static_cast<uint64_t>(per_shard[shard].packed.size()));
+      }
+    }
+    if (shard_candidates != nullptr) {
+      shard_candidates->Record(per_shard[shard].packed.size());
+    }
+  });
   std::vector<std::vector<uint64_t>> lists;
   lists.reserve(shards);
   for (ShardCandidates& sc : per_shard) {
@@ -315,7 +377,8 @@ std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
 Status PostFilter(const SetCollection& r, const SetCollection& s,
                   const std::vector<uint64_t>& candidates,
                   const Predicate& predicate, ThreadPool& pool,
-                  ExecutionGuard* guard, JoinResult* result) {
+                  ExecutionGuard* guard, obs::JoinTelemetry* telem,
+                  JoinResult* result) {
   size_t chunks = pool.size();
   if (guard == nullptr) {
     std::vector<std::vector<SetPair>> pairs(chunks);
@@ -351,6 +414,10 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
   }
 
   constexpr size_t kVerifyChunk = 16384;
+  obs::Histogram* chunk_micros =
+      telem->metrics() != nullptr
+          ? &telem->metrics()->histogram("join.verify.chunk_micros")
+          : nullptr;
   SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   for (size_t s0 = 0; s0 < candidates.size(); s0 += kVerifyChunk) {
     if (s0 > 0) {
@@ -359,6 +426,7 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
     SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(JoinPhase::kVerify, s0,
                                              result->stats.results));
     size_t s1 = std::min(candidates.size(), s0 + kVerifyChunk);
+    auto sample = telem->Sample("verify_chunk", chunk_micros);
     std::vector<std::vector<SetPair>> pairs(chunks);
     std::vector<uint64_t> results(chunks, 0);
     std::vector<uint64_t> false_positives(chunks, 0);
@@ -401,8 +469,16 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
                                    const Predicate& predicate,
                                    const JoinOptions& options) {
   JoinResult result;
-  PhaseTimer timer;
+  // The pipelined drivers interleave the phases per set, so they record
+  // no stable phase spans — only the root span with its accounting
+  // attributes (the serial and block-parallel executions differ in loop
+  // structure, and the deterministic export must not see that). Phase
+  // seconds still accumulate via timer-only scopes.
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
+  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   ExecutionGuard* guard = options.guard;
+  if (guard != nullptr) guard->BindMetrics(options.metrics);
 
   // Inverted index: signature -> ids of already-processed sets.
   std::unordered_map<Signature, std::vector<SetId>> index;
@@ -416,7 +492,9 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   // every barrier (each 1024 sets, sets being the deterministic unit
   // here) charges the inverted-index growth and runs all three phase
   // checkpoints plus the breaker. Stats at a barrier cover whole sets
-  // only, so a deterministic trip reports deterministic partials.
+  // only, so a deterministic trip reports deterministic partials. The
+  // breaker compares candidates to *verified* pairs, so it only runs
+  // when verification does.
   auto barrier = [&]() -> Status {
     guard->ChargeMemory(
         (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
@@ -424,6 +502,7 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+    if (!options.verify) return Status::OK();
     return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
                                result.stats.results);
   };
@@ -434,12 +513,12 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
       if (!trip.ok()) break;
     }
     {
-      auto scope = timer.Measure(kPhaseSigGen);
+      auto scope = telem.Time(&result.stats.siggen_seconds);
       GenerateSorted(scheme, input.set(id), &sigs);
       result.stats.signatures_r += sigs.size();
     }
     {
-      auto scope = timer.Measure(kPhaseCandPair);
+      auto scope = telem.Time(&result.stats.candpair_seconds);
       probe_candidates.clear();
       for (Signature sig : sigs) {
         auto it = index.find(sig);
@@ -454,8 +533,8 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
           probe_candidates.end());
       result.stats.candidates += probe_candidates.size();
     }
-    {
-      auto scope = timer.Measure(kPhasePostFilter);
+    if (options.verify) {
+      auto scope = telem.Time(&result.stats.postfilter_seconds);
       for (SetId partner : probe_candidates) {
         if (predicate.Evaluate(input.set(partner), input.set(id))) {
           result.pairs.emplace_back(partner, id);
@@ -466,21 +545,20 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
       }
     }
     {
-      auto scope = timer.Measure(kPhaseSigGen);
+      auto scope = telem.Time(&result.stats.siggen_seconds);
       for (Signature sig : sigs) index[sig].push_back(id);
     }
   }
   if (guard != nullptr && trip.ok()) trip = barrier();
   result.stats.signatures_s = result.stats.signatures_r;
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
+    FinishJoin(telem, result, guard);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
+  FinishJoin(telem, result, guard);
   return result;
 }
 
@@ -499,9 +577,20 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
                                      const JoinOptions& options,
                                      ThreadPool& pool) {
   JoinResult result;
-  PhaseTimer timer;
+  // Root span + accounting attributes only — no stable phase spans (see
+  // PipelinedSelfJoinSerial: the two pipelined executions must render
+  // identically in the deterministic export). Per-block detail goes into
+  // kRuntime spans and a runtime histogram.
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
+  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   size_t chunks = pool.size();
   ExecutionGuard* guard = options.guard;
+  if (guard != nullptr) guard->BindMetrics(options.metrics);
+  obs::Histogram* block_micros =
+      options.metrics != nullptr
+          ? &options.metrics->histogram("join.pipeline.block_micros")
+          : nullptr;
 
   std::unordered_map<Signature, std::vector<SetId>> index;
   if (options.table_reserve > 0) index.reserve(options.table_reserve);
@@ -524,6 +613,7 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
+    if (!options.verify) return Status::OK();
     return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
                                result.stats.results);
   };
@@ -535,9 +625,10 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
     }
     size_t b1 = std::min(static_cast<size_t>(input.size()), b0 + block);
     size_t n = b1 - b0;
+    auto block_sample = telem.Sample("block", block_micros);
     block_sigs.assign(n, {});
     {
-      auto scope = timer.Measure(kPhaseSigGen);
+      auto scope = telem.Time(&result.stats.siggen_seconds);
       std::vector<uint64_t> counts(chunks, 0);
       ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
         uint64_t count = 0;
@@ -552,7 +643,7 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
     }
     block_partners.assign(n, {});
     {
-      auto scope = timer.Measure(kPhaseCandPair);
+      auto scope = telem.Time(&result.stats.candpair_seconds);
       block_postings.clear();
       for (size_t i = 0; i < n; ++i) {
         for (Signature sig : block_sigs[i]) {
@@ -597,8 +688,8 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
         result.stats.candidates += candidates[c];
       }
     }
-    {
-      auto scope = timer.Measure(kPhasePostFilter);
+    if (options.verify) {
+      auto scope = telem.Time(&result.stats.postfilter_seconds);
       std::vector<std::vector<SetPair>> pairs(chunks);
       std::vector<uint64_t> results(chunks, 0);
       std::vector<uint64_t> false_positives(chunks, 0);
@@ -627,7 +718,7 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
       }
     }
     {
-      auto scope = timer.Measure(kPhaseSigGen);
+      auto scope = telem.Time(&result.stats.siggen_seconds);
       for (size_t i = 0; i < n; ++i) {
         for (Signature sig : block_sigs[i]) {
           index[sig].push_back(static_cast<SetId>(b0 + i));
@@ -637,15 +728,14 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   }
   if (guard != nullptr && trip.ok()) trip = barrier();
   result.stats.signatures_s = result.stats.signatures_r;
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
+    FinishJoin(telem, result, guard);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
+  FinishJoin(telem, result, guard);
   return result;
 }
 
@@ -662,22 +752,29 @@ std::string JoinStats::ToString() const {
   return os.str();
 }
 
-JoinResult SignatureSelfJoin(const SetCollection& input,
-                             const SignatureScheme& scheme,
-                             const Predicate& predicate,
-                             const JoinOptions& options) {
+namespace {
+
+// The sorted self-join driver (the old SignatureSelfJoin body plus
+// telemetry). Phase seconds accumulate in place through the telemetry
+// scopes, so the early trip returns need no timing fix-up.
+JoinResult SortedSelfJoinImpl(const SetCollection& input,
+                              const SignatureScheme& scheme,
+                              const Predicate& predicate,
+                              const JoinOptions& options) {
   JoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", ExecutionModeName(ExecutionMode::kSelfJoin));
+  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   ThreadPool pool(ResolveThreadCount(options.num_threads));
+  pool.BindMetrics(options.metrics);
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
+  if (guard != nullptr) guard->BindMetrics(options.metrics);
 
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-    result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-    result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+    FinishJoin(telem, result, guard);
     return std::move(result);
   };
 
@@ -688,7 +785,8 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
 
   SignatureTable table;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     table = GenerateAll(input, scheme, pool, guard);
   }
   if (guard != nullptr && guard->tripped()) {
@@ -697,6 +795,7 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
   }
   result.stats.signatures_r = table.total();
   result.stats.signatures_s = table.total();
+  telem.PhaseAttr("signatures", table.total());
   if (guard != nullptr) {
     guard->ChargeMemory(TableBytes(table));
     Status st = guard->Checkpoint(JoinPhase::kCandGen);
@@ -705,7 +804,8 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
 
   std::vector<uint64_t> candidates;
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     std::vector<std::vector<Posting>> buckets =
         BucketPostings(table, pool, guard);
     size_t reserve = options.table_reserve / shards;
@@ -716,7 +816,7 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
           return SelfJoinShard(ShardPostings(buckets, shards, shard),
                                reserve, stop);
         },
-        stop, &result.stats);
+        stop, &result.stats, &telem);
   }
   if (guard != nullptr && guard->tripped()) {
     // Stopped mid-CandGen: its counters are partial garbage, drop them.
@@ -724,53 +824,51 @@ JoinResult SignatureSelfJoin(const SetCollection& input,
     result.stats.candidates = 0;
     return trip_return(guard->trip_status());
   }
+  telem.PhaseAttr("candidates", result.stats.candidates);
   if (guard != nullptr) {
     guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
   }
 
+  if (!options.verify) {
+    FinishJoin(telem, result, guard);
+    return result;
+  }
+
   Status post_status;
   {
-    auto scope = timer.Measure(kPhasePostFilter);
-    post_status =
-        PostFilter(input, input, candidates, predicate, pool, guard,
-                   &result);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
+    post_status = PostFilter(input, input, candidates, predicate, pool,
+                             guard, &telem, &result);
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  FinishJoin(telem, result, guard);
   return result;
 }
 
-JoinResult PipelinedSelfJoin(const SetCollection& input,
-                             const SignatureScheme& scheme,
-                             const Predicate& predicate,
-                             const JoinOptions& options) {
-  size_t threads = ResolveThreadCount(options.num_threads);
-  if (threads == 1) {
-    return PipelinedSelfJoinSerial(input, scheme, predicate, options);
-  }
-  ThreadPool pool(threads);
-  return PipelinedSelfJoinParallel(input, scheme, predicate, options, pool);
-}
-
-JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
-                         const SignatureScheme& scheme,
-                         const Predicate& predicate,
-                         const JoinOptions& options) {
+// The sorted binary-join driver (the old SignatureJoin body plus
+// telemetry).
+JoinResult SortedBinaryJoinImpl(const SetCollection& r,
+                                const SetCollection& s,
+                                const SignatureScheme& scheme,
+                                const Predicate& predicate,
+                                const JoinOptions& options) {
   JoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", ExecutionModeName(ExecutionMode::kBinaryJoin));
+  telem.Attr("input_sets_r", static_cast<uint64_t>(r.size()));
+  telem.Attr("input_sets_s", static_cast<uint64_t>(s.size()));
   ThreadPool pool(ResolveThreadCount(options.num_threads));
+  pool.BindMetrics(options.metrics);
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
+  if (guard != nullptr) guard->BindMetrics(options.metrics);
 
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-    result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-    result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+    FinishJoin(telem, result, guard);
     return std::move(result);
   };
 
@@ -781,7 +879,8 @@ JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
 
   SignatureTable table_r, table_s;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     table_r = GenerateAll(r, scheme, pool, guard);
     if (guard == nullptr || !guard->tripped()) {
       table_s = GenerateAll(s, scheme, pool, guard);
@@ -792,6 +891,7 @@ JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
   }
   result.stats.signatures_r = table_r.total();
   result.stats.signatures_s = table_s.total();
+  telem.PhaseAttr("signatures", table_r.total() + table_s.total());
   if (guard != nullptr) {
     guard->ChargeMemory(TableBytes(table_r) + TableBytes(table_s));
     Status st = guard->Checkpoint(JoinPhase::kCandGen);
@@ -800,7 +900,8 @@ JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
 
   std::vector<uint64_t> candidates;
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     std::vector<std::vector<Posting>> buckets_r =
         BucketPostings(table_r, pool, guard);
     std::vector<std::vector<Posting>> buckets_s =
@@ -814,29 +915,142 @@ JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
                                  ShardPostings(buckets_s, shards, shard),
                                  reserve, stop);
         },
-        stop, &result.stats);
+        stop, &result.stats, &telem);
   }
   if (guard != nullptr && guard->tripped()) {
     result.stats.signature_collisions = 0;
     result.stats.candidates = 0;
     return trip_return(guard->trip_status());
   }
+  telem.PhaseAttr("candidates", result.stats.candidates);
   if (guard != nullptr) {
     guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
   }
 
+  if (!options.verify) {
+    FinishJoin(telem, result, guard);
+    return result;
+  }
+
   Status post_status;
   {
-    auto scope = timer.Measure(kPhasePostFilter);
-    post_status =
-        PostFilter(r, s, candidates, predicate, pool, guard, &result);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
+    post_status = PostFilter(r, s, candidates, predicate, pool, guard,
+                             &telem, &result);
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  FinishJoin(telem, result, guard);
   return result;
+}
+
+JoinResult PipelinedSelfJoinImpl(const SetCollection& input,
+                                 const SignatureScheme& scheme,
+                                 const Predicate& predicate,
+                                 const JoinOptions& options) {
+  size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads == 1) {
+    return PipelinedSelfJoinSerial(input, scheme, predicate, options);
+  }
+  ThreadPool pool(threads);
+  pool.BindMetrics(options.metrics);
+  return PipelinedSelfJoinParallel(input, scheme, predicate, options, pool);
+}
+
+}  // namespace
+
+std::string_view ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kSelfJoin:
+      return "self";
+    case ExecutionMode::kBinaryJoin:
+      return "binary";
+    case ExecutionMode::kPipelinedSelfJoin:
+      return "pipelined_self";
+  }
+  return "unknown";
+}
+
+JoinResult Join(const JoinRequest& request) {
+  auto invalid = [](std::string message) {
+    JoinResult result;
+    result.status = Status::InvalidArgument(std::move(message));
+    return result;
+  };
+  if (request.left == nullptr) {
+    return invalid("JoinRequest::left is required");
+  }
+  if (request.scheme == nullptr) {
+    return invalid("JoinRequest::scheme is required");
+  }
+  if (request.predicate == nullptr) {
+    return invalid("JoinRequest::predicate is required");
+  }
+  switch (request.mode) {
+    case ExecutionMode::kSelfJoin:
+    case ExecutionMode::kPipelinedSelfJoin:
+      if (request.right != nullptr && request.right != request.left) {
+        return invalid(
+            "self-join modes take a single input; JoinRequest::right must "
+            "be null or alias left");
+      }
+      if (request.mode == ExecutionMode::kSelfJoin) {
+        return SortedSelfJoinImpl(*request.left, *request.scheme,
+                                  *request.predicate, request.options);
+      }
+      return PipelinedSelfJoinImpl(*request.left, *request.scheme,
+                                   *request.predicate, request.options);
+    case ExecutionMode::kBinaryJoin:
+      if (request.right == nullptr) {
+        return invalid(
+            "ExecutionMode::kBinaryJoin requires JoinRequest::right");
+      }
+      return SortedBinaryJoinImpl(*request.left, *request.right,
+                                  *request.scheme, *request.predicate,
+                                  request.options);
+  }
+  return invalid("unknown ExecutionMode");
+}
+
+JoinResult SignatureSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  JoinRequest request;
+  request.left = &input;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kSelfJoin;
+  request.options = options;
+  return Join(request);
+}
+
+JoinResult PipelinedSelfJoin(const SetCollection& input,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options) {
+  JoinRequest request;
+  request.left = &input;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kPipelinedSelfJoin;
+  request.options = options;
+  return Join(request);
+}
+
+JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
+                         const SignatureScheme& scheme,
+                         const Predicate& predicate,
+                         const JoinOptions& options) {
+  JoinRequest request;
+  request.left = &r;
+  request.right = &s;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kBinaryJoin;
+  request.options = options;
+  return Join(request);
 }
 
 }  // namespace ssjoin

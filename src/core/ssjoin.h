@@ -14,11 +14,20 @@
 // All three phases are shard-parallel (paper Section 4's cost model
 // treats them as independent); JoinOptions::num_threads selects the
 // parallelism and the output is byte-identical for every thread count.
+//
+// Entry point: build a JoinRequest and call Join(). The request names
+// the inputs, the scheme/predicate pair, the ExecutionMode (sorted
+// binary, sorted self, pipelined self) and the JoinOptions — including
+// the observability sinks (obs::Tracer / obs::MetricsRegistry) every
+// execution path publishes into. The historical per-mode entry points
+// (SignatureJoin / SignatureSelfJoin / PipelinedSelfJoin) remain as thin
+// wrappers over Join() for source compatibility.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/execution_guard.h"
@@ -28,12 +37,24 @@
 #include "data/collection.h"
 #include "util/status.h"
 
+namespace ssjoin::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ssjoin::obs
+
 namespace ssjoin {
 
 /// Knobs of the generic driver.
 struct JoinOptions {
-  /// Also count candidate pairs that fail the predicate (false positives)
-  /// separately in the stats. Costs nothing; kept for symmetry.
+  /// Run the PostFilter phase (step 4). false skips verification
+  /// entirely: the returned pairs are empty and results /
+  /// false_positives / postfilter_seconds stay 0, while the
+  /// signature-level accounting (signatures, collisions, candidates —
+  /// everything the Section 3.2 filtering-effectiveness measures need)
+  /// is still computed. Useful for signature-scheme studies that only
+  /// care about candidate quality. The guard's candidate-explosion
+  /// breaker is not evaluated when verification is skipped (its ratio is
+  /// candidates per *verified* pair).
   bool verify = true;
   /// Reserve hint for the candidate containers / signature index
   /// (0 = derive from input).
@@ -53,6 +74,16 @@ struct JoinOptions {
   /// that never trips leaves the output byte-identical to an unguarded
   /// run. nullptr = no guardrails (zero overhead).
   ExecutionGuard* guard = nullptr;
+  /// Optional span sink (DESIGN.md Section 8). When set, the driver
+  /// records a join → phase span skeleton plus runtime shard/chunk
+  /// detail into it. Not owned; must outlive the call. nullptr = no
+  /// tracing (the null-sink default, within measurement noise of the
+  /// pre-observability driver).
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics sink: signature/candidate/result counters, dedup
+  /// ratio, per-shard and verify-chunk histograms, guard trip causes.
+  /// Not owned; nullptr = no metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Evaluation measures of one join execution (paper Section 3.2).
@@ -102,28 +133,70 @@ struct JoinResult {
   Status status;
 };
 
-/// Binary SSJoin between collections R and S (Figure 2). The same scheme
-/// instance generates signatures for both sides.
+/// How Join() executes the Figure-2 outline.
+enum class ExecutionMode {
+  /// Sorted self-join over one collection: materialize all signatures,
+  /// shard by signature hash, verify the global candidate set. Output
+  /// pairs have first < second. This is what all the paper's experiments
+  /// run.
+  kSelfJoin = 0,
+  /// Sorted binary join between collections R and S; the same scheme
+  /// instance generates signatures for both sides.
+  kBinaryJoin = 1,
+  /// Pipelined self-join: sets are processed in id order against an
+  /// incrementally-built inverted index over signatures; each probe's
+  /// candidates are verified immediately (candidate generation and
+  /// post-filtering "performed in a pipelined fashion", Section 3's
+  /// engineering note, following [6]). Identical output and
+  /// signature/candidate accounting as kSelfJoin; peak memory drops from
+  /// all-candidates to per-probe (per-block when parallel).
+  kPipelinedSelfJoin = 2,
+};
+
+std::string_view ExecutionModeName(ExecutionMode mode);
+
+/// One fully-specified join invocation — everything Join() needs.
+/// Pointer fields are borrowed and must outlive the call.
+struct JoinRequest {
+  /// Left input (the only input for the self-join modes).
+  const SetCollection* left = nullptr;
+  /// Right input; required for kBinaryJoin, must be null (or equal to
+  /// `left`) for the self-join modes.
+  const SetCollection* right = nullptr;
+  const SignatureScheme* scheme = nullptr;
+  const Predicate* predicate = nullptr;
+  ExecutionMode mode = ExecutionMode::kSelfJoin;
+  /// Execution knobs, guardrails, and observability sinks.
+  JoinOptions options;
+};
+
+/// The unified driver facade: validates `request` and dispatches to the
+/// execution mode. Every join in the library funnels through here — the
+/// legacy entry points below are wrappers — so guardrails and
+/// observability attach uniformly. An invalid request (missing inputs,
+/// right side on a self-join, ...) returns a JoinResult whose status is
+/// InvalidArgument and whose pairs/stats are empty.
+JoinResult Join(const JoinRequest& request);
+
+/// Binary SSJoin between collections R and S (Figure 2).
+/// Compatibility wrapper over Join() with ExecutionMode::kBinaryJoin;
+/// prefer the JoinRequest facade in new code.
 JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
                          const SignatureScheme& scheme,
                          const Predicate& predicate,
                          const JoinOptions& options = {});
 
 /// Self-SSJoin over one collection; output pairs have first < second.
-/// This is what all the paper's experiments run.
+/// Compatibility wrapper over Join() with ExecutionMode::kSelfJoin;
+/// prefer the JoinRequest facade in new code.
 JoinResult SignatureSelfJoin(const SetCollection& input,
                              const SignatureScheme& scheme,
                              const Predicate& predicate,
                              const JoinOptions& options = {});
 
-/// Pipelined self-SSJoin: an alternative execution of the same Figure-2
-/// outline. Instead of materializing all signatures and sorting, sets are
-/// processed in id order against an incrementally-built inverted index
-/// over signatures; each probe's candidates are verified immediately
-/// (candidate generation and post-filtering "performed in a pipelined
-/// fashion", Section 3's engineering note, following [6]). Produces the
-/// identical output and the same signature/candidate accounting; peak
-/// memory drops from all-candidates to per-probe.
+/// Pipelined self-SSJoin (see ExecutionMode::kPipelinedSelfJoin).
+/// Compatibility wrapper over Join() with that mode; prefer the
+/// JoinRequest facade in new code.
 JoinResult PipelinedSelfJoin(const SetCollection& input,
                              const SignatureScheme& scheme,
                              const Predicate& predicate,

@@ -8,9 +8,9 @@
 #include "core/predicate.h"
 #include "core/signature_scheme.h"
 #include "core/types.h"
+#include "obs/join_telemetry.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
-#include "util/timer.h"
 
 namespace ssjoin {
 
@@ -83,7 +83,9 @@ Result<JoinResult> StringSimilaritySelfJoin(
     return Status::InvalidArgument("StringJoin: q must be >= 1");
   }
   JoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", "string_self");
+  telem.Attr("input_sets", static_cast<uint64_t>(strings.size()));
   uint32_t hamming_k =
       QgramHammingThreshold(options.q, options.edit_threshold);
 
@@ -91,7 +93,8 @@ Result<JoinResult> StringSimilaritySelfJoin(
   // application-level code". Gram extraction is part of SigGen.
   SetCollection bags;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Time(&result.stats.siggen_seconds);
     QgramExtractor extractor(QgramOptions{.q = options.q});
     bags = extractor.ExtractAllAsBags(strings);
   }
@@ -102,14 +105,16 @@ Result<JoinResult> StringSimilaritySelfJoin(
 
   std::vector<std::pair<Signature, SetId>> postings;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     postings = BuildPostings(bags, *scheme, &result.stats.signatures_r);
     result.stats.signatures_s = result.stats.signatures_r;
   }
 
   std::unordered_set<uint64_t> candidates;
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     size_t i = 0;
     while (i < postings.size()) {
       size_t j = i;
@@ -131,7 +136,8 @@ Result<JoinResult> StringSimilaritySelfJoin(
   }
 
   {
-    auto scope = timer.Measure(kPhasePostFilter);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
     for (uint64_t packed : candidates) {
       auto [a, b] = UnpackPair(packed);
       if (WithinEditDistance(strings[a], strings[b],
@@ -145,9 +151,7 @@ Result<JoinResult> StringSimilaritySelfJoin(
     std::sort(result.pairs.begin(), result.pairs.end());
   }
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  telem.Attr("results", result.stats.results);
   return result;
 }
 
@@ -159,13 +163,17 @@ Result<JoinResult> StringSimilarityJoin(
     return Status::InvalidArgument("StringJoin: q must be >= 1");
   }
   JoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", "string_binary");
+  telem.Attr("input_sets_r", static_cast<uint64_t>(r_strings.size()));
+  telem.Attr("input_sets_s", static_cast<uint64_t>(s_strings.size()));
   uint32_t hamming_k =
       QgramHammingThreshold(options.q, options.edit_threshold);
 
   SetCollection r_bags, s_bags;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Time(&result.stats.siggen_seconds);
     QgramExtractor extractor(QgramOptions{.q = options.q});
     r_bags = extractor.ExtractAllAsBags(r_strings);
     s_bags = extractor.ExtractAllAsBags(s_strings);
@@ -177,7 +185,8 @@ Result<JoinResult> StringSimilarityJoin(
 
   std::vector<std::pair<Signature, SetId>> postings_r, postings_s;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     postings_r =
         BuildPostings(r_bags, *scheme, &result.stats.signatures_r);
     postings_s =
@@ -186,7 +195,8 @@ Result<JoinResult> StringSimilarityJoin(
 
   std::unordered_set<uint64_t> candidates;
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     size_t i = 0, j = 0;
     while (i < postings_r.size() && j < postings_s.size()) {
       Signature sig_r = postings_r[i].first;
@@ -215,7 +225,8 @@ Result<JoinResult> StringSimilarityJoin(
   }
 
   {
-    auto scope = timer.Measure(kPhasePostFilter);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
     for (uint64_t packed : candidates) {
       auto [a, b] = UnpackPair(packed);
       if (WithinEditDistance(r_strings[a], s_strings[b],
@@ -229,9 +240,7 @@ Result<JoinResult> StringSimilarityJoin(
     std::sort(result.pairs.begin(), result.pairs.end());
   }
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
+  telem.Attr("results", result.stats.results);
   return result;
 }
 

@@ -42,6 +42,10 @@ struct StringJoinOptions {
   /// Optional PartEnum (n1, n2) override; k is derived from the join.
   std::optional<PartEnumParams> partenum_shape;
   uint64_t seed = 0x9E3779B9;
+  /// Optional observability sinks (same contract as JoinOptions::tracer /
+  /// ::metrics — borrowed, nullptr = off).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The derived hamming threshold over q-gram bags for edit threshold k.

@@ -1,0 +1,337 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ssjoin::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  *out += '"';
+  AppendEscaped(out, text);
+  *out += '"';
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+// %.17g round-trips doubles exactly, so equal values always render to
+// equal bytes (the determinism contract cares only about that).
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendAttrValue(std::string* out, const AttrValue& value) {
+  switch (value.kind) {
+    case AttrValue::Kind::kUint:
+      AppendUint(out, value.u);
+      break;
+    case AttrValue::Kind::kDouble:
+      AppendDouble(out, value.d);
+      break;
+    case AttrValue::Kind::kString:
+      AppendJsonString(out, value.s);
+      break;
+  }
+}
+
+void AppendAttrs(std::string* out, const SpanRecord& span) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [key, value] : span.attrs) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, key);
+    *out += ":";
+    AppendAttrValue(out, value);
+  }
+  *out += "}";
+}
+
+void AppendEvents(std::string* out, const SpanRecord& span,
+                  bool with_times) {
+  *out += "[";
+  for (size_t i = 0; i < span.events.size(); ++i) {
+    const SpanEvent& event = span.events[i];
+    if (i > 0) *out += ",";
+    *out += "{\"name\":";
+    AppendJsonString(out, event.name);
+    *out += ",\"detail\":";
+    AppendJsonString(out, event.detail);
+    if (with_times) {
+      *out += ",\"at_us\":";
+      AppendInt(out, event.at_us);
+    }
+    *out += "}";
+  }
+  *out += "]";
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return Status::IOError("cannot open " + path);
+  size_t written = std::fwrite(content.data(), 1, content.size(), out);
+  int close_failed = std::fclose(out);
+  if (written != content.size() || close_failed != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TraceJsonl(const Tracer& tracer) {
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  // Re-number over the stable subset so runtime spans (whose creation
+  // order may interleave arbitrarily) cannot perturb the ids.
+  std::unordered_map<SpanId, uint32_t> stable_id;
+  uint32_t next = 1;
+  for (const SpanRecord& span : spans) {
+    if (span.stability == Stability::kStable) stable_id[span.id] = next++;
+  }
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    if (span.stability != Stability::kStable) continue;
+    auto parent = stable_id.find(span.parent);
+    out += "{\"type\":\"span\",\"id\":";
+    AppendUint(&out, stable_id[span.id]);
+    out += ",\"parent\":";
+    AppendUint(&out, parent == stable_id.end() ? 0 : parent->second);
+    out += ",\"name\":";
+    AppendJsonString(&out, span.name);
+    out += ",\"attrs\":";
+    AppendAttrs(&out, span);
+    out += ",\"events\":";
+    AppendEvents(&out, span, /*with_times=*/false);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string MetricsJsonl(const MetricsRegistry& metrics) {
+  std::string out;
+  for (const MetricRecord& record : metrics.Snapshot()) {
+    if (record.stability != Stability::kStable) continue;
+    switch (record.kind) {
+      case MetricKind::kCounter:
+        out += "{\"type\":\"counter\",\"name\":";
+        AppendJsonString(&out, record.name);
+        out += ",\"value\":";
+        AppendUint(&out, record.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += "{\"type\":\"gauge\",\"name\":";
+        AppendJsonString(&out, record.name);
+        out += ",\"value\":";
+        AppendDouble(&out, record.gauge_value);
+        break;
+      case MetricKind::kHistogram:
+        out += "{\"type\":\"histogram\",\"name\":";
+        AppendJsonString(&out, record.name);
+        out += ",\"count\":";
+        AppendUint(&out, record.histogram_count);
+        out += ",\"sum\":";
+        AppendUint(&out, record.histogram_sum);
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < record.histogram_buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "[";
+          AppendUint(&out, record.histogram_buckets[i].first);
+          out += ",";
+          AppendUint(&out, record.histogram_buckets[i].second);
+          out += "]";
+        }
+        out += "]";
+        break;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : tracer.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    // Complete ("X") events; a still-open span renders with dur 0.
+    int64_t dur = span.end_us >= 0 ? span.end_us - span.start_us : 0;
+    out += "\n{\"name\":";
+    AppendJsonString(&out, span.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, span.stability == Stability::kStable
+                               ? "stable"
+                               : "runtime");
+    out += ",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    AppendUint(&out, span.lane);
+    out += ",\"ts\":";
+    AppendInt(&out, span.start_us);
+    out += ",\"dur\":";
+    AppendInt(&out, dur);
+    out += ",\"args\":";
+    AppendAttrs(&out, span);
+    out += "}";
+    for (const SpanEvent& event : span.events) {
+      out += ",\n{\"name\":";
+      AppendJsonString(&out, event.name);
+      out += ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+             "\"tid\":";
+      AppendUint(&out, span.lane);
+      out += ",\"ts\":";
+      AppendInt(&out, event.at_us);
+      out += ",\"args\":{\"detail\":";
+      AppendJsonString(&out, event.detail);
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string RunReportText(const Tracer* tracer,
+                          const MetricsRegistry* metrics) {
+  std::string out;
+  if (tracer != nullptr) {
+    std::vector<SpanRecord> spans = tracer->Snapshot();
+    std::unordered_map<SpanId, uint32_t> depth;
+    out += "spans:\n";
+    for (const SpanRecord& span : spans) {
+      uint32_t d =
+          span.parent == kNoSpan ? 0 : depth[span.parent] + 1;
+      depth[span.id] = d;
+      out += "  ";
+      out.append(2 * d, ' ');
+      out += span.name;
+      char buf[64];
+      if (span.end_us >= 0) {
+        std::snprintf(buf, sizeof(buf), "  %.3f ms",
+                      (span.end_us - span.start_us) / 1000.0);
+        out += buf;
+      } else {
+        out += "  (open)";
+      }
+      if (span.stability == Stability::kRuntime) out += "  [runtime]";
+      for (const auto& [key, value] : span.attrs) {
+        out += "  " + key + "=";
+        AppendAttrValue(&out, value);
+      }
+      out += "\n";
+      for (const SpanEvent& event : span.events) {
+        out += "  ";
+        out.append(2 * d + 2, ' ');
+        out += "! " + event.name;
+        if (!event.detail.empty()) out += ": " + event.detail;
+        out += "\n";
+      }
+    }
+  }
+  if (metrics != nullptr) {
+    out += "metrics:\n";
+    for (const MetricRecord& record : metrics->Snapshot()) {
+      out += "  " + record.name + " = ";
+      switch (record.kind) {
+        case MetricKind::kCounter:
+          AppendUint(&out, record.counter_value);
+          break;
+        case MetricKind::kGauge:
+          AppendDouble(&out, record.gauge_value);
+          break;
+        case MetricKind::kHistogram: {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "count=%" PRIu64 " sum=%" PRIu64 " mean=%.1f",
+                        record.histogram_count, record.histogram_sum,
+                        record.histogram_count > 0
+                            ? static_cast<double>(record.histogram_sum) /
+                                  static_cast<double>(
+                                      record.histogram_count)
+                            : 0.0);
+          out += buf;
+          break;
+        }
+      }
+      if (record.stability == Stability::kRuntime) out += "  [runtime]";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status WriteTraceJsonl(const Tracer& tracer, const std::string& path) {
+  return WriteFile(path, TraceJsonl(tracer));
+}
+
+Status WriteMetricsJsonl(const MetricsRegistry& metrics,
+                         const std::string& path) {
+  return WriteFile(path, MetricsJsonl(metrics));
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(tracer));
+}
+
+Status WriteJsonlReport(const Tracer* tracer,
+                        const MetricsRegistry* metrics,
+                        const std::string& path) {
+  std::string content;
+  if (tracer != nullptr) content += TraceJsonl(*tracer);
+  if (metrics != nullptr) content += MetricsJsonl(*metrics);
+  return WriteFile(path, content);
+}
+
+Status WriteTraceAuto(const Tracer& tracer, const std::string& path) {
+  constexpr std::string_view kJsonl = ".jsonl";
+  if (path.size() >= kJsonl.size() &&
+      path.compare(path.size() - kJsonl.size(), kJsonl.size(), kJsonl) ==
+          0) {
+    return WriteTraceJsonl(tracer, path);
+  }
+  return WriteChromeTrace(tracer, path);
+}
+
+}  // namespace ssjoin::obs

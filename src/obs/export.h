@@ -1,0 +1,61 @@
+// Exporters for Tracer spans and MetricsRegistry snapshots.
+//
+// Three renderings of one recording (DESIGN.md Section 8):
+//
+//   * Deterministic JSONL — one JSON object per line, kStable data only,
+//     no wall-clock fields: byte-identical for every thread count and
+//     every run on the same input, so CI can diff the files as
+//     artifacts. TraceJsonl + MetricsJsonl, or both in one file via
+//     WriteJsonlReport.
+//   * Chrome trace_event JSON — every span (stable and runtime) with
+//     real timestamps, loadable in about:tracing and Perfetto. Shard and
+//     chunk spans render on per-lane tracks.
+//   * Human run report — the span tree with durations plus a metrics
+//     table, for terminals and bench logs.
+//
+// In the deterministic JSONL stream span ids are re-numbered over the
+// stable subset (1, 2, ...) so interleaved runtime spans cannot perturb
+// the bytes.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ssjoin::obs {
+
+/// Deterministic JSONL rendering of the stable spans, in creation order.
+std::string TraceJsonl(const Tracer& tracer);
+
+/// Deterministic JSONL rendering of the stable metrics, name-sorted.
+std::string MetricsJsonl(const MetricsRegistry& metrics);
+
+/// Chrome trace_event rendering of every span (with timestamps).
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// Human-readable run report: span tree with durations, then a metrics
+/// table (runtime entries marked). Either input may be null.
+std::string RunReportText(const Tracer* tracer,
+                          const MetricsRegistry* metrics);
+
+Status WriteTraceJsonl(const Tracer& tracer, const std::string& path);
+Status WriteMetricsJsonl(const MetricsRegistry& metrics,
+                         const std::string& path);
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// One deterministic JSONL file with the trace lines followed by the
+/// metric lines — the "structured run report" the benches emit next to
+/// their BENCH_*.json. Either input may be null (its lines are omitted).
+Status WriteJsonlReport(const Tracer* tracer,
+                        const MetricsRegistry* metrics,
+                        const std::string& path);
+
+/// Writes `trace` to `path`, choosing the format from the extension:
+/// ".jsonl" selects the deterministic JSONL stream, anything else the
+/// Chrome trace_event JSON (the CLI/bench --trace-out contract).
+Status WriteTraceAuto(const Tracer& tracer, const std::string& path);
+
+}  // namespace ssjoin::obs

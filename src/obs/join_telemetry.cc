@@ -1,0 +1,94 @@
+#include "obs/join_telemetry.h"
+
+namespace ssjoin::obs {
+
+JoinTelemetry::JoinTelemetry(Tracer* tracer, MetricsRegistry* metrics,
+                             std::string_view root_name)
+    : tracer_(tracer), metrics_(metrics) {
+  if (tracer_ != nullptr) {
+    root_ = tracer_->StartSpan(root_name, kNoSpan, Stability::kStable);
+  }
+}
+
+JoinTelemetry::~JoinTelemetry() {
+  if (tracer_ != nullptr && root_ != kNoSpan) tracer_->EndSpan(root_);
+}
+
+JoinTelemetry::PhaseScope::~PhaseScope() {
+  *seconds_ += watch_.ElapsedSeconds();
+  if (span_ != kNoSpan) telemetry_->tracer_->EndSpan(span_);
+}
+
+JoinTelemetry::PhaseScope JoinTelemetry::Phase(std::string_view name,
+                                               double* seconds) {
+  SpanId span = kNoSpan;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan(name, root_, Stability::kStable);
+    phase_span_ = span;
+  }
+  return PhaseScope(this, seconds, span);
+}
+
+JoinTelemetry::PhaseScope JoinTelemetry::Time(double* seconds) {
+  return PhaseScope(this, seconds, kNoSpan);
+}
+
+void JoinTelemetry::PhaseAttr(std::string_view key, uint64_t value) {
+  if (tracer_ != nullptr && phase_span_ != kNoSpan) {
+    tracer_->SetAttr(phase_span_, key, value);
+  }
+}
+
+JoinTelemetry::SampleScope::~SampleScope() {
+  if (latency_ != nullptr) {
+    latency_->Record(static_cast<uint64_t>(watch_.ElapsedMicros()));
+  }
+  if (span_ != kNoSpan) telemetry_->tracer_->EndSpan(span_);
+}
+
+JoinTelemetry::SampleScope JoinTelemetry::Sample(std::string_view name,
+                                                 Histogram* latency,
+                                                 uint32_t lane) {
+  SpanId span = kNoSpan;
+  if (tracer_ != nullptr) {
+    SpanId parent = phase_span_ != kNoSpan ? phase_span_ : root_;
+    span = tracer_->StartSpan(name, parent, Stability::kRuntime, lane);
+  }
+  return SampleScope(this, latency, span);
+}
+
+void JoinTelemetry::Event(std::string_view name, std::string_view detail) {
+  if (tracer_ != nullptr && root_ != kNoSpan) {
+    tracer_->AddEvent(root_, name, detail);
+  }
+}
+
+void JoinTelemetry::Attr(std::string_view key, uint64_t value) {
+  if (tracer_ != nullptr && root_ != kNoSpan) {
+    tracer_->SetAttr(root_, key, value);
+  }
+}
+
+void JoinTelemetry::Attr(std::string_view key, double value) {
+  if (tracer_ != nullptr && root_ != kNoSpan) {
+    tracer_->SetAttr(root_, key, value);
+  }
+}
+
+void JoinTelemetry::Attr(std::string_view key, std::string_view value) {
+  if (tracer_ != nullptr && root_ != kNoSpan) {
+    tracer_->SetAttr(root_, key, value);
+  }
+}
+
+void JoinTelemetry::AddCount(std::string_view name, uint64_t delta,
+                             Stability stability) {
+  if (metrics_ != nullptr) metrics_->counter(name, stability).Add(delta);
+}
+
+void JoinTelemetry::SetGauge(std::string_view name, double value,
+                             Stability stability) {
+  if (metrics_ != nullptr) metrics_->gauge(name, stability).Set(value);
+}
+
+}  // namespace ssjoin::obs

@@ -1,0 +1,135 @@
+// Per-join instrumentation handle: the one seam through which the join
+// drivers time phases, open spans, and publish metrics.
+//
+// JoinTelemetry wraps an optional Tracer and an optional MetricsRegistry
+// (either or both may be null — the null-sink default). Its contract:
+//
+//   * Null sinks cost nothing: every call is a branch on a null pointer;
+//     no allocation, no locking, no clock reads beyond the phase timing
+//     the drivers always did (JoinStats seconds). The zero-allocation
+//     property is enforced by tests/obs.
+//   * Phase timing feeds JoinStats directly: Phase()/Time() scopes
+//     accumulate elapsed seconds into a caller-owned double, replacing
+//     the raw PhaseTimer plumbing that used to live in src/core (the
+//     `no-raw-timing` lint rule keeps it out).
+//   * Stable vs runtime recording: Phase() opens kStable spans (the
+//     deterministic join → phase skeleton); Sample() opens kRuntime
+//     spans for shard/chunk/block detail and feeds latency histograms.
+//
+// Construction opens the root span; destruction closes it.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/stability.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace ssjoin::obs {
+
+// Canonical phase-span names (the paper's Figure 2 steps). These mirror
+// util/timer.h's kPhase* constants, which remain for the modules that
+// still use PhaseTimer directly (baselines, util tests).
+inline constexpr std::string_view kPhaseSigGen = "SigGen";
+inline constexpr std::string_view kPhaseCandPair = "CandPair";
+inline constexpr std::string_view kPhasePostFilter = "PostFilter";
+
+class JoinTelemetry {
+ public:
+  /// Either sink may be null. `root_name` names the root span (the
+  /// drivers use "join" with a "mode" attribute so the stable span
+  /// skeleton is identical for every execution path of one mode).
+  JoinTelemetry(Tracer* tracer, MetricsRegistry* metrics,
+                std::string_view root_name);
+  ~JoinTelemetry();
+
+  JoinTelemetry(const JoinTelemetry&) = delete;
+  JoinTelemetry& operator=(const JoinTelemetry&) = delete;
+
+  Tracer* tracer() const { return tracer_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+  SpanId root() const { return root_; }
+  bool tracing() const { return tracer_ != nullptr; }
+
+  /// RAII timing scope: on destruction adds the elapsed seconds to
+  /// `*seconds` and closes the span (if one was opened).
+  class PhaseScope {
+   public:
+    PhaseScope(JoinTelemetry* telemetry, double* seconds, SpanId span)
+        : telemetry_(telemetry), seconds_(seconds), span_(span) {}
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    ~PhaseScope();
+
+   private:
+    JoinTelemetry* telemetry_;
+    double* seconds_;
+    SpanId span_;
+    Stopwatch watch_;
+  };
+
+  /// Opens a kStable phase span under the root and times it into
+  /// `*seconds`. Must be called from the control thread; the most recent
+  /// phase span is the parent for Sample() scopes and PhaseAttr().
+  PhaseScope Phase(std::string_view name, double* seconds);
+
+  /// Timer-only variant for interleaved execution (the pipelined
+  /// drivers' per-item scopes, far too fine-grained for spans).
+  PhaseScope Time(double* seconds);
+
+  /// The most recent Phase() span (kNoSpan before the first).
+  SpanId phase_span() const { return phase_span_; }
+
+  /// Sets an attribute on the most recent phase span (no-op untraced).
+  void PhaseAttr(std::string_view key, uint64_t value);
+
+  /// RAII sampling scope for runtime detail: opens a kRuntime span (when
+  /// tracing) under the current phase span — or the root if no phase is
+  /// open — and, when `latency` is non-null, records the elapsed
+  /// microseconds into it on destruction. Safe to use from worker
+  /// threads (lane disambiguates concurrent scopes).
+  class SampleScope {
+   public:
+    SampleScope(JoinTelemetry* telemetry, Histogram* latency, SpanId span)
+        : telemetry_(telemetry), latency_(latency), span_(span) {}
+    SampleScope(const SampleScope&) = delete;
+    SampleScope& operator=(const SampleScope&) = delete;
+    ~SampleScope();
+
+    SpanId span() const { return span_; }
+
+   private:
+    JoinTelemetry* telemetry_;
+    Histogram* latency_;
+    SpanId span_;
+    Stopwatch watch_;
+  };
+
+  SampleScope Sample(std::string_view name, Histogram* latency = nullptr,
+                     uint32_t lane = 0);
+
+  /// Root-span helpers (all no-ops without the corresponding sink).
+  void Event(std::string_view name, std::string_view detail);
+  void Attr(std::string_view key, uint64_t value);
+  void Attr(std::string_view key, double value);
+  void Attr(std::string_view key, std::string_view value);
+
+  /// Metric helpers (no-ops without a registry). These take the registry
+  /// mutex — fine for end-of-join accounting, not for per-item loops
+  /// (cache a Counter*/Histogram* for those).
+  void AddCount(std::string_view name, uint64_t delta,
+                Stability stability = Stability::kStable);
+  void SetGauge(std::string_view name, double value,
+                Stability stability = Stability::kStable);
+
+ private:
+  Tracer* tracer_;
+  MetricsRegistry* metrics_;
+  SpanId root_ = kNoSpan;
+  SpanId phase_span_ = kNoSpan;
+};
+
+}  // namespace ssjoin::obs

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace ssjoin::obs {
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      MetricKind kind,
+                                                      Stability stability) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    SSJOIN_CHECK(it->second.kind == kind,
+                 "metric '", std::string(name),
+                 "' re-registered as a different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.stability = stability;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *FindOrCreate(name, MetricKind::kCounter, stability).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *FindOrCreate(name, MetricKind::kGauge, stability).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *FindOrCreate(name, MetricKind::kHistogram, stability).histogram;
+}
+
+std::vector<MetricRecord> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRecord> records;
+  records.reserve(metrics_.size());
+  // std::map iteration is already name-sorted.
+  for (const auto& [name, entry] : metrics_) {
+    MetricRecord record;
+    record.name = name;
+    record.kind = entry.kind;
+    record.stability = entry.stability;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        record.counter_value = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        record.gauge_value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        record.histogram_count = entry.histogram->count();
+        record.histogram_sum = entry.histogram->sum();
+        for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+          uint64_t n = entry.histogram->bucket(i);
+          if (n > 0) record.histogram_buckets.emplace_back(i, n);
+        }
+        break;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+}  // namespace ssjoin::obs

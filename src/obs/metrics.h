@@ -1,0 +1,133 @@
+// Named counters, gauges, and histograms for join execution.
+//
+// One MetricsRegistry collects everything a run publishes — signature
+// and candidate totals from the drivers, guard-trip causes from
+// ExecutionGuard, fork-join activity from the thread pool, row counts
+// from the relational plans. Handles returned by counter()/gauge()/
+// histogram() have stable addresses for the registry's lifetime, so hot
+// paths register once and then touch a single atomic.
+//
+// Naming convention: dotted lowercase paths ("join.candidates",
+// "guard.trips.deadline", "threadpool.forkjoins"). Registering the same
+// name twice returns the same instrument; registering it as a different
+// kind is a contract violation.
+//
+// Determinism: each metric carries a Stability class (obs/stability.h);
+// the deterministic JSONL exporter emits only kStable metrics, sorted
+// by name, so the bytes are identical for every thread count.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stability.h"
+
+namespace ssjoin::obs {
+
+/// Monotonic event count. Thread-safe, wait-free.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins point-in-time value. Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Power-of-two histogram: bucket i counts recorded values v with
+/// bit_width(v) == i, i.e. bucket 0 holds v == 0 and bucket i >= 1 holds
+/// [2^(i-1), 2^i). Coarse but allocation-free, wait-free, and wide
+/// enough for both latencies in microseconds and candidate counts.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit_width(v) for uint64 is 0..64
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's snapshot (exporter input).
+struct MetricRecord {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Stability stability = Stability::kStable;
+  uint64_t counter_value = 0;
+  double gauge_value = 0;
+  uint64_t histogram_count = 0;
+  uint64_t histogram_sum = 0;
+  /// (bucket index, count) for non-empty buckets only.
+  std::vector<std::pair<uint32_t, uint64_t>> histogram_buckets;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. The returned reference stays
+  /// valid for the registry's lifetime. The stability argument only
+  /// matters on first registration.
+  Counter& counter(std::string_view name,
+                   Stability stability = Stability::kStable);
+  Gauge& gauge(std::string_view name,
+               Stability stability = Stability::kStable);
+  Histogram& histogram(std::string_view name,
+                       Stability stability = Stability::kRuntime);
+
+  /// All metrics, sorted by name (deterministic exporter order).
+  std::vector<MetricRecord> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    Stability stability = Stability::kStable;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& FindOrCreate(std::string_view name, MetricKind kind,
+                      Stability stability);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace ssjoin::obs

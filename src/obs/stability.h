@@ -1,0 +1,29 @@
+// Determinism taxonomy for observability data (DESIGN.md Section 8).
+//
+// The repo's parallel-execution contract promises byte-identical join
+// output for every thread count. The observability layer extends that
+// promise to telemetry: everything it exports in the deterministic
+// formats (the JSONL trace/metrics files CI diffs) must also be
+// byte-identical across thread counts and across repeated runs on the
+// same input. Wall-clock readings and per-shard detail cannot satisfy
+// that, so every span and metric carries a Stability class and the
+// deterministic exporters emit only the kStable subset; the Chrome-trace
+// and human-report exporters emit everything.
+
+#pragma once
+
+namespace ssjoin::obs {
+
+enum class Stability {
+  /// Identical for every thread count and every run on the same input:
+  /// phase structure, signature/candidate/result totals, guard-trip
+  /// causes from deterministic limits. Included in JSONL exports.
+  kStable,
+  /// Timing, per-shard/per-chunk breakdowns, thread-pool activity —
+  /// anything that legitimately varies run to run. Excluded from the
+  /// deterministic JSONL exports; visible in the Chrome trace and the
+  /// human run report.
+  kRuntime,
+};
+
+}  // namespace ssjoin::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include "util/check.h"
+
+namespace ssjoin::obs {
+
+AttrValue AttrValue::Uint(uint64_t v) {
+  AttrValue value;
+  value.kind = Kind::kUint;
+  value.u = v;
+  return value;
+}
+
+AttrValue AttrValue::Double(double v) {
+  AttrValue value;
+  value.kind = Kind::kDouble;
+  value.d = v;
+  return value;
+}
+
+AttrValue AttrValue::String(std::string_view v) {
+  AttrValue value;
+  value.kind = Kind::kString;
+  value.s = std::string(v);
+  return value;
+}
+
+SpanId Tracer::StartSpan(std::string_view name, SpanId parent,
+                         Stability stability, uint32_t lane) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord span;
+  span.id = static_cast<SpanId>(spans_.size() + 1);
+  span.parent = parent;
+  span.name = std::string(name);
+  span.stability = stability;
+  span.lane = lane;
+  span.start_us = epoch_.ElapsedMicros();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+SpanRecord* Tracer::Find(SpanId id) {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void Tracer::EndSpan(SpanId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord* span = Find(id);
+  SSJOIN_CHECK(span != nullptr, "EndSpan: unknown span id ", id);
+  span->end_us = epoch_.ElapsedMicros();
+}
+
+void Tracer::AddEvent(SpanId id, std::string_view name,
+                      std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord* span = Find(id);
+  SSJOIN_CHECK(span != nullptr, "AddEvent: unknown span id ", id);
+  SpanEvent event;
+  event.name = std::string(name);
+  event.detail = std::string(detail);
+  event.at_us = epoch_.ElapsedMicros();
+  span->events.push_back(std::move(event));
+}
+
+void Tracer::SetAttrValue(SpanId id, std::string_view key,
+                          AttrValue value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord* span = Find(id);
+  SSJOIN_CHECK(span != nullptr, "SetAttr: unknown span id ", id);
+  for (auto& [existing, slot] : span->attrs) {
+    if (existing == key) {
+      slot = std::move(value);
+      return;
+    }
+  }
+  span->attrs.emplace_back(std::string(key), std::move(value));
+}
+
+void Tracer::SetAttr(SpanId id, std::string_view key, uint64_t value) {
+  SetAttrValue(id, key, AttrValue::Uint(value));
+}
+
+void Tracer::SetAttr(SpanId id, std::string_view key, double value) {
+  SetAttrValue(id, key, AttrValue::Double(value));
+}
+
+void Tracer::SetAttr(SpanId id, std::string_view key,
+                     std::string_view value) {
+  SetAttrValue(id, key, AttrValue::String(value));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace ssjoin::obs

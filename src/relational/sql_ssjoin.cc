@@ -4,12 +4,12 @@
 
 #include <optional>
 
+#include "obs/join_telemetry.h"
 #include "relational/index.h"
 #include "relational/operators.h"
 #include "relational/query.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
-#include "util/timer.h"
 
 namespace ssjoin::relational {
 
@@ -126,11 +126,18 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
                                     const SignatureScheme& scheme,
                                     const Predicate& predicate,
                                     IntersectPlan plan,
-                                    ExecutionGuard* guard) {
+                                    ExecutionGuard* guard,
+                                    obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics) {
   DbmsJoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(tracer, metrics, "join");
+  telem.Attr("mode", "dbms_self");
+  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
+  telem.Attr("plan", plan == IntersectPlan::kHashJoin ? "hash_join"
+                                                      : "clustered_index");
 
   if (guard != nullptr) {
+    guard->BindMetrics(metrics);
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
   }
 
@@ -161,18 +168,24 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
 
   Table signature, cand;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     signature = BuildSignatureTable(input, scheme, &result.stats);
   }
+  telem.PhaseAttr("rows", signature.num_rows());
+  telem.AddCount("dbms.rows.signature", signature.num_rows());
   if (guard != nullptr) {
     // Plan-step barrier: the Signature relation is materialized.
     guard->ChargeMemory(TableRowBytes(signature));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
   }
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
   }
+  telem.PhaseAttr("rows", cand.num_rows());
+  telem.AddCount("dbms.rows.candpair", cand.num_rows());
   if (guard != nullptr) {
     // Plan-step barrier: CandPair is materialized; the breaker can
     // already compare its size against the sample-free floor of 0
@@ -184,7 +197,8 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
   Table output(Schema{{"id1", ValueType::kInt64},
                       {"id2", ValueType::kInt64}});
   {
-    auto scope = timer.Measure(kPhasePostFilter);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
     // CandPairIntersect(id1, id2, isize):
     //   Select C.id1, C.id2, Count(*) From CandPair C, Set S1, Set S2
     //   Where C.id1 = S1.id and C.id2 = S2.id and S1.elem = S2.elem
@@ -234,15 +248,15 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
     result.stats.false_positives +=
         cand.num_rows() - with_len2.num_rows();
   }
+  telem.PhaseAttr("rows", output.num_rows());
+  telem.AddCount("dbms.rows.output", output.num_rows());
+  telem.Attr("results", result.stats.results);
   if (guard != nullptr) {
     SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(
         JoinPhase::kVerify, result.stats.candidates, result.stats.results));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   }
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
   result.pairs = DecodePairs(output);
   result.output = std::move(output);
   return result;
@@ -250,11 +264,15 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
 
 Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     const std::vector<std::string>& strings, uint32_t edit_threshold,
-    uint32_t q, const SignatureScheme& scheme, ExecutionGuard* guard) {
+    uint32_t q, const SignatureScheme& scheme, ExecutionGuard* guard,
+    obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   DbmsJoinResult result;
-  PhaseTimer timer;
+  obs::JoinTelemetry telem(tracer, metrics, "join");
+  telem.Attr("mode", "dbms_string_edit");
+  telem.Attr("input_sets", static_cast<uint64_t>(strings.size()));
 
   if (guard != nullptr) {
+    guard->BindMetrics(metrics);
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
   }
 
@@ -263,7 +281,8 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
   // (Figure 16: "we do not explicitly materialize the n-gram bags").
   Table signature, cand;
   {
-    auto scope = timer.Measure(kPhaseSigGen);
+    auto scope =
+        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     QgramExtractor extractor(QgramOptions{.q = q});
     SetCollectionBuilder builder;
     for (const std::string& s : strings) {
@@ -272,14 +291,19 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     SetCollection bags = builder.Build();
     signature = BuildSignatureTable(bags, scheme, &result.stats);
   }
+  telem.PhaseAttr("rows", signature.num_rows());
+  telem.AddCount("dbms.rows.signature", signature.num_rows());
   if (guard != nullptr) {
     guard->ChargeMemory(TableRowBytes(signature));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
   }
   {
-    auto scope = timer.Measure(kPhaseCandPair);
+    auto scope =
+        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
     SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
   }
+  telem.PhaseAttr("rows", cand.num_rows());
+  telem.AddCount("dbms.rows.candpair", cand.num_rows());
   if (guard != nullptr) {
     guard->ChargeMemory(TableRowBytes(cand));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
@@ -291,7 +315,8 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     // Output: retrieve strings by id and check EDIT(s1, s2) <= k in
     // application code (Figure 17). No SSJoin-level hamming post-filter,
     // as the paper found it not to improve overall performance.
-    auto scope = timer.Measure(kPhasePostFilter);
+    auto scope = telem.Phase(obs::kPhasePostFilter,
+                             &result.stats.postfilter_seconds);
     for (size_t i = 0; i < cand.num_rows(); ++i) {
       int64_t a = GetInt64(cand.row(i), 0);
       int64_t b = GetInt64(cand.row(i), 1);
@@ -305,15 +330,15 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
       }
     }
   }
+  telem.PhaseAttr("rows", output.num_rows());
+  telem.AddCount("dbms.rows.output", output.num_rows());
+  telem.Attr("results", result.stats.results);
   if (guard != nullptr) {
     SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(
         JoinPhase::kVerify, result.stats.candidates, result.stats.results));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
   }
 
-  result.stats.siggen_seconds = timer.Seconds(kPhaseSigGen);
-  result.stats.candpair_seconds = timer.Seconds(kPhaseCandPair);
-  result.stats.postfilter_seconds = timer.Seconds(kPhasePostFilter);
   result.pairs = DecodePairs(output);
   result.output = std::move(output);
   return result;

@@ -54,19 +54,27 @@ enum class IntersectPlan { kHashJoin, kClusteredIndex };
 /// against the memory budget and cancellation / deadline / breaker trips
 /// surface as the Result's error Status (kCancelled, kDeadlineExceeded,
 /// kResourceExhausted), mirroring the in-memory driver.
+///
+/// `tracer` / `metrics` (optional, not owned) attach observability with
+/// the same contract as JoinOptions: a join → phase span skeleton with
+/// per-plan-step row counts, and dbms.rows.* counters for the
+/// materialized relations.
 Result<DbmsJoinResult> DbmsSelfJoin(
     const SetCollection& input, const SignatureScheme& scheme,
     const Predicate& predicate,
     IntersectPlan plan = IntersectPlan::kHashJoin,
-    ExecutionGuard* guard = nullptr);
+    ExecutionGuard* guard = nullptr, obs::Tracer* tracer = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Figure 16/17: edit-distance string join through the relational plan:
 /// String/Signature → CandPair → edit-distance check in "application
 /// code". `scheme` must be built over the strings' q-gram bags (q = gram
-/// length used to build it). `guard` as in DbmsSelfJoin.
+/// length used to build it). `guard` / `tracer` / `metrics` as in
+/// DbmsSelfJoin.
 Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     const std::vector<std::string>& strings, uint32_t edit_threshold,
     uint32_t q, const SignatureScheme& scheme,
-    ExecutionGuard* guard = nullptr);
+    ExecutionGuard* guard = nullptr, obs::Tracer* tracer = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ssjoin::relational

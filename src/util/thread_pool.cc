@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ssjoin {
@@ -44,7 +45,21 @@ void ThreadPool::RecordException(std::exception_ptr err) {
   if (!first_error_) first_error_ = std::move(err);
 }
 
+void ThreadPool::BindMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    forkjoins_ = nullptr;
+    return;
+  }
+  // Dispatch counts depend on the pool size (a 1-thread pool runs
+  // everything inline), so this is runtime-stability data by definition.
+  forkjoins_ =
+      &metrics->counter("threadpool.forkjoins", obs::Stability::kRuntime);
+  metrics->gauge("threadpool.size", obs::Stability::kRuntime)
+      .Set(static_cast<double>(size()));
+}
+
 void ThreadPool::RunOnAll(const std::function<void(size_t)>& job) {
+  if (forkjoins_ != nullptr) forkjoins_->Add(1);
   if (threads_.empty()) {
     job(0);
     return;

@@ -23,6 +23,11 @@
 #include <thread>
 #include <vector>
 
+namespace ssjoin::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace ssjoin::obs
+
 namespace ssjoin {
 
 /// Resolves a JoinOptions-style thread count: 0 means one thread per
@@ -56,6 +61,13 @@ class ThreadPool {
   /// Total parallelism: spawned workers + the calling thread.
   size_t size() const { return threads_.size() + 1; }
 
+  /// Publishes pool activity into `metrics` ("threadpool.forkjoins"
+  /// counts dispatched fork-joins, "threadpool.size" reports the
+  /// parallelism). The counter is resolved once here, so the RunOnAll
+  /// path stays a single pointer test. Not owned; nullptr (the default)
+  /// detaches and restores the zero-cost path.
+  void BindMetrics(obs::MetricsRegistry* metrics);
+
   /// Runs job(worker_index) once for every worker_index in [0, size()),
   /// index size()-1 on the calling thread, and returns when all are done.
   /// Not reentrant: a job must not call back into the same pool.
@@ -73,6 +85,7 @@ class ThreadPool {
   void RecordException(std::exception_ptr err);
 
   std::vector<std::thread> threads_;
+  obs::Counter* forkjoins_ = nullptr;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

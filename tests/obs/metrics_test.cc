@@ -1,0 +1,105 @@
+// MetricsRegistry unit tests: instrument identity and stable addresses,
+// the power-of-two histogram bucketing, name-sorted snapshots, and the
+// stable-only deterministic JSONL export.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace ssjoin::obs {
+namespace {
+
+TEST(MetricsTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("join.candidates");
+  Counter& b = registry.counter("join.candidates");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("threadpool.size");
+  g.Set(4);
+  g.Set(8);
+  EXPECT_EQ(g.value(), 8.0);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1: [1, 2)
+  h.Record(5);    // bucket 3: [4, 8)
+  h.Record(7);    // bucket 3
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+}
+
+TEST(MetricsTest, CountersAreThreadSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(MetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.last");
+  registry.counter("a.first");
+  registry.gauge("m.middle");
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a.first");
+  EXPECT_EQ(snapshot[1].name, "m.middle");
+  EXPECT_EQ(snapshot[2].name, "z.last");
+}
+
+TEST(MetricsJsonlTest, StableOnlyAndDeterministicBytes) {
+  MetricsRegistry registry;
+  registry.counter("join.results").Add(7);
+  registry.counter("threadpool.forkjoins", Stability::kRuntime).Add(3);
+  registry.gauge("join.candidate_dedup_ratio").Set(0.5);
+  registry.histogram("join.shard.micros").Record(100);  // kRuntime default
+
+  std::string jsonl = MetricsJsonl(registry);
+  EXPECT_EQ(
+      jsonl,
+      "{\"type\":\"gauge\",\"name\":\"join.candidate_dedup_ratio\","
+      "\"value\":0.5}\n"
+      "{\"type\":\"counter\",\"name\":\"join.results\",\"value\":7}\n");
+  EXPECT_EQ(jsonl.find("forkjoins"), std::string::npos);
+  EXPECT_EQ(jsonl.find("shard"), std::string::npos);
+}
+
+TEST(MetricsJsonlTest, StableHistogramExportsBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("stable.hist", Stability::kStable);
+  h.Record(1);
+  h.Record(6);
+  std::string jsonl = MetricsJsonl(registry);
+  EXPECT_EQ(jsonl,
+            "{\"type\":\"histogram\",\"name\":\"stable.hist\","
+            "\"count\":2,\"sum\":7,\"buckets\":[[1,1],[3,1]]}\n");
+}
+
+}  // namespace
+}  // namespace ssjoin::obs

@@ -1,0 +1,121 @@
+// Enforces the null-sink contract from obs/join_telemetry.h: with no
+// Tracer and no MetricsRegistry attached, every JoinTelemetry call must
+// be a branch on a null pointer — zero heap allocations. This test links
+// a counting global operator new/delete, so it lives in its own binary
+// (obs_alloc_tests) apart from the rest of the suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/join_telemetry.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+void CountAllocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  CountAllocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  CountAllocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  CountAllocation();
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  CountAllocation();
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace ssjoin::obs {
+namespace {
+
+class AllocationGuard {
+ public:
+  AllocationGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationGuard() { g_counting.store(false, std::memory_order_relaxed); }
+  uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+TEST(NullSinkAllocTest, TelemetryCallsNeverAllocate) {
+  double seconds = 0;
+  AllocationGuard guard;
+  {
+    JoinTelemetry telem(nullptr, nullptr, "join");
+    telem.Attr("mode", "self");
+    telem.Attr("candidates", uint64_t{42});
+    telem.Attr("ratio", 0.5);
+    telem.Event("guard_trip", "deadline");
+    telem.AddCount("join.results", 7);
+    telem.SetGauge("join.seconds.total", 1.5);
+    telem.PhaseAttr("shards", uint64_t{4});
+    {
+      auto phase = telem.Phase(kPhaseSigGen, &seconds);
+      auto sample = telem.Sample("shard", nullptr, /*lane=*/1);
+      (void)sample.span();
+    }
+    {
+      auto timed = telem.Time(&seconds);
+    }
+    EXPECT_FALSE(telem.tracing());
+    EXPECT_EQ(telem.root(), kNoSpan);
+    EXPECT_EQ(telem.phase_span(), kNoSpan);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "null-sink JoinTelemetry must not touch the heap";
+  EXPECT_GT(seconds, 0.0);  // the Phase/Time scopes still timed
+}
+
+TEST(NullSinkAllocTest, CounterHotPathDoesNotAllocate) {
+  // The per-item hot-path idiom: instruments are looked up once (that
+  // lookup may allocate) and then hammered via the cached pointer.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("join.candidates");
+  Histogram& histogram = registry.histogram("join.shard.micros");
+  AllocationGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    counter.Add(1);
+    histogram.Record(static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(guard.count(), 0u);
+  EXPECT_EQ(counter.value(), 1000u);
+}
+
+}  // namespace
+}  // namespace ssjoin::obs

@@ -19,6 +19,12 @@ Rules (scope: the directories named in RULE_SCOPES):
                        SaveSetsBinary, ...) silently discards a trip or an
                        IO failure; propagate it (SSJOIN_RETURN_NOT_OK,
                        assign, or branch on it).
+  no-raw-timing        src/core must not time phases with raw PhaseTimer /
+                       Stopwatch (util/timer.h) or <chrono> clock reads;
+                       all join timing flows through obs::JoinTelemetry so
+                       spans, metrics and JoinStats stay in one place.
+                       execution_guard.{h,cc} are exempt (deadline
+                       enforcement needs a wall clock, not telemetry).
 
 Usage:
   tools/lint/ssjoin_lint.py [--root REPO_ROOT] [--list-rules]
@@ -46,7 +52,15 @@ RULE_SCOPES = {
     "pragma-once": ("src", "tools", "bench", "tests"),
     "no-using-namespace": ("src", "tools", "bench"),
     "no-dropped-status": ("src", "tools", "bench", "examples"),
+    # Scoped tighter than a top-level directory: see NO_RAW_TIMING_PREFIX.
+    "no-raw-timing": ("src",),
 }
+
+# no-raw-timing applies only below this prefix, minus the exempt files —
+# the guard needs a real clock for deadlines; everything else in src/core
+# times joins through obs::JoinTelemetry.
+NO_RAW_TIMING_PREFIX = ("src", "core")
+NO_RAW_TIMING_EXEMPT = {"execution_guard.h", "execution_guard.cc"}
 
 ALLOW_RE = re.compile(r"//\s*ssjoin-lint:\s*allow\(([a-z-]+)\)")
 
@@ -66,6 +80,14 @@ STATUS_FUNCTIONS = ("Checkpoint", "CheckBreaker", "SaveSetsBinary",
 DROPPED_STATUS_RE = re.compile(
     r"^\s*(?:\(void\)\s*)?(?:\w+(?:\.|->))?(%s)\s*\(.*\)\s*;\s*$"
     % "|".join(STATUS_FUNCTIONS))
+# Raw timing machinery forbidden in src/core: the util/timer.h include
+# (PhaseTimer / Stopwatch / ScopedTimer live there) and direct <chrono>
+# clock reads. `#include <chrono>` alone is also flagged — core code that
+# needs elapsed time should take a JoinTelemetry scope instead.
+TIMER_INCLUDE_RE = re.compile(r'#\s*include\s*"util/timer\.h"')
+CHRONO_INCLUDE_RE = re.compile(r"#\s*include\s*<chrono>")
+CHRONO_CLOCK_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*\w*clock\w*\s*::\s*now\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -110,6 +132,10 @@ class Linter:
         self.violations.append((path, line, rule, message))
 
     def in_scope(self, rule: str, rel: Path) -> bool:
+        if rule == "no-raw-timing":
+            return (rel.parts[: len(NO_RAW_TIMING_PREFIX)]
+                    == NO_RAW_TIMING_PREFIX
+                    and rel.name not in NO_RAW_TIMING_EXEMPT)
         return rel.parts and rel.parts[0] in RULE_SCOPES[rule]
 
     def lint_file(self, path: Path):
@@ -149,6 +175,21 @@ class Linter:
                                 f"util::Status returned by {m.group(1)}() is "
                                 "discarded; propagate it "
                                 "(SSJOIN_RETURN_NOT_OK / assign / branch)")
+            if self.in_scope("no-raw-timing", rel):
+                # The include path is a string literal, which the stripper
+                # blanks — match it on the raw line instead.
+                raw_line = (raw_lines[lineno - 1]
+                            if lineno - 1 < len(raw_lines) else "")
+                if (TIMER_INCLUDE_RE.search(raw_line)
+                        or CHRONO_INCLUDE_RE.search(line)
+                        or CHRONO_CLOCK_RE.search(line)):
+                    if not allowed(lineno, "no-raw-timing"):
+                        self.report(rel, lineno, "no-raw-timing",
+                                    "src/core times joins through "
+                                    "obs::JoinTelemetry, not raw "
+                                    "util/timer.h or std::chrono clocks "
+                                    "(execution_guard is the only "
+                                    "exemption)")
             if (self.in_scope("no-using-namespace", rel)
                     and path.suffix in HEADER_SUFFIXES
                     and USING_NAMESPACE_RE.search(line)

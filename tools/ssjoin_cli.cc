@@ -36,6 +36,9 @@
 #include "data/generators.h"
 #include "data/loader.h"
 #include "data/serialization.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/idf.h"
 #include "text/tokenizer.h"
 #include "tools/flags.h"
@@ -52,11 +55,11 @@ commands:
   stats    --input <file> [--format strings|sets|bin]
   jaccard  --input <file> --gamma <g> [--algo pen|pf|lsh|probecount|paircount]
            [--format strings|sets|bin] [--accuracy <f>] [--out <file>]
-           [--threads <n>] [--time] [guardrail flags]
+           [--threads <n>] [--time] [guardrail flags] [observability flags]
   edit     --input <file> --k <n> [--algo pen|pf] [--q <n>] [--out <file>]
-           [--time]
+           [--time] [observability flags]
   weighted --input <file> --gamma <g> [--algo wen|wpf|wlsh] [--out <file>]
-           [--threads <n>] [--time] [guardrail flags]
+           [--threads <n>] [--time] [guardrail flags] [observability flags]
 
 --threads selects the join parallelism for the signature-based
 algorithms (pen, pf, lsh, wen, wpf, wlsh): 1 = serial (default),
@@ -71,6 +74,17 @@ guardrail flags (jaccard / weighted, signature-based algorithms only;
                              f * max(1, results) — candidate explosion
 A tripped guardrail exits with "error: Cancelled/Deadline exceeded/
 Resource exhausted: ..." and no pairs are written.
+
+observability flags (signature-based algorithms):
+  --trace-out <file>    write the span trace: a ".jsonl" extension
+                        selects the deterministic JSONL stream (byte-
+                        identical for every --threads value), anything
+                        else the Chrome trace_event JSON for
+                        about:tracing / Perfetto
+  --metrics-out <file>  write the metrics snapshot as deterministic JSONL
+  --report              print a human-readable run report to stderr
+Traces and metrics are still written when a guardrail trips — the trip
+cause appears as a span event and a guard.trips.* counter.
 )";
 
 Status WritePairs(const std::vector<SetPair>& pairs,
@@ -156,6 +170,65 @@ Result<GuardFlags> ParseGuardFlags(Flags& flags) {
   return out;
 }
 
+// Reads the observability flags (see kUsage). Sinks are created only when
+// a flag asks for them, keeping the default run on the null-sink path.
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool report = false;
+
+  bool tracing() const { return !trace_out.empty() || report; }
+  bool metering() const { return !metrics_out.empty() || report; }
+};
+
+Result<ObsFlags> ParseObsFlags(Flags& flags) {
+  ObsFlags out;
+  SSJOIN_ASSIGN_OR_RETURN(out.trace_out, flags.GetString("trace-out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(out.metrics_out,
+                          flags.GetString("metrics-out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(out.report, flags.GetBool("report", false));
+  return out;
+}
+
+// Instantiates the sinks requested by `obs_flags` and attaches them to
+// `tracer_slot` / `metrics_slot` (e.g. JoinOptions::tracer / ::metrics).
+void AttachObsSinks(const ObsFlags& obs_flags,
+                    std::optional<obs::Tracer>& tracer,
+                    std::optional<obs::MetricsRegistry>& metrics,
+                    obs::Tracer** tracer_slot,
+                    obs::MetricsRegistry** metrics_slot) {
+  if (obs_flags.tracing()) {
+    tracer.emplace();
+    *tracer_slot = &*tracer;
+  }
+  if (obs_flags.metering()) {
+    metrics.emplace();
+    *metrics_slot = &*metrics;
+  }
+}
+
+// Writes the requested trace / metrics files and the stderr report. Called
+// before the join's own status is checked so that tripped runs still leave
+// their telemetry behind (the trip cause is a span event).
+Status WriteObsOutputs(const ObsFlags& obs_flags,
+                       const std::optional<obs::Tracer>& tracer,
+                       const std::optional<obs::MetricsRegistry>& metrics) {
+  if (!obs_flags.trace_out.empty()) {
+    SSJOIN_RETURN_NOT_OK(obs::WriteTraceAuto(*tracer, obs_flags.trace_out));
+  }
+  if (!obs_flags.metrics_out.empty()) {
+    SSJOIN_RETURN_NOT_OK(
+        obs::WriteMetricsJsonl(*metrics, obs_flags.metrics_out));
+  }
+  if (obs_flags.report) {
+    std::fprintf(stderr, "%s",
+                 obs::RunReportText(tracer ? &*tracer : nullptr,
+                                    metrics ? &*metrics : nullptr)
+                     .c_str());
+  }
+  return Status::OK();
+}
+
 Status RunGenerate(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(std::string kind,
                           flags.GetString("kind", "address"));
@@ -206,6 +279,21 @@ Status RunStats(Flags& flags) {
   return Status::OK();
 }
 
+// Builds a self-join JoinRequest and runs it through the unified Join()
+// facade — the CLI's single dispatch point for signature joins.
+JoinResult FacadeSelfJoin(const SetCollection& input,
+                          const SignatureScheme& scheme,
+                          const Predicate& predicate,
+                          const JoinOptions& options) {
+  JoinRequest request;
+  request.left = &input;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kSelfJoin;
+  request.options = options;
+  return Join(request);
+}
+
 Status RunJaccard(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(SetCollection input, LoadInput(flags));
   SSJOIN_ASSIGN_OR_RETURN(double gamma, flags.GetDouble("gamma", 0.9));
@@ -216,6 +304,7 @@ Status RunJaccard(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
   SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
   SSJOIN_ASSIGN_OR_RETURN(GuardFlags guard_flags, ParseGuardFlags(flags));
+  SSJOIN_ASSIGN_OR_RETURN(ObsFlags obs_flags, ParseObsFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
@@ -225,6 +314,10 @@ Status RunJaccard(Flags& flags) {
     guard.emplace(guard_flags.budget);
     options.guard = &*guard;
   }
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::MetricsRegistry> metrics;
+  AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
+                 &options.metrics);
 
   JaccardPredicate predicate(gamma);
   JoinResult result;
@@ -234,12 +327,12 @@ Status RunJaccard(Flags& flags) {
     params.max_set_size = input.max_set_size();
     auto scheme = PartEnumJaccardScheme::Create(params);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "pf") {
     auto pred = std::make_shared<JaccardPredicate>(gamma);
     auto scheme = PrefixFilterScheme::Create(pred, input);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "lsh") {
     auto choice = ChooseLshParams(input, gamma, 1.0 - accuracy, 6);
     LshParams params =
@@ -250,7 +343,7 @@ Status RunJaccard(Flags& flags) {
     std::fprintf(stderr,
                  "note: LSH is approximate (configured recall %.0f%%)\n",
                  accuracy * 100);
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "probecount") {
     if (guard_flags.enabled) {
       return Status::InvalidArgument(
@@ -267,6 +360,7 @@ Status RunJaccard(Flags& flags) {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
+  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics));
   SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
 }
@@ -279,11 +373,16 @@ Status RunEdit(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(int64_t q, flags.GetInt("q", 0));
   SSJOIN_ASSIGN_OR_RETURN(std::string out, flags.GetString("out", ""));
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
+  SSJOIN_ASSIGN_OR_RETURN(ObsFlags obs_flags, ParseObsFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
 
   SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> strings,
                           LoadStrings(input));
   StringJoinOptions options;
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::MetricsRegistry> metrics;
+  AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
+                 &options.metrics);
   options.edit_threshold = static_cast<uint32_t>(k);
   if (algo == "pen") {
     options.algorithm = StringJoinAlgorithm::kPartEnum;
@@ -297,6 +396,7 @@ Status RunEdit(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(JoinResult result,
                           StringSimilaritySelfJoin(strings, options));
   MaybePrintStats(time, result.stats);
+  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics));
   return WritePairs(result.pairs, out);
 }
 
@@ -310,6 +410,7 @@ Status RunWeighted(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(bool time, flags.GetBool("time", false));
   SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
   SSJOIN_ASSIGN_OR_RETURN(GuardFlags guard_flags, ParseGuardFlags(flags));
+  SSJOIN_ASSIGN_OR_RETURN(ObsFlags obs_flags, ParseObsFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
   if (gamma <= 0 || gamma > 1) {
     return Status::InvalidArgument("--gamma must be in (0, 1]");
@@ -319,6 +420,10 @@ Status RunWeighted(Flags& flags) {
     guard.emplace(guard_flags.budget);
     options.guard = &*guard;
   }
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::MetricsRegistry> metrics;
+  AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
+                 &options.metrics);
 
   auto idf = std::make_shared<IdfWeights>(IdfWeights::Compute(input));
   WeightFunction weights = [idf](ElementId e) {
@@ -339,12 +444,12 @@ Status RunWeighted(Flags& flags) {
     auto scheme = WtEnumScheme::CreateJaccard(weights, weights, gamma,
                                               min_ws, params);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "wpf") {
     auto scheme =
         WeightedPrefixFilterScheme::Create(gamma, weights, input, min_ws);
     if (!scheme.ok()) return scheme.status();
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "wlsh") {
     LshParams params = LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
     auto scheme = WeightedLshScheme::Create(params, weights);
@@ -353,11 +458,12 @@ Status RunWeighted(Flags& flags) {
                  "note: weighted LSH is approximate (configured recall "
                  "~%.0f%%)\n",
                  accuracy * 100);
-    result = SignatureSelfJoin(input, *scheme, predicate, options);
+    result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
+  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics));
   SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
 }
