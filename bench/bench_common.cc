@@ -82,13 +82,16 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.trace_out = v7;
     } else if (const char* v8 = FlagValue("metrics-out", argc, argv, &i)) {
       flags.metrics_out = v8;
+    } else if (const char* v9 = FlagValue("explain-out", argc, argv, &i)) {
+      flags.explain_out = v9;
     } else {
       std::fprintf(stderr,
                    "error: unknown argument '%s'\n"
                    "usage: %s [--threads N] [--json-out PATH] "
                    "[--deadline-ms N] [--memory-budget-mb N] "
                    "[--max-candidate-ratio F] [--report-out PATH] "
-                   "[--trace-out PATH] [--metrics-out PATH]\n",
+                   "[--trace-out PATH] [--metrics-out PATH] "
+                   "[--explain-out PATH]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -104,6 +107,7 @@ JoinOptions BenchRun::Options() {
   if (flags_.threads_given) options.num_threads = flags_.threads;
   options.tracer = &tracer_;
   options.metrics = &metrics_;
+  options.explain = explain();
   return options;
 }
 
@@ -114,6 +118,7 @@ JoinResult BenchRun::Run(const SetCollection* left,
                          JoinOptions options) {
   options.tracer = &tracer_;
   options.metrics = &metrics_;
+  options.explain = explain();
   JoinRequest request;
   request.left = left;
   request.right = right;
@@ -182,6 +187,9 @@ bool BenchRun::Finish() {
   if (status.ok() && !flags_.metrics_out.empty()) {
     status = obs::WriteMetricsJsonl(metrics_, flags_.metrics_out);
   }
+  if (status.ok() && !flags_.explain_out.empty()) {
+    status = obs::WriteExplainJsonl(explain_, flags_.explain_out);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return false;
@@ -235,7 +243,9 @@ bool WriteParallelScalingJson(const std::string& path,
 
 Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
                                           const SetCollection& input,
-                                          double gamma, double lsh_delta) {
+                                          double gamma, double lsh_delta,
+                                          obs::ExplainReport* explain) {
+  obs::AdvisorTrace trace;
   SchemeUnderTest out;
   switch (algo) {
     case Algo::kPartEnum: {
@@ -250,6 +260,7 @@ Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
       AdvisorOptions advisor;
       advisor.sample_size = 1000;
       advisor.max_signatures_per_set = 512;
+      if (explain != nullptr) advisor.trace = &trace;
       auto choice = ChoosePartEnumParams(input, k, input.size(), advisor);
       if (choice.ok()) {
         PartEnumParams tuned = choice->params;
@@ -259,6 +270,7 @@ Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
           return p;
         };
       }
+      obs::AttachAdvisorTrace(explain, trace);
       auto scheme = PartEnumJaccardScheme::Create(params);
       if (!scheme.ok()) return scheme.status();
       out.scheme = std::make_shared<PartEnumJaccardScheme>(
@@ -267,10 +279,13 @@ Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
       return out;
     }
     case Algo::kLsh: {
-      auto choice = ChooseLshParams(input, gamma, lsh_delta, 6);
+      AdvisorOptions advisor;
+      if (explain != nullptr) advisor.trace = &trace;
+      auto choice = ChooseLshParams(input, gamma, lsh_delta, 6, 0, advisor);
       LshParams params = choice.ok()
                              ? choice->params
                              : LshParams::ForAccuracy(gamma, lsh_delta, 3);
+      obs::AttachAdvisorTrace(explain, trace);
       auto scheme = LshScheme::Create(params);
       if (!scheme.ok()) return scheme.status();
       out.scheme = std::make_shared<LshScheme>(std::move(scheme).value());

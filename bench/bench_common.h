@@ -18,6 +18,7 @@
 #include "core/ssjoin.h"
 #include "data/collection.h"
 #include "data/generators.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
@@ -139,8 +140,10 @@ inline void PrintF2Row(size_t size, const std::string& threshold,
 /// (0 = off; see core/execution_guard.h), and the observability outputs
 /// `--report-out PATH` (structured run report, "" = bench default),
 /// `--trace-out PATH` (.jsonl = deterministic stream, else Chrome
-/// trace_event JSON) and `--metrics-out PATH`; anything else aborts with
-/// a usage message so typos never silently run the default workload.
+/// trace_event JSON), `--metrics-out PATH` and `--explain-out PATH`
+/// (accumulated EXPLAIN drift report, obs/explain.h); anything else
+/// aborts with a usage message so typos never silently run the default
+/// workload.
 struct BenchFlags {
   /// Join parallelism (JoinOptions::num_threads semantics: 0 = one per
   /// core). Only meaningful when threads_given.
@@ -156,6 +159,10 @@ struct BenchFlags {
   /// Extra trace / metrics exports ("" = off).
   std::string trace_out;
   std::string metrics_out;
+  /// Accumulated EXPLAIN report export ("" = off; the report is only
+  /// attached to the joins when requested, keeping the measured path on
+  /// the null-sink contract).
+  std::string explain_out;
 };
 
 BenchFlags ParseBenchFlags(int argc, char** argv);
@@ -205,6 +212,13 @@ class BenchRun {
   obs::Tracer* tracer() { return &tracer_; }
   obs::MetricsRegistry* metrics() { return &metrics_; }
 
+  /// The run's accumulated EXPLAIN report — attached to every join when
+  /// --explain-out was given, nullptr otherwise (null-sink contract).
+  /// Benches that tune with the advisor can AttachAdvisorTrace into it.
+  obs::ExplainReport* explain() {
+    return flags_.explain_out.empty() ? nullptr : &explain_;
+  }
+
   /// Writes the structured run report — one deterministic JSONL file with
   /// the stable spans then the stable metrics — to --report-out (default
   /// BENCH_<bench_name>_report.jsonl), plus any --trace-out /
@@ -221,6 +235,7 @@ class BenchRun {
   BenchFlags flags_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::ExplainReport explain_;
 };
 
 /// One measured point of a parallel-scaling trajectory: a full join at

@@ -30,14 +30,19 @@ using namespace ssjoin::bench;
 namespace {
 
 // Equi-sized PEN: hamming PartEnum at k = 2*50*(1-g)/(1+g), advisor-tuned
-// for this input size.
+// for this input size. `explain` (optional) captures the advisor search.
 Result<SchemeUnderTest> MakeEquisizedPen(const SetCollection& input,
-                                         double gamma) {
+                                         double gamma,
+                                         obs::ExplainReport* explain =
+                                             nullptr) {
   uint32_t k = PartEnumJaccardScheme::EquisizedHammingThreshold(50, gamma);
+  obs::AdvisorTrace trace;
   AdvisorOptions advisor;
   advisor.sample_size = 2000;
   advisor.max_signatures_per_set = 512;
+  if (explain != nullptr) advisor.trace = &trace;
   auto choice = ChoosePartEnumParams(input, k, input.size(), advisor);
+  obs::AttachAdvisorTrace(explain, trace);
   PartEnumParams params =
       choice.ok() ? choice->params : PartEnumParams::Default(k);
   auto scheme = PartEnumScheme::Create(params);
@@ -146,7 +151,7 @@ int RunParallelScaling(BenchRun& run, const BenchFlags& flags) {
       "===\n\n",
       n, gamma);
   SetCollection input = SyntheticSets(n);
-  auto made = MakeEquisizedPen(input, gamma);
+  auto made = MakeEquisizedPen(input, gamma, run.explain());
   if (!made.ok()) {
     std::fprintf(stderr, "error: %s\n", made.status().ToString().c_str());
     return 1;

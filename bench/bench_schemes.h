@@ -14,6 +14,10 @@
 #include "core/signature_scheme.h"
 #include "util/status.h"
 
+namespace ssjoin::obs {
+struct ExplainReport;
+}  // namespace ssjoin::obs
+
 namespace ssjoin::bench {
 
 enum class Algo { kPartEnum, kLsh, kPrefixFilter };
@@ -25,9 +29,13 @@ struct SchemeUnderTest {
 
 /// Builds the scheme for `algo` over `input` at jaccard threshold
 /// `gamma`. LSH accuracy = 1 - lsh_delta (the paper runs LSH(0.95)).
+/// `explain` (optional, not owned) captures the advisor's search table
+/// for PEN / LSH tuning via AttachAdvisorTrace (obs/explain.h).
 Result<SchemeUnderTest> MakeJaccardScheme(Algo algo,
                                           const SetCollection& input,
                                           double gamma,
-                                          double lsh_delta = 0.05);
+                                          double lsh_delta = 0.05,
+                                          obs::ExplainReport* explain =
+                                              nullptr);
 
 }  // namespace ssjoin::bench

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff stable work counters between bench reports.
+
+The bench harnesses (bench/bench_common.h, BenchRun::Finish) write one
+deterministic BENCH_<name>_report.jsonl per run: stable spans followed by
+the stable metrics snapshot. The `counter` lines are pure work counts
+(signatures generated, candidate pairs verified, ...) — no wall-clock —
+so they are byte-reproducible across machines and thread counts, and a
+counter that grows between two commits means the algorithms are doing
+more work, not that the machine got slower.
+
+This script compares every BENCH_*_report.jsonl in a baseline directory
+against the file of the same name in a candidate directory and fails
+(exit 1) when any work counter regressed by more than --tolerance
+(default 0.20 = +20%). Counters whose growth means *more pruning work
+dodged* (join.results) are compared for drift in either direction but
+never fail the gate on their own — a result-count change on a fixed
+workload is a correctness question for the tier-1 suite, and is reported
+as a warning here.
+
+Usage:
+  bench_compare.py --baseline DIR --candidate DIR [--tolerance F]
+  bench_compare.py --self-test
+
+Exit codes: 0 = within tolerance, 1 = regression (or self-test failure),
+2 = bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+# Counters that may not shrink silently either: a large drop in, say,
+# signatures usually means a workload change that should come with a
+# refreshed baseline. Reported as warnings, never failures.
+INFORMATIONAL = {"join.results", "join.runs"}
+
+
+def load_counters(path):
+    """Returns {name: value} for the `counter` lines of a report file."""
+    counters = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise ValueError(f"{path}:{line_no}: bad JSON: {err}")
+                if record.get("type") == "counter":
+                    counters[record["name"]] = float(record["value"])
+    except OSError as err:
+        raise ValueError(f"cannot read {path}: {err}")
+    return counters
+
+
+def compare_report(name, baseline, candidate, tolerance):
+    """Returns (failures, warnings) comparing two counter dicts."""
+    failures = []
+    warnings = []
+    for counter, base_value in sorted(baseline.items()):
+        if counter not in candidate:
+            failures.append(
+                f"{name}: counter {counter} missing from candidate "
+                f"(baseline {base_value:g})")
+            continue
+        cand_value = candidate[counter]
+        if base_value == 0:
+            if cand_value != 0:
+                msg = (f"{name}: {counter} grew from 0 to {cand_value:g}")
+                (warnings if counter in INFORMATIONAL
+                 else failures).append(msg)
+            continue
+        ratio = cand_value / base_value
+        if counter in INFORMATIONAL:
+            if abs(ratio - 1.0) > tolerance:
+                warnings.append(
+                    f"{name}: {counter} changed {base_value:g} -> "
+                    f"{cand_value:g} ({ratio:+.1%} of baseline) — workload "
+                    f"or correctness drift, check tier-1 results")
+            continue
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: {counter} regressed {base_value:g} -> "
+                f"{cand_value:g} (x{ratio:.3f} > allowed x{1.0 + tolerance:.2f})")
+        elif ratio < 1.0 - tolerance:
+            warnings.append(
+                f"{name}: {counter} improved {base_value:g} -> "
+                f"{cand_value:g} (x{ratio:.3f}) — consider refreshing the "
+                f"baseline to lock in the win")
+    for counter in sorted(set(candidate) - set(baseline)):
+        warnings.append(
+            f"{name}: new counter {counter} ({candidate[counter]:g}) has "
+            f"no baseline")
+    return failures, warnings
+
+
+def run_compare(baseline_dir, candidate_dir, tolerance):
+    reports = sorted(
+        f for f in os.listdir(baseline_dir)
+        if f.startswith("BENCH_") and f.endswith("_report.jsonl"))
+    if not reports:
+        print(f"error: no BENCH_*_report.jsonl in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    warnings = []
+    for report in reports:
+        base_path = os.path.join(baseline_dir, report)
+        cand_path = os.path.join(candidate_dir, report)
+        if not os.path.exists(cand_path):
+            failures.append(f"{report}: candidate report not found at "
+                            f"{cand_path}")
+            continue
+        try:
+            base = load_counters(base_path)
+            cand = load_counters(cand_path)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        report_failures, report_warnings = compare_report(
+            report, base, cand, tolerance)
+        failures.extend(report_failures)
+        warnings.extend(report_warnings)
+        if not report_failures:
+            print(f"ok: {report}: {len(base)} counters within "
+                  f"{tolerance:.0%}")
+    for warning in warnings:
+        print(f"warning: {warning}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        print(f"\n{len(failures)} counter regression(s) beyond "
+              f"{tolerance:.0%} — if the extra work is intentional, refresh "
+              f"bench/baselines/ in the same commit and say why.")
+        return 1
+    return 0
+
+
+def write_report(path, counters):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write('{"type":"span","id":1,"parent":0,"name":"join",'
+                '"attrs":{},"events":[]}\n')
+        for name, value in counters.items():
+            f.write(json.dumps({"type": "counter", "name": name,
+                                "value": value}) + "\n")
+
+
+def self_test():
+    """Exercises the gate against synthetic reports; exits nonzero on any
+    deviation from the documented behavior."""
+    checks = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cand_dir = os.path.join(tmp, "cand")
+        os.mkdir(base_dir)
+        os.mkdir(cand_dir)
+        report = "BENCH_selftest_report.jsonl"
+        base = {"join.signatures": 1000.0, "join.candidates": 200.0,
+                "join.results": 50.0}
+
+        # Identical reports pass.
+        write_report(os.path.join(base_dir, report), base)
+        write_report(os.path.join(cand_dir, report), base)
+        checks.append(("identical reports pass",
+                       run_compare(base_dir, cand_dir, 0.20) == 0))
+
+        # +25% on a work counter fails at 20% tolerance.
+        inflated = dict(base, **{"join.candidates": 250.0})
+        write_report(os.path.join(cand_dir, report), inflated)
+        checks.append(("+25% work counter fails",
+                       run_compare(base_dir, cand_dir, 0.20) == 1))
+
+        # ... but passes at a 30% tolerance.
+        checks.append(("+25% within 30% tolerance passes",
+                       run_compare(base_dir, cand_dir, 0.30) == 0))
+
+        # +19% squeaks under the default gate.
+        slight = dict(base, **{"join.signatures": 1190.0})
+        write_report(os.path.join(cand_dir, report), slight)
+        checks.append(("+19% work counter passes",
+                       run_compare(base_dir, cand_dir, 0.20) == 0))
+
+        # A changed result count warns but does not fail.
+        results = dict(base, **{"join.results": 80.0})
+        write_report(os.path.join(cand_dir, report), results)
+        checks.append(("result-count drift warns only",
+                       run_compare(base_dir, cand_dir, 0.20) == 0))
+
+        # A counter vanishing from the candidate fails.
+        missing = {k: v for k, v in base.items()
+                   if k != "join.signatures"}
+        write_report(os.path.join(cand_dir, report), missing)
+        checks.append(("missing counter fails",
+                       run_compare(base_dir, cand_dir, 0.20) == 1))
+
+        # A missing candidate report fails.
+        os.remove(os.path.join(cand_dir, report))
+        checks.append(("missing report fails",
+                       run_compare(base_dir, cand_dir, 0.20) == 1))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"self-test: {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test: {len(failed)} check(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", help="directory of committed "
+                        "BENCH_*_report.jsonl baselines")
+    parser.add_argument("--candidate", help="directory of freshly "
+                        "generated reports")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional growth per work counter "
+                        "(default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate against synthetic reports")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required "
+                     "(or use --self-test)")
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    return run_compare(args.baseline, args.candidate, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "obs/explain.h"
 #include "util/ams_sketch.h"
 #include "util/check.h"
 
@@ -72,6 +74,75 @@ double Extrapolate(const SampleStats& stats, size_t sample_size,
          stats.collisions * scale * scale;
 }
 
+// Deterministic candidate labels for the EXPLAIN search table. They are
+// the advisor's public vocabulary: tests and the CLI match on them.
+std::string PartEnumLabel(const PartEnumParams& params) {
+  return "n1=" + std::to_string(params.n1) +
+         ",n2=" + std::to_string(params.n2);
+}
+
+std::string LshLabel(const LshParams& params) {
+  return "g=" + std::to_string(params.g) +
+         ",l=" + std::to_string(params.l);
+}
+
+std::string WtEnumLabel(double pruning_threshold) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "th=%.6g", pruning_threshold);
+  return buf;
+}
+
+// Fills the search-wide trace header. Candidates are appended by the
+// Evaluate loops so repeated searches accumulate.
+void BeginTrace(obs::AdvisorTrace* trace, std::string_view method,
+                size_t sample_size, size_t target_input_size,
+                const AdvisorOptions& options) {
+  if (trace == nullptr) return;
+  trace->method = std::string(method);
+  trace->sample_size = sample_size;
+  trace->target_input_size = target_input_size;
+  trace->used_ams_sketch = options.use_ams_sketch;
+}
+
+// Appends one scored setting. The extrapolations mirror Extrapolate():
+// signatures scale linearly with target/sample, collisions
+// quadratically, and their sum is the estimated F2 that ranked the
+// setting.
+void TraceCandidate(obs::AdvisorTrace* trace, std::string label,
+                    uint64_t signatures_per_set, const SampleStats& stats,
+                    size_t sample_size, size_t target_size,
+                    double estimated_f2) {
+  if (trace == nullptr) return;
+  double scale = sample_size == 0
+                     ? 0.0
+                     : static_cast<double>(target_size) /
+                           static_cast<double>(sample_size);
+  obs::AdvisorCandidate candidate;
+  candidate.label = std::move(label);
+  candidate.signatures_per_set = signatures_per_set;
+  candidate.sample_signatures = stats.signatures;
+  candidate.sample_collisions = stats.collisions;
+  candidate.predicted_signatures =
+      2.0 * static_cast<double>(stats.signatures) * scale;
+  candidate.predicted_collisions = stats.collisions * scale * scale;
+  candidate.predicted_f2 = estimated_f2;
+  trace->candidates.push_back(std::move(candidate));
+}
+
+// Marks the winning row among the candidates appended after
+// `first_candidate` (a Choose* call may share the trace with earlier
+// searches whose rows must keep their own chosen flags).
+void MarkChosen(obs::AdvisorTrace* trace, size_t first_candidate,
+                std::string_view label) {
+  if (trace == nullptr) return;
+  for (size_t i = first_candidate; i < trace->candidates.size(); ++i) {
+    if (trace->candidates[i].label == label) {
+      trace->candidates[i].chosen = true;
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 double EstimateSchemeF2(const SetCollection& input,
@@ -89,6 +160,8 @@ std::vector<PartEnumChoice> EvaluatePartEnumParams(
     const AdvisorOptions& options) {
   if (target_input_size == 0) target_input_size = input.size();
   SetCollection sample = input.Sample(options.sample_size, options.seed);
+  BeginTrace(options.trace, "partenum", sample.size(), target_input_size,
+             options);
   std::vector<PartEnumChoice> choices;
   for (const PartEnumParams& params : PartEnumParams::EnumerateValid(
            k, options.max_signatures_per_set, options.seed)) {
@@ -101,6 +174,9 @@ std::vector<PartEnumChoice> EvaluatePartEnumParams(
     choice.estimated_f2 =
         Extrapolate(stats, sample.size(), target_input_size);
     choices.push_back(choice);
+    TraceCandidate(options.trace, PartEnumLabel(params),
+                   choice.signatures_per_set, stats, sample.size(),
+                   target_input_size, choice.estimated_f2);
   }
   std::sort(choices.begin(), choices.end(),
             [](const PartEnumChoice& a, const PartEnumChoice& b) {
@@ -118,6 +194,8 @@ Result<PartEnumChoice> ChoosePartEnumParams(const SetCollection& input,
                                             uint32_t k,
                                             size_t target_input_size,
                                             const AdvisorOptions& options) {
+  size_t first_candidate =
+      options.trace != nullptr ? options.trace->candidates.size() : 0;
   std::vector<PartEnumChoice> choices =
       EvaluatePartEnumParams(input, k, target_input_size, options);
   if (choices.empty()) {
@@ -125,6 +203,8 @@ Result<PartEnumChoice> ChoosePartEnumParams(const SetCollection& input,
         "no valid PartEnum setting within the signature budget for k=" +
         std::to_string(k));
   }
+  MarkChosen(options.trace, first_candidate,
+             PartEnumLabel(choices.front().params));
   return choices.front();
 }
 
@@ -135,6 +215,8 @@ std::vector<LshChoice> EvaluateLshParams(const SetCollection& input,
                                          const AdvisorOptions& options) {
   if (target_input_size == 0) target_input_size = input.size();
   SetCollection sample = input.Sample(options.sample_size, options.seed);
+  BeginTrace(options.trace, "lsh", sample.size(), target_input_size,
+             options);
   std::vector<LshChoice> choices;
   for (uint32_t g = 1; g <= max_g; ++g) {
     LshParams params = LshParams::ForAccuracy(gamma, delta, g, options.seed);
@@ -147,6 +229,8 @@ std::vector<LshChoice> EvaluateLshParams(const SetCollection& input,
     choice.estimated_f2 =
         Extrapolate(stats, sample.size(), target_input_size);
     choices.push_back(choice);
+    TraceCandidate(options.trace, LshLabel(params), params.l, stats,
+                   sample.size(), target_input_size, choice.estimated_f2);
   }
   std::sort(choices.begin(), choices.end(),
             [](const LshChoice& a, const LshChoice& b) {
@@ -165,6 +249,8 @@ std::vector<WtEnumChoice> EvaluateWtEnumPruningThresholds(
     const AdvisorOptions& options) {
   if (target_input_size == 0) target_input_size = input.size();
   SetCollection sample = input.Sample(options.sample_size, options.seed);
+  BeginTrace(options.trace, "wtenum", sample.size(), target_input_size,
+             options);
   std::vector<WtEnumChoice> choices;
   for (double th : candidates) {
     WtEnumParams params;
@@ -180,6 +266,9 @@ std::vector<WtEnumChoice> EvaluateWtEnumPruningThresholds(
     choice.estimated_f2 =
         Extrapolate(stats, sample.size(), target_input_size);
     choices.push_back(choice);
+    TraceCandidate(options.trace, WtEnumLabel(th), /*signatures_per_set=*/0,
+                   stats, sample.size(), target_input_size,
+                   choice.estimated_f2);
   }
   std::sort(choices.begin(), choices.end(),
             [](const WtEnumChoice& a, const WtEnumChoice& b) {
@@ -196,6 +285,8 @@ Result<WtEnumChoice> ChooseWtEnumPruningThreshold(
     const WeightFunction& order_weights, double overlap_threshold,
     const std::vector<double>& candidates, size_t target_input_size,
     const AdvisorOptions& options) {
+  size_t first_candidate =
+      options.trace != nullptr ? options.trace->candidates.size() : 0;
   std::vector<WtEnumChoice> choices = EvaluateWtEnumPruningThresholds(
       input, size_weights, order_weights, overlap_threshold, candidates,
       target_input_size, options);
@@ -203,6 +294,8 @@ Result<WtEnumChoice> ChooseWtEnumPruningThreshold(
     return Status::NotFound(
         "no WtEnum pruning threshold within the enumeration budget");
   }
+  MarkChosen(options.trace, first_candidate,
+             WtEnumLabel(choices.front().pruning_threshold));
   return choices.front();
 }
 
@@ -210,11 +303,15 @@ Result<LshChoice> ChooseLshParams(const SetCollection& input, double gamma,
                                   double delta, uint32_t max_g,
                                   size_t target_input_size,
                                   const AdvisorOptions& options) {
+  size_t first_candidate =
+      options.trace != nullptr ? options.trace->candidates.size() : 0;
   std::vector<LshChoice> choices = EvaluateLshParams(
       input, gamma, delta, max_g, target_input_size, options);
   if (choices.empty()) {
     return Status::NotFound("no valid LSH setting within the budget");
   }
+  MarkChosen(options.trace, first_candidate,
+             LshLabel(choices.front().params));
   return choices.front();
 }
 

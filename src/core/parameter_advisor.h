@@ -32,6 +32,10 @@
 #include "data/collection.h"
 #include "util/status.h"
 
+namespace ssjoin::obs {
+struct AdvisorTrace;
+}  // namespace ssjoin::obs
+
 namespace ssjoin {
 
 struct AdvisorOptions {
@@ -45,6 +49,11 @@ struct AdvisorOptions {
   /// route and is exercised by tests/benches.
   bool use_ams_sketch = false;
   uint64_t seed = 0x9E3779B9;
+  /// Optional EXPLAIN search-trace sink (obs/explain.h): every Evaluate*
+  /// call appends one AdvisorCandidate per setting it scored, and the
+  /// Choose* wrappers mark the winning row. Not owned; nullptr = no
+  /// trace (the null-sink contract: one pointer compare, zero cost).
+  obs::AdvisorTrace* trace = nullptr;
 };
 
 /// One evaluated candidate setting.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/explain.h"
 #include "obs/join_telemetry.h"
 #include "util/hashing.h"
 #include "util/thread_pool.h"
@@ -35,11 +36,12 @@ std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
 // Everything published here is derived from JoinStats, which is
 // byte-identical for every thread count (the determinism contract).
 void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
-                ExecutionGuard* guard) {
+                ExecutionGuard* guard, obs::ExplainReport* explain) {
   if (guard != nullptr && guard->tripped()) {
     std::string_view reason = TripReasonName(guard->trip_reason());
     telem.Event("guard_trip", reason);
     telem.Attr("trip", reason);
+    if (explain != nullptr) explain->trip = std::string(reason);
   }
   const JoinStats& stats = result.stats;
   telem.Attr("signatures_r", stats.signatures_r);
@@ -63,6 +65,28 @@ void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
                      : 1.0);
   telem.SetGauge("join.seconds.total", stats.TotalSeconds(),
                  obs::Stability::kRuntime);
+  // Drift actuals: everything stable the advisor can predict, plus the
+  // run outcome quantities (one-sided entries render without a ratio).
+  // RecordActual is null-safe — a detached explain costs one compare.
+  obs::RecordActual(explain, "join.signatures",
+                    static_cast<double>(stats.signatures_r +
+                                        stats.signatures_s));
+  obs::RecordActual(explain, "join.signature_collisions",
+                    static_cast<double>(stats.signature_collisions));
+  obs::RecordActual(explain, "join.f2",
+                    static_cast<double>(stats.F2()));
+  obs::RecordActual(explain, "join.candidates",
+                    static_cast<double>(stats.candidates));
+  obs::RecordActual(explain, "join.results",
+                    static_cast<double>(stats.results));
+  obs::RecordActual(explain, "join.false_positives",
+                    static_cast<double>(stats.false_positives));
+  if (explain != nullptr) {
+    explain->joins += 1;
+    explain->siggen_seconds += stats.siggen_seconds;
+    explain->candpair_seconds += stats.candpair_seconds;
+    explain->postfilter_seconds += stats.postfilter_seconds;
+  }
 }
 
 // Flattened per-set signature lists (CSR). Signatures are deduplicated
@@ -554,11 +578,11 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard);
+  FinishJoin(telem, result, guard, options.explain);
   return result;
 }
 
@@ -731,11 +755,11 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard);
+  FinishJoin(telem, result, guard, options.explain);
   return result;
 }
 
@@ -774,7 +798,7 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return std::move(result);
   };
 
@@ -830,7 +854,7 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   }
 
   if (!options.verify) {
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return result;
   }
 
@@ -843,7 +867,7 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  FinishJoin(telem, result, guard);
+  FinishJoin(telem, result, guard, options.explain);
   return result;
 }
 
@@ -868,7 +892,7 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return std::move(result);
   };
 
@@ -928,7 +952,7 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   }
 
   if (!options.verify) {
-    FinishJoin(telem, result, guard);
+    FinishJoin(telem, result, guard, options.explain);
     return result;
   }
 
@@ -941,7 +965,7 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  FinishJoin(telem, result, guard);
+  FinishJoin(telem, result, guard, options.explain);
   return result;
 }
 
@@ -986,6 +1010,18 @@ JoinResult Join(const JoinRequest& request) {
   }
   if (request.predicate == nullptr) {
     return invalid("JoinRequest::predicate is required");
+  }
+  // EXPLAIN header: the chosen driver and the stable input-size params.
+  // Thread count is deliberately absent — the report's stable fields
+  // must be byte-identical across thread counts (DESIGN.md Section 9).
+  if (obs::ExplainReport* ex = request.options.explain) {
+    ex->mode = std::string(ExecutionModeName(request.mode));
+    ex->SetParam("input_sets", std::to_string(request.left->size()));
+    if (request.mode == ExecutionMode::kBinaryJoin &&
+        request.right != nullptr) {
+      ex->SetParam("input_sets_r", std::to_string(request.left->size()));
+      ex->SetParam("input_sets_s", std::to_string(request.right->size()));
+    }
   }
   switch (request.mode) {
     case ExecutionMode::kSelfJoin:

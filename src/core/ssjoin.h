@@ -40,6 +40,7 @@
 namespace ssjoin::obs {
 class Tracer;
 class MetricsRegistry;
+struct ExplainReport;
 }  // namespace ssjoin::obs
 
 namespace ssjoin {
@@ -84,6 +85,15 @@ struct JoinOptions {
   /// ratio, per-shard and verify-chunk histograms, guard trip causes.
   /// Not owned; nullptr = no metrics.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional EXPLAIN accumulator (obs/explain.h, DESIGN.md Section 9).
+  /// When set, Join() records the execution mode and input sizes and
+  /// every exit path adds the run's actuals (signatures, collisions,
+  /// candidates, results, F2) to the report's drift table — pair them
+  /// with advisor predictions via AttachAdvisorTrace() for
+  /// estimate-vs-actual accounting. Accumulates across joins. Not
+  /// owned; not thread-safe (one report per join sequence); nullptr =
+  /// no explain (zero cost, same null-sink contract as the sinks above).
+  obs::ExplainReport* explain = nullptr;
 };
 
 /// Evaluation measures of one join execution (paper Section 3.2).

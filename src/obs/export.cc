@@ -4,66 +4,17 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/json_util.h"
+
 namespace ssjoin::obs {
 
 namespace {
 
-void AppendEscaped(std::string* out, std::string_view text) {
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(c));
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
-void AppendJsonString(std::string* out, std::string_view text) {
-  *out += '"';
-  AppendEscaped(out, text);
-  *out += '"';
-}
-
-void AppendUint(std::string* out, uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  *out += buf;
-}
-
-void AppendInt(std::string* out, int64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  *out += buf;
-}
-
-// %.17g round-trips doubles exactly, so equal values always render to
-// equal bytes (the determinism contract cares only about that).
-void AppendDouble(std::string* out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
-}
+using json::AppendDouble;
+using json::AppendEscaped;
+using json::AppendInt;
+using json::AppendJsonString;
+using json::AppendUint;
 
 void AppendAttrValue(std::string* out, const AttrValue& value) {
   switch (value.kind) {
@@ -111,7 +62,9 @@ void AppendEvents(std::string* out, const SpanRecord& span,
   *out += "]";
 }
 
-Status WriteFile(const std::string& path, const std::string& content) {
+}  // namespace
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (!out) return Status::IOError("cannot open " + path);
   size_t written = std::fwrite(content.data(), 1, content.size(), out);
@@ -121,8 +74,6 @@ Status WriteFile(const std::string& path, const std::string& content) {
   }
   return Status::OK();
 }
-
-}  // namespace
 
 std::string TraceJsonl(const Tracer& tracer) {
   std::vector<SpanRecord> spans = tracer.Snapshot();
@@ -303,16 +254,16 @@ std::string RunReportText(const Tracer* tracer,
 }
 
 Status WriteTraceJsonl(const Tracer& tracer, const std::string& path) {
-  return WriteFile(path, TraceJsonl(tracer));
+  return WriteTextFile(path, TraceJsonl(tracer));
 }
 
 Status WriteMetricsJsonl(const MetricsRegistry& metrics,
                          const std::string& path) {
-  return WriteFile(path, MetricsJsonl(metrics));
+  return WriteTextFile(path, MetricsJsonl(metrics));
 }
 
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
-  return WriteFile(path, ChromeTraceJson(tracer));
+  return WriteTextFile(path, ChromeTraceJson(tracer));
 }
 
 Status WriteJsonlReport(const Tracer* tracer,
@@ -321,7 +272,7 @@ Status WriteJsonlReport(const Tracer* tracer,
   std::string content;
   if (tracer != nullptr) content += TraceJsonl(*tracer);
   if (metrics != nullptr) content += MetricsJsonl(*metrics);
-  return WriteFile(path, content);
+  return WriteTextFile(path, content);
 }
 
 Status WriteTraceAuto(const Tracer& tracer, const std::string& path) {

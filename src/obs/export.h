@@ -41,6 +41,10 @@ std::string ChromeTraceJson(const Tracer& tracer);
 std::string RunReportText(const Tracer* tracer,
                           const MetricsRegistry* metrics);
 
+/// Writes `content` to `path` verbatim (fopen/fwrite, no tmp-rename).
+/// Shared by every exporter here and by obs/explain.cc.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
 Status WriteTraceJsonl(const Tracer& tracer, const std::string& path);
 Status WriteMetricsJsonl(const MetricsRegistry& metrics,
                          const std::string& path);

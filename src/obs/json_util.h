@@ -1,0 +1,77 @@
+// Minimal JSON append helpers shared by the deterministic renderers
+// (obs/export.cc, obs/explain.cc, relational plan explain). Not a JSON
+// library: just escaping and the repo's canonical number formatting —
+// %.17g for doubles, which round-trips exactly so equal values always
+// render to equal bytes (the determinism contract cares only about
+// that).
+
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ssjoin::obs::json {
+
+inline void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+inline void AppendJsonString(std::string* out, std::string_view text) {
+  *out += '"';
+  AppendEscaped(out, text);
+  *out += '"';
+}
+
+inline void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+inline void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+inline void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+inline void AppendBool(std::string* out, bool v) {
+  *out += v ? "true" : "false";
+}
+
+}  // namespace ssjoin::obs::json

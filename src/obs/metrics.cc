@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -10,6 +11,63 @@ void Histogram::Record(uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Inclusive upper bound of power-of-two bucket i: bucket 0 holds exactly
+// 0, bucket i >= 1 holds [2^(i-1), 2^i), bucket 64 tops out at
+// UINT64_MAX (2^64 - 1 does not fit a shift).
+uint64_t BucketUpperBound(uint32_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t QuantileFromBuckets(
+    const std::vector<std::pair<uint32_t, uint64_t>>& buckets,
+    uint64_t count, double q) {
+  if (count == 0) return 0;
+  if (!(q > 0)) q = 0;  // also maps NaN to the minimum
+  if (q > 1) q = 1;
+  // Rank of the q-quantile among the `count` sorted values, 1-based;
+  // rank 0 (q == 0) is clamped to the minimum recorded value.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return BucketUpperBound(bucket);
+  }
+  // Unreachable when `count` matches the bucket totals; be permissive
+  // with inconsistent snapshots and report the largest bucket seen.
+  return buckets.empty() ? 0 : BucketUpperBound(buckets.back().first);
+}
+
+}  // namespace
+
+uint64_t HistogramQuantile(const Histogram& histogram, double q) {
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+  uint64_t count = 0;
+  for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+    uint64_t n = histogram.bucket(i);
+    if (n > 0) {
+      buckets.emplace_back(i, n);
+      count += n;
+    }
+  }
+  // Count from the buckets themselves: Record() is not atomic across its
+  // three fetch_adds, so count() can momentarily disagree mid-update.
+  return QuantileFromBuckets(buckets, count, q);
+}
+
+uint64_t HistogramQuantile(const MetricRecord& record, double q) {
+  if (record.kind != MetricKind::kHistogram) return 0;
+  uint64_t count = 0;
+  for (const auto& [bucket, n] : record.histogram_buckets) count += n;
+  return QuantileFromBuckets(record.histogram_buckets, count, q);
 }
 
 MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,

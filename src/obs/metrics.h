@@ -93,6 +93,19 @@ struct MetricRecord {
   std::vector<std::pair<uint32_t, uint64_t>> histogram_buckets;
 };
 
+/// Quantile estimate from a power-of-two histogram: the inclusive upper
+/// bound of the bucket holding the rank-ceil(q * count) smallest
+/// recorded value (so bucket 0 reports 0 and bucket i >= 1 reports
+/// 2^i - 1 — the worst case for a value in [2^(i-1), 2^i)). A
+/// conservative estimate: the true quantile is <= the returned value,
+/// and within 2x of it for non-zero values. Returns 0 for an empty
+/// histogram; q is clamped to (0, 1].
+uint64_t HistogramQuantile(const Histogram& histogram, double q);
+
+/// Same, over a snapshot record (exporters/explain work on snapshots).
+/// Non-histogram records report 0.
+uint64_t HistogramQuantile(const MetricRecord& record, double q);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

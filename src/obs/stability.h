@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <string_view>
+
 namespace ssjoin::obs {
 
 enum class Stability {
@@ -25,5 +27,98 @@ enum class Stability {
   /// human run report.
   kRuntime,
 };
+
+// Registered telemetry names.
+//
+// Every span name, span-attribute key, span-event name, metric name, and
+// explain-quantity name emitted from src/ must be registered here — the
+// `telemetry-registry` rule in tools/lint/ssjoin_lint.py extracts the
+// string literals below and rejects any src/ emission call whose name
+// literal is not among them. One vocabulary file keeps exporters, the
+// explain layer, and regression tooling (scripts/bench_compare.py keys
+// on these names) agreeing on what exists, and makes a rename a visible,
+// single-file event instead of a silent drift between emitters.
+//
+// Emission call sites may keep using plain string literals (the lint
+// matches by value, not by constant), but new code is encouraged to use
+// these constants.
+namespace names {
+
+// Span names.
+inline constexpr std::string_view kSpanJoin = "join";
+inline constexpr std::string_view kSpanSigGen = "SigGen";
+inline constexpr std::string_view kSpanCandPair = "CandPair";
+inline constexpr std::string_view kSpanPostFilter = "PostFilter";
+inline constexpr std::string_view kSpanShard = "shard";
+inline constexpr std::string_view kSpanVerifyChunk = "verify_chunk";
+inline constexpr std::string_view kSpanBlock = "block";
+
+// Span-attribute keys.
+inline constexpr std::string_view kAttrMode = "mode";
+inline constexpr std::string_view kAttrPlan = "plan";
+inline constexpr std::string_view kAttrTrip = "trip";
+inline constexpr std::string_view kAttrInputSets = "input_sets";
+inline constexpr std::string_view kAttrInputSetsR = "input_sets_r";
+inline constexpr std::string_view kAttrInputSetsS = "input_sets_s";
+inline constexpr std::string_view kAttrSignatures = "signatures";
+inline constexpr std::string_view kAttrSignaturesR = "signatures_r";
+inline constexpr std::string_view kAttrSignaturesS = "signatures_s";
+inline constexpr std::string_view kAttrSignatureCollisions =
+    "signature_collisions";
+inline constexpr std::string_view kAttrCandidates = "candidates";
+inline constexpr std::string_view kAttrResults = "results";
+inline constexpr std::string_view kAttrFalsePositives = "false_positives";
+inline constexpr std::string_view kAttrRows = "rows";
+
+// Span events.
+inline constexpr std::string_view kEventGuardTrip = "guard_trip";
+
+// Metric names.
+inline constexpr std::string_view kJoinRuns = "join.runs";
+inline constexpr std::string_view kJoinSignatures = "join.signatures";
+inline constexpr std::string_view kJoinSignatureCollisions =
+    "join.signature_collisions";
+inline constexpr std::string_view kJoinCandidates = "join.candidates";
+inline constexpr std::string_view kJoinResults = "join.results";
+inline constexpr std::string_view kJoinFalsePositives =
+    "join.false_positives";
+inline constexpr std::string_view kJoinCandidateDedupRatio =
+    "join.candidate_dedup_ratio";
+inline constexpr std::string_view kJoinSecondsTotal = "join.seconds.total";
+inline constexpr std::string_view kJoinShardCandidates =
+    "join.shard.candidates";
+inline constexpr std::string_view kJoinShardMicros = "join.shard.micros";
+inline constexpr std::string_view kJoinVerifyChunkMicros =
+    "join.verify.chunk_micros";
+inline constexpr std::string_view kJoinPipelineBlockMicros =
+    "join.pipeline.block_micros";
+inline constexpr std::string_view kDbmsRowsSignature = "dbms.rows.signature";
+inline constexpr std::string_view kDbmsRowsCandPair = "dbms.rows.candpair";
+inline constexpr std::string_view kDbmsRowsOutput = "dbms.rows.output";
+/// Dynamic family: "guard.trips." + TripReasonName(reason). The prefix
+/// is the registered name; the lint accepts the prefix literal at the
+/// construction site.
+inline constexpr std::string_view kGuardTripsPrefix = "guard.trips.";
+inline constexpr std::string_view kThreadpoolForkjoins =
+    "threadpool.forkjoins";
+inline constexpr std::string_view kThreadpoolSize = "threadpool.size";
+
+// Explain-quantity names (drift accounting, obs/explain.h). The join.*
+// quantities above double as drift names; kJoinF2 is explain-only: the
+// Section 3.2 intermediate-result size the advisor predicts.
+inline constexpr std::string_view kJoinF2 = "join.f2";
+
+// Explain parameter keys recorded by the drivers and front ends.
+inline constexpr std::string_view kParamGamma = "gamma";
+inline constexpr std::string_view kParamK = "k";
+inline constexpr std::string_view kParamN1 = "n1";
+inline constexpr std::string_view kParamN2 = "n2";
+inline constexpr std::string_view kParamAlgo = "algo";
+inline constexpr std::string_view kParamInput = "input";
+// Note: there is deliberately no "threads" param — explain params are
+// exported in the stable JSONL, which must be byte-identical across
+// thread counts. Thread count is runtime detail (the human report).
+
+}  // namespace names
 
 }  // namespace ssjoin::obs

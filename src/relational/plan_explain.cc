@@ -1,0 +1,75 @@
+#include "relational/plan_explain.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/json_util.h"
+
+namespace ssjoin::relational {
+
+namespace {
+using ssjoin::obs::json::AppendJsonString;
+using ssjoin::obs::json::AppendUint;
+}  // namespace
+
+void PlanExplain::AddOp(std::string op, std::string detail,
+                        uint64_t rows_in, uint64_t rows_out,
+                        double seconds) {
+  PlanOpExplain entry;
+  entry.op = std::move(op);
+  entry.detail = std::move(detail);
+  entry.rows_in = rows_in;
+  entry.rows_out = rows_out;
+  entry.seconds = seconds;
+  ops.push_back(std::move(entry));
+}
+
+std::string PlanExplain::Text() const {
+  std::string out = "plan " + plan;
+  if (!variant.empty()) out += " (" + variant + ")";
+  out += "\n";
+  // Execution order is leaf-to-root; the tree renders root-first with
+  // each operator's input indented below it.
+  for (size_t i = ops.size(); i-- > 0;) {
+    const PlanOpExplain& op = ops[i];
+    out.append(2 * (ops.size() - i), ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  rows_in=%llu rows_out=%llu",
+                  static_cast<unsigned long long>(op.rows_in),
+                  static_cast<unsigned long long>(op.rows_out));
+    out += op.op + " [" + op.detail + "]" + buf;
+    std::snprintf(buf, sizeof(buf), "  (%.3f ms, runtime)",
+                  op.seconds * 1000.0);
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PlanExplain::Jsonl() const {
+  std::string out;
+  out += "{\"type\":\"plan\",\"name\":";
+  AppendJsonString(&out, plan);
+  out += ",\"variant\":";
+  AppendJsonString(&out, variant);
+  out += ",\"ops\":";
+  AppendUint(&out, ops.size());
+  out += "}\n";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const PlanOpExplain& op = ops[i];
+    out += "{\"type\":\"plan_op\",\"index\":";
+    AppendUint(&out, i);
+    out += ",\"op\":";
+    AppendJsonString(&out, op.op);
+    out += ",\"detail\":";
+    AppendJsonString(&out, op.detail);
+    out += ",\"rows_in\":";
+    AppendUint(&out, op.rows_in);
+    out += ",\"rows_out\":";
+    AppendUint(&out, op.rows_out);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace ssjoin::relational

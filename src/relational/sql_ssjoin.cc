@@ -10,6 +10,7 @@
 #include "relational/query.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
+#include "util/timer.h"
 
 namespace ssjoin::relational {
 
@@ -42,7 +43,9 @@ Table BuildSignatureTable(const SetCollection& input,
 // CandPair(id1, id2):
 //   Select Distinct S1.id, S2.id From Signature S1, Signature S2
 //   Where S1.sign = S2.sign and S1.id < S2.id        (Figure 11 / 17)
-Result<Table> BuildCandPair(const Table& signature, JoinStats* stats) {
+Result<Table> BuildCandPair(const Table& signature, JoinStats* stats,
+                            PlanExplain* explain) {
+  Stopwatch watch;
   SSJOIN_ASSIGN_OR_RETURN(
       Table joined,
       Query::From(signature)
@@ -52,10 +55,19 @@ Result<Table> BuildCandPair(const Table& signature, JoinStats* stats) {
                 })
           .Run());
   stats->signature_collisions += joined.num_rows();
+  uint64_t joined_rows = joined.num_rows();
+  explain->AddOp(
+      "HashJoin",
+      "Signature s1 JOIN Signature s2 ON sign WHERE s1.id < s2.id",
+      signature.num_rows(), joined_rows, watch.ElapsedSeconds());
+  watch.Restart();
   SSJOIN_ASSIGN_OR_RETURN(Table cand, Query::From(std::move(joined))
                                           .SelectDistinct({"s1.id", "s2.id"})
                                           .Run());
   stats->candidates = cand.num_rows();
+  explain->AddOp("Distinct",
+                 "SELECT DISTINCT s1.id, s2.id AS CandPair(id1, id2)",
+                 joined_rows, cand.num_rows(), watch.ElapsedSeconds());
   return cand;
 }
 
@@ -135,6 +147,9 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
   telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   telem.Attr("plan", plan == IntersectPlan::kHashJoin ? "hash_join"
                                                       : "clustered_index");
+  result.explain.plan = "dbms_self";
+  result.explain.variant =
+      plan == IntersectPlan::kHashJoin ? "hash_join" : "clustered_index";
 
   if (guard != nullptr) {
     guard->BindMetrics(metrics);
@@ -172,6 +187,9 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
         telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
     signature = BuildSignatureTable(input, scheme, &result.stats);
   }
+  result.explain.AddOp(
+      "SigGen", "Signature(id, sign) via application signature generation",
+      input.size(), signature.num_rows(), result.stats.siggen_seconds);
   telem.PhaseAttr("rows", signature.num_rows());
   telem.AddCount("dbms.rows.signature", signature.num_rows());
   if (guard != nullptr) {
@@ -182,7 +200,8 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
   {
     auto scope =
         telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
-    SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
+    SSJOIN_ASSIGN_OR_RETURN(
+        cand, BuildCandPair(signature, &result.stats, &result.explain));
   }
   telem.PhaseAttr("rows", cand.num_rows());
   telem.AddCount("dbms.rows.candpair", cand.num_rows());
@@ -208,6 +227,7 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
     // Figure 11 plan; they cannot satisfy a positive-overlap predicate
     // anyway.
     Table intersect;
+    Stopwatch op_watch;
     if (plan == IntersectPlan::kHashJoin) {
       SSJOIN_ASSIGN_OR_RETURN(
           intersect,
@@ -217,15 +237,34 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
                     "s2.")
               .GroupByCount({"s1.id", "s2.id"}, "isize")
               .Run());
+      result.explain.AddOp(
+          "GroupByCount",
+          "CandPair JOIN Set s1 JOIN Set s2 ON elem GROUP BY id1, id2 AS "
+          "CandPairIntersect(id1, id2, isize)",
+          cand.num_rows(), intersect.num_rows(),
+          op_watch.ElapsedSeconds());
     } else {
       SSJOIN_ASSIGN_OR_RETURN(intersect, IndexIntersect(cand, *set_index));
+      result.explain.AddOp(
+          "IndexIntersect",
+          "merge-count over the clustered index on Set(id) AS "
+          "CandPairIntersect(id1, id2, isize)",
+          cand.num_rows(), intersect.num_rows(),
+          op_watch.ElapsedSeconds());
     }
+    uint64_t intersect_rows = intersect.num_rows();
+    op_watch.Restart();
     SSJOIN_ASSIGN_OR_RETURN(
         Table with_len2,
         Query::From(std::move(intersect))
             .Join(setlen, {"s1.id"}, {"id"}, "", "l1.")
             .Join(setlen, {"s2.id"}, {"id"}, "", "l2.")
             .Run());
+    result.explain.AddOp("HashJoin",
+                         "CandPairIntersect JOIN SetLen l1 JOIN SetLen l2",
+                         intersect_rows, with_len2.num_rows(),
+                         op_watch.ElapsedSeconds());
+    op_watch.Restart();
     int id1_col = with_len2.schema().IndexOf("s1.id");
     int id2_col = with_len2.schema().IndexOf("s2.id");
     int isize_col = with_len2.schema().IndexOf("isize");
@@ -247,6 +286,10 @@ Result<DbmsJoinResult> DbmsSelfJoin(const SetCollection& input,
     // for stats parity with the driver.
     result.stats.false_positives +=
         cand.num_rows() - with_len2.num_rows();
+    result.explain.AddOp(
+        "Filter", "predicate(l1.len, l2.len, isize) AS Output(id1, id2)",
+        with_len2.num_rows(), output.num_rows(),
+        op_watch.ElapsedSeconds());
   }
   telem.PhaseAttr("rows", output.num_rows());
   telem.AddCount("dbms.rows.output", output.num_rows());
@@ -270,6 +313,7 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
   obs::JoinTelemetry telem(tracer, metrics, "join");
   telem.Attr("mode", "dbms_string_edit");
   telem.Attr("input_sets", static_cast<uint64_t>(strings.size()));
+  result.explain.plan = "dbms_string_edit";
 
   if (guard != nullptr) {
     guard->BindMetrics(metrics);
@@ -291,6 +335,11 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
     SetCollection bags = builder.Build();
     signature = BuildSignatureTable(bags, scheme, &result.stats);
   }
+  result.explain.AddOp(
+      "SigGen",
+      "Signature(id, sign) via q-gram bags + application signature "
+      "generation",
+      strings.size(), signature.num_rows(), result.stats.siggen_seconds);
   telem.PhaseAttr("rows", signature.num_rows());
   telem.AddCount("dbms.rows.signature", signature.num_rows());
   if (guard != nullptr) {
@@ -300,7 +349,8 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
   {
     auto scope =
         telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
-    SSJOIN_ASSIGN_OR_RETURN(cand, BuildCandPair(signature, &result.stats));
+    SSJOIN_ASSIGN_OR_RETURN(
+        cand, BuildCandPair(signature, &result.stats, &result.explain));
   }
   telem.PhaseAttr("rows", cand.num_rows());
   telem.AddCount("dbms.rows.candpair", cand.num_rows());
@@ -330,6 +380,10 @@ Result<DbmsJoinResult> DbmsStringEditSelfJoin(
       }
     }
   }
+  result.explain.AddOp(
+      "Filter", "EDIT(s1, s2) <= k in application code AS Output(id1, id2)",
+      cand.num_rows(), output.num_rows(),
+      result.stats.postfilter_seconds);
   telem.PhaseAttr("rows", output.num_rows());
   telem.AddCount("dbms.rows.output", output.num_rows());
   telem.Attr("results", result.stats.results);

@@ -21,16 +21,22 @@
 #include "core/ssjoin.h"
 #include "data/collection.h"
 #include "relational/catalog.h"
+#include "relational/plan_explain.h"
 #include "util/status.h"
 
 namespace ssjoin::relational {
 
-/// Result of a DBMS-plan join: the Output table, the decoded pairs, and
-/// driver-comparable stats.
+/// Result of a DBMS-plan join: the Output table, the decoded pairs,
+/// driver-comparable stats, and the executed operator tree.
 struct DbmsJoinResult {
   Table output;                  // Output(id1, id2)
   std::vector<SetPair> pairs;    // decoded + sorted
   JoinStats stats;
+  /// EXPLAIN of the executed plan (relational/plan_explain.h): one row
+  /// per operator with rows-in/rows-out (stable) and per-op timings
+  /// (runtime). Always filled; a guard trip leaves the ops executed so
+  /// far.
+  PlanExplain explain;
 };
 
 /// Physical plan for the CandPairIntersect step (Figure 11's join of

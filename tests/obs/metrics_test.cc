@@ -90,6 +90,62 @@ TEST(MetricsJsonlTest, StableOnlyAndDeterministicBytes) {
   EXPECT_EQ(jsonl.find("shard"), std::string::npos);
 }
 
+// Pins the quantile bucket math (obs/metrics.h HistogramQuantile): the
+// estimate is the inclusive upper bound of the bucket holding the
+// rank-ceil(q * count) smallest value — bucket 0 reports 0, bucket
+// i >= 1 reports 2^i - 1.
+TEST(HistogramQuantileTest, BucketUpperBoundPins) {
+  Histogram histogram;
+  for (uint64_t v : {0, 1, 2, 4, 8}) histogram.Record(v);
+  // Buckets (by bit_width): 0->b0, 1->b1, 2->b2, 4->b3, 8->b4.
+  // p50: rank ceil(0.5*5)=3 lands in b2, upper bound 2^2-1 = 3.
+  EXPECT_EQ(HistogramQuantile(histogram, 0.50), 3u);
+  // p95 and p99: rank 5 lands in b4, upper bound 2^4-1 = 15.
+  EXPECT_EQ(HistogramQuantile(histogram, 0.95), 15u);
+  EXPECT_EQ(HistogramQuantile(histogram, 0.99), 15u);
+  // q clamps: 0 (and below) means the minimum bucket, >1 the maximum.
+  EXPECT_EQ(HistogramQuantile(histogram, 0.0), 0u);
+  EXPECT_EQ(HistogramQuantile(histogram, 2.0), 15u);
+}
+
+TEST(HistogramQuantileTest, EdgeBuckets) {
+  Histogram empty;
+  EXPECT_EQ(HistogramQuantile(empty, 0.5), 0u);
+
+  Histogram one;
+  one.Record(1);
+  EXPECT_EQ(HistogramQuantile(one, 0.5), 1u);
+
+  // bit_width(2^63) = 64: the top bucket's bound saturates at
+  // UINT64_MAX because 2^64 - 1 cannot be formed by a shift.
+  Histogram top;
+  top.Record(uint64_t{1} << 63);
+  EXPECT_EQ(HistogramQuantile(top, 0.5), UINT64_MAX);
+}
+
+TEST(HistogramQuantileTest, SnapshotOverloadMatchesLive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.hist");
+  for (uint64_t v : {0, 1, 2, 4, 8}) h.Record(v);
+  for (const MetricRecord& record : registry.Snapshot()) {
+    if (record.name != "q.hist") continue;
+    EXPECT_EQ(HistogramQuantile(record, 0.50),
+              HistogramQuantile(h, 0.50));
+    EXPECT_EQ(HistogramQuantile(record, 0.95),
+              HistogramQuantile(h, 0.95));
+    return;
+  }
+  FAIL() << "q.hist missing from snapshot";
+}
+
+TEST(HistogramQuantileTest, NonHistogramRecordReportsZero) {
+  MetricsRegistry registry;
+  registry.counter("q.counter").Add(5);
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(HistogramQuantile(snapshot[0], 0.5), 0u);
+}
+
 TEST(MetricsJsonlTest, StableHistogramExportsBuckets) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("stable.hist", Stability::kStable);

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/explain.h"
 #include "obs/join_telemetry.h"
 
 namespace {
@@ -100,6 +101,21 @@ TEST(NullSinkAllocTest, TelemetryCallsNeverAllocate) {
   EXPECT_EQ(guard.count(), 0u)
       << "null-sink JoinTelemetry must not touch the heap";
   EXPECT_GT(seconds, 0.0);  // the Phase/Time scopes still timed
+}
+
+TEST(NullSinkAllocTest, ExplainSeamsNeverAllocate) {
+  // Same contract as JoinTelemetry (obs/explain.h): a null ExplainReport
+  // costs one pointer compare per Record* call. The drivers call these
+  // seams on every join exit, so a regression here taxes every un-explained
+  // join.
+  AdvisorTrace trace;  // empty: attaching it must still be free
+  AllocationGuard guard;
+  RecordParam(nullptr, "gamma", "0.9");
+  RecordPrediction(nullptr, "join.signatures", 1000.0);
+  RecordActual(nullptr, "join.signatures", 990.0);
+  AttachAdvisorTrace(nullptr, trace);
+  EXPECT_EQ(guard.count(), 0u)
+      << "null-sink explain seams must not touch the heap";
 }
 
 TEST(NullSinkAllocTest, CounterHotPathDoesNotAllocate) {

@@ -25,6 +25,14 @@ Rules (scope: the directories named in RULE_SCOPES):
                        spans, metrics and JoinStats stay in one place.
                        execution_guard.{h,cc} are exempt (deadline
                        enforcement needs a wall clock, not telemetry).
+  telemetry-registry   every span / attribute / metric / explain name
+                       emitted as a string literal from src/ must be
+                       registered in src/obs/stability.h (the single
+                       vocabulary the exporters, the explain layer, and
+                       downstream diff tooling agree on). Emissions through
+                       obs::names:: constants are registered by
+                       construction; a raw literal that is not in the
+                       registry is a typo or an unregistered name.
 
 Usage:
   tools/lint/ssjoin_lint.py [--root REPO_ROOT] [--list-rules]
@@ -54,7 +62,23 @@ RULE_SCOPES = {
     "no-dropped-status": ("src", "tools", "bench", "examples"),
     # Scoped tighter than a top-level directory: see NO_RAW_TIMING_PREFIX.
     "no-raw-timing": ("src",),
+    "telemetry-registry": ("src",),
 }
+
+# telemetry-registry: the registry file and the emission seams it guards.
+STABILITY_HEADER = ("src", "obs", "stability.h")
+# Methods/functions whose first string-literal argument is a telemetry
+# name: JoinTelemetry (Phase/Time/Sample/PhaseAttr/Attr/Event/AddCount/
+# SetGauge), Tracer (StartSpan/SetAttr/AddEvent), MetricsRegistry
+# (counter/gauge/histogram), and the explain seams (SetParam/Predict/
+# Actual + their null-safe Record* wrappers). Calls that pass a
+# names:: constant (or any non-literal) are skipped — they are registered
+# by construction.
+TELEMETRY_CALL_RE = re.compile(
+    r"(?<![\w:])(?:StartSpan|PhaseAttr|AddCount|SetGauge|SetAttr|AddEvent|"
+    r"Attr|Event|Sample|Phase|Time|counter|gauge|histogram|RecordParam|"
+    r"RecordPrediction|RecordActual|SetParam|Predict|Actual)\s*\(")
+STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 # no-raw-timing applies only below this prefix, minus the exempt files —
 # the guard needs a real clock for deadlines; everything else in src/core
@@ -88,6 +112,39 @@ TIMER_INCLUDE_RE = re.compile(r'#\s*include\s*"util/timer\.h"')
 CHRONO_INCLUDE_RE = re.compile(r"#\s*include\s*<chrono>")
 CHRONO_CLOCK_RE = re.compile(
     r"std\s*::\s*chrono\s*::\s*\w*clock\w*\s*::\s*now\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments but keeps string literals, preserving line
+    structure — the telemetry-registry rule needs to read the literal
+    names that strip_comments_and_strings would blank."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            span = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in span))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j, n - 1)
+            out.append(text[i : j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -127,6 +184,18 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.violations: list[tuple[Path, int, str, str]] = []
+        self.telemetry_registry = self._load_telemetry_registry()
+
+    def _load_telemetry_registry(self) -> set[str] | None:
+        """Every string literal in src/obs/stability.h (comments stripped)
+        is a registered telemetry name. None disables the rule (header
+        missing, e.g. a partial checkout)."""
+        path = self.root.joinpath(*STABILITY_HEADER)
+        if not path.is_file():
+            return None
+        code = strip_comments(
+            path.read_text(encoding="utf-8", errors="replace"))
+        return {m.group(1) for m in STRING_LIT_RE.finditer(code)}
 
     def report(self, path: Path, line: int, rule: str, message: str):
         self.violations.append((path, line, rule, message))
@@ -196,6 +265,30 @@ class Linter:
                     and not allowed(lineno, "no-using-namespace")):
                 self.report(rel, lineno, "no-using-namespace",
                             "headers must not contain `using namespace`")
+
+        if (self.telemetry_registry is not None
+                and self.in_scope("telemetry-registry", rel)
+                and rel.parts != STABILITY_HEADER):
+            with_strings = strip_comments(raw)
+            for m in TELEMETRY_CALL_RE.finditer(with_strings):
+                # The name argument is the first string literal of the
+                # statement (calls may wrap across lines). No literal =
+                # a names:: constant or a runtime value — registered by
+                # construction or out of this rule's reach.
+                stmt = with_strings[m.end() : m.end() + 240].split(";", 1)[0]
+                lit = STRING_LIT_RE.search(stmt)
+                if not lit:
+                    continue
+                name = lit.group(1)
+                if name in self.telemetry_registry:
+                    continue
+                lineno = with_strings[: m.start()].count("\n") + 1
+                if not allowed(lineno, "telemetry-registry"):
+                    self.report(rel, lineno, "telemetry-registry",
+                                f'telemetry name "{name}" is not registered '
+                                "in src/obs/stability.h (add it to the "
+                                "names:: vocabulary or emit a registered "
+                                "constant)")
 
         if (path.suffix in HEADER_SUFFIXES
                 and self.in_scope("pragma-once", rel)):

@@ -36,9 +36,11 @@
 #include "data/generators.h"
 #include "data/loader.h"
 #include "data/serialization.h"
+#include "obs/explain.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "relational/sql_ssjoin.h"
 #include "text/idf.h"
 #include "text/tokenizer.h"
 #include "tools/flags.h"
@@ -60,6 +62,8 @@ commands:
            [--time] [observability flags]
   weighted --input <file> --gamma <g> [--algo wen|wpf|wlsh] [--out <file>]
            [--threads <n>] [--time] [guardrail flags] [observability flags]
+  explain  --input <file> --gamma <g> [--format strings|sets|bin]
+           [--sample <n>] [--threads <n>] [--explain-out <file>] [--dbms]
 
 --threads selects the join parallelism for the signature-based
 algorithms (pen, pf, lsh, wen, wpf, wlsh): 1 = serial (default),
@@ -83,8 +87,22 @@ observability flags (signature-based algorithms):
                         about:tracing / Perfetto
   --metrics-out <file>  write the metrics snapshot as deterministic JSONL
   --report              print a human-readable run report to stderr
+  --explain-out <file>  (jaccard / weighted) write the EXPLAIN report —
+                        chosen parameters, the advisor's search table
+                        when the advisor ran, and the estimate-vs-actual
+                        drift table — as deterministic JSONL; with
+                        --report the human rendering also goes to stderr
 Traces and metrics are still written when a guardrail trips — the trip
 cause appears as a span event and a guard.trips.* counter.
+
+explain runs the full accountability loop without writing pairs: it
+tunes (n1, n2) with the F2 parameter advisor (searching at the
+equi-sized hamming threshold for the input's average set size, sample
+size --sample, default 2000), executes the PartEnum jaccard self-join
+with the tuned shape, and prints the advisor search table plus the
+predicted-vs-actual drift ratios to stdout. --explain-out also writes
+the deterministic JSONL report; --dbms additionally executes the
+DBMS-backed plan and prints (and exports) its EXPLAIN operator tree.
 )";
 
 Status WritePairs(const std::vector<SetPair>& pairs,
@@ -175,10 +193,12 @@ Result<GuardFlags> ParseGuardFlags(Flags& flags) {
 struct ObsFlags {
   std::string trace_out;
   std::string metrics_out;
+  std::string explain_out;
   bool report = false;
 
   bool tracing() const { return !trace_out.empty() || report; }
   bool metering() const { return !metrics_out.empty() || report; }
+  bool explaining() const { return !explain_out.empty(); }
 };
 
 Result<ObsFlags> ParseObsFlags(Flags& flags) {
@@ -186,6 +206,8 @@ Result<ObsFlags> ParseObsFlags(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(out.trace_out, flags.GetString("trace-out", ""));
   SSJOIN_ASSIGN_OR_RETURN(out.metrics_out,
                           flags.GetString("metrics-out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(out.explain_out,
+                          flags.GetString("explain-out", ""));
   SSJOIN_ASSIGN_OR_RETURN(out.report, flags.GetBool("report", false));
   return out;
 }
@@ -212,7 +234,8 @@ void AttachObsSinks(const ObsFlags& obs_flags,
 // their telemetry behind (the trip cause is a span event).
 Status WriteObsOutputs(const ObsFlags& obs_flags,
                        const std::optional<obs::Tracer>& tracer,
-                       const std::optional<obs::MetricsRegistry>& metrics) {
+                       const std::optional<obs::MetricsRegistry>& metrics,
+                       const obs::ExplainReport* explain = nullptr) {
   if (!obs_flags.trace_out.empty()) {
     SSJOIN_RETURN_NOT_OK(obs::WriteTraceAuto(*tracer, obs_flags.trace_out));
   }
@@ -225,6 +248,16 @@ Status WriteObsOutputs(const ObsFlags& obs_flags,
                  obs::RunReportText(tracer ? &*tracer : nullptr,
                                     metrics ? &*metrics : nullptr)
                      .c_str());
+  }
+  // Pairs own stdout; the explain rendering joins the report on stderr.
+  if (explain != nullptr) {
+    SSJOIN_RETURN_NOT_OK(
+        obs::WriteExplainJsonl(*explain, obs_flags.explain_out));
+    if (obs_flags.report) {
+      std::fprintf(stderr, "%s",
+                   obs::ExplainText(*explain, metrics ? &*metrics : nullptr)
+                       .c_str());
+    }
   }
   return Status::OK();
 }
@@ -318,6 +351,15 @@ Status RunJaccard(Flags& flags) {
   std::optional<obs::MetricsRegistry> metrics;
   AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
                  &options.metrics);
+  std::optional<obs::ExplainReport> explain;
+  if (obs_flags.explaining()) {
+    explain.emplace();
+    options.explain = &*explain;
+    char gamma_buf[32];
+    std::snprintf(gamma_buf, sizeof(gamma_buf), "%.6g", gamma);
+    explain->SetParam("gamma", gamma_buf);
+    explain->SetParam("algo", algo);
+  }
 
   JaccardPredicate predicate(gamma);
   JoinResult result;
@@ -334,10 +376,15 @@ Status RunJaccard(Flags& flags) {
     if (!scheme.ok()) return scheme.status();
     result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "lsh") {
-    auto choice = ChooseLshParams(input, gamma, 1.0 - accuracy, 6);
+    obs::AdvisorTrace advisor_trace;
+    AdvisorOptions advisor;
+    if (explain) advisor.trace = &advisor_trace;
+    auto choice = ChooseLshParams(input, gamma, 1.0 - accuracy, 6, 0,
+                                  advisor);
     LshParams params =
         choice.ok() ? choice->params
                     : LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
+    if (explain) obs::AttachAdvisorTrace(&*explain, advisor_trace);
     auto scheme = LshScheme::Create(params);
     if (!scheme.ok()) return scheme.status();
     std::fprintf(stderr,
@@ -360,7 +407,8 @@ Status RunJaccard(Flags& flags) {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
-  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics));
+  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics,
+                                       explain ? &*explain : nullptr));
   SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
 }
@@ -376,6 +424,10 @@ Status RunEdit(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(ObsFlags obs_flags, ParseObsFlags(flags));
   SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
 
+  if (obs_flags.explaining()) {
+    return Status::InvalidArgument(
+        "--explain-out applies to jaccard / weighted joins");
+  }
   SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> strings,
                           LoadStrings(input));
   StringJoinOptions options;
@@ -424,6 +476,15 @@ Status RunWeighted(Flags& flags) {
   std::optional<obs::MetricsRegistry> metrics;
   AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
                  &options.metrics);
+  std::optional<obs::ExplainReport> explain;
+  if (obs_flags.explaining()) {
+    explain.emplace();
+    options.explain = &*explain;
+    char gamma_buf[32];
+    std::snprintf(gamma_buf, sizeof(gamma_buf), "%.6g", gamma);
+    explain->SetParam("gamma", gamma_buf);
+    explain->SetParam("algo", algo);
+  }
 
   auto idf = std::make_shared<IdfWeights>(IdfWeights::Compute(input));
   WeightFunction weights = [idf](ElementId e) {
@@ -463,9 +524,86 @@ Status RunWeighted(Flags& flags) {
     return Status::InvalidArgument("unknown --algo " + algo);
   }
   MaybePrintStats(time, result.stats);
-  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics));
+  SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics,
+                                       explain ? &*explain : nullptr));
   SSJOIN_RETURN_NOT_OK(result.status);
   return WritePairs(result.pairs, out);
+}
+
+// The explain subcommand (see kUsage): tune, run, account. No pairs are
+// written, so the human report owns stdout here.
+Status RunExplain(Flags& flags) {
+  SSJOIN_ASSIGN_OR_RETURN(SetCollection input, LoadInput(flags));
+  SSJOIN_ASSIGN_OR_RETURN(double gamma, flags.GetDouble("gamma", 0.9));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t sample, flags.GetInt("sample", 2000));
+  SSJOIN_ASSIGN_OR_RETURN(std::string explain_out,
+                          flags.GetString("explain-out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(bool dbms, flags.GetBool("dbms", false));
+  SSJOIN_ASSIGN_OR_RETURN(JoinOptions options, ThreadedJoinOptions(flags));
+  SSJOIN_RETURN_NOT_OK(flags.CheckUnused());
+  if (gamma <= 0 || gamma > 1) {
+    return Status::InvalidArgument("--gamma must be in (0, 1]");
+  }
+  if (sample <= 0) {
+    return Status::InvalidArgument("--sample must be > 0");
+  }
+
+  // Advisor search at the equi-sized hamming threshold for the average
+  // set size — the same tuning the benches and the explosion-retry path
+  // use.
+  uint32_t avg = static_cast<uint32_t>(input.average_set_size() + 0.5);
+  uint32_t k = PartEnumJaccardScheme::EquisizedHammingThreshold(
+      std::max(1u, avg), gamma);
+  obs::AdvisorTrace trace;
+  AdvisorOptions advisor;
+  advisor.sample_size = static_cast<size_t>(sample);
+  advisor.trace = &trace;
+  SSJOIN_ASSIGN_OR_RETURN(PartEnumChoice choice,
+                          ChoosePartEnumParams(input, k, input.size(),
+                                               advisor));
+
+  obs::ExplainReport report;
+  obs::AttachAdvisorTrace(&report, trace);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", gamma);
+  report.SetParam("gamma", buf);
+  report.SetParam("algo", "pen");
+  report.SetParam("k", std::to_string(k));
+  report.SetParam("n1", std::to_string(choice.params.n1));
+  report.SetParam("n2", std::to_string(choice.params.n2));
+
+  PartEnumJaccardParams params;
+  params.gamma = gamma;
+  params.max_set_size = input.max_set_size();
+  PartEnumParams tuned = choice.params;
+  params.chooser = [tuned](uint32_t threshold) {
+    PartEnumParams p = tuned;
+    p.k = threshold;
+    return p;
+  };
+  SSJOIN_ASSIGN_OR_RETURN(auto scheme,
+                          PartEnumJaccardScheme::Create(params));
+
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  options.explain = &report;
+  JaccardPredicate predicate(gamma);
+  JoinResult result = FacadeSelfJoin(input, scheme, predicate, options);
+
+  std::string jsonl = obs::ExplainJsonl(report);
+  std::printf("%s", obs::ExplainText(report, &metrics).c_str());
+
+  if (dbms && result.status.ok()) {
+    SSJOIN_ASSIGN_OR_RETURN(relational::DbmsJoinResult dbms_result,
+                            relational::DbmsSelfJoin(input, scheme,
+                                                     predicate));
+    std::printf("\n%s", dbms_result.explain.Text().c_str());
+    jsonl += dbms_result.explain.Jsonl();
+  }
+  if (!explain_out.empty()) {
+    SSJOIN_RETURN_NOT_OK(obs::WriteTextFile(explain_out, jsonl));
+  }
+  return result.status;
 }
 
 int Main(int argc, char** argv) {
@@ -492,6 +630,8 @@ int Main(int argc, char** argv) {
     status = RunEdit(flags);
   } else if (command == "weighted") {
     status = RunWeighted(flags);
+  } else if (command == "explain") {
+    status = RunExplain(flags);
   } else if (command == "help" || command == "--help") {
     std::printf("%s", kUsage);
     return 0;
