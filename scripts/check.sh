@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Correctness-tooling driver: builds and runs the tier-1 suite under each
-# sanitizer preset, then runs the repo lint (and clang-tidy when available).
+# sanitizer preset, then runs the static checks (repo lint, AST lint, and
+# clang-tidy / Clang Thread Safety Analysis when clang is available).
 #
 # Usage:
 #   scripts/check.sh                 # release + asan-ubsan + tsan + lint
 #   scripts/check.sh asan-ubsan      # just one preset
 #   scripts/check.sh lint            # just the static checks
+#   scripts/check.sh thread-safety   # clang -Werror=thread-safety build
 #   SSJOIN_CHECK_JOBS=4 scripts/check.sh   # cap parallelism
 #
 # Exits non-zero on the first failing stage. Every stage prints a
@@ -39,6 +41,12 @@ run_preset() {
 run_lint() {
   banner "ssjoin_lint"
   python3 tools/lint/ssjoin_lint.py --root "$ROOT"
+  banner "ssjoin_lint self-test"
+  python3 tools/lint/ssjoin_lint.py --self-test --root "$ROOT"
+  banner "ssjoin_ast_lint"
+  python3 tools/lint/ssjoin_ast_lint.py --root "$ROOT"
+  banner "ssjoin_ast_lint self-test"
+  python3 tools/lint/ssjoin_ast_lint.py --self-test --root "$ROOT"
   if command -v clang-tidy >/dev/null 2>&1; then
     banner "clang-tidy"
     tools/lint/run_clang_tidy.sh
@@ -47,18 +55,35 @@ run_lint() {
   fi
 }
 
+# Clang Thread Safety Analysis: a clang build with -Werror=thread-safety
+# (enabled automatically by CMakeLists for clang). Compile-only gate — the
+# full test suites already run under the sanitizer presets above.
+run_thread_safety() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    banner "clang++ not installed; skipping thread-safety build"
+    return 0
+  fi
+  banner "configure [thread-safety]"
+  cmake -B build/thread-safety -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSSJOIN_THREAD_SAFETY=ON
+  banner "build [thread-safety]"
+  cmake --build build/thread-safety -j "$JOBS"
+}
+
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(release asan-ubsan tsan lint)
+  STAGES=(release asan-ubsan tsan lint thread-safety)
 fi
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     release|asan-ubsan|tsan) run_preset "$stage" ;;
     lint) run_lint ;;
+    thread-safety) run_thread_safety ;;
     *)
       echo "check.sh: unknown stage '$stage'" \
-           "(expected release|asan-ubsan|tsan|lint)" >&2
+           "(expected release|asan-ubsan|tsan|lint|thread-safety)" >&2
       exit 2
       ;;
   esac

@@ -107,7 +107,7 @@ double ExecutionGuard::ElapsedSeconds() const {
 
 Status ExecutionGuard::Latch(JoinPhase phase, TripReason reason,
                              Status status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (trip_reason_ == TripReason::kNone) {
     trip_status_ = std::move(status);
     trip_phase_ = phase;
@@ -124,27 +124,27 @@ Status ExecutionGuard::Latch(JoinPhase phase, TripReason reason,
 }
 
 void ExecutionGuard::BindMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   metrics_ = metrics;
 }
 
 Status ExecutionGuard::trip_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return trip_status_;
 }
 
 JoinPhase ExecutionGuard::trip_phase() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return trip_phase_;
 }
 
 ExecutionGuard::TripReason ExecutionGuard::trip_reason() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return trip_reason_;
 }
 
 void ExecutionGuard::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   trip_status_ = Status::OK();
   trip_reason_ = TripReason::kNone;
   stop_.store(false, std::memory_order_release);
@@ -231,9 +231,12 @@ Status ExecutionGuard::CheckBreaker(JoinPhase phase, uint64_t candidates,
 bool ExecutionGuard::ShouldStop(JoinPhase phase) {
   if (stop_.load(std::memory_order_acquire)) return true;
   if (token_.CancelRequested()) {
-    Latch(phase, TripReason::kCancelled,
-          Status::Cancelled(std::string("join cancelled during ") +
-                            std::string(JoinPhaseName(phase))));
+    // The latched Status is surfaced by the driver via trip_status();
+    // this poll only reports "stop now".
+    (void)Latch(  // ssjoin-lint: allow(status-must-use)
+        phase, TripReason::kCancelled,
+        Status::Cancelled(std::string("join cancelled during ") +
+                          std::string(JoinPhaseName(phase))));
     return true;
   }
   if (budget_.deadline_ms > 0) {
@@ -246,8 +249,9 @@ bool ExecutionGuard::ShouldStop(JoinPhase phase) {
       std::ostringstream os;
       os << "join deadline of " << budget_.deadline_ms
          << " ms exceeded during " << JoinPhaseName(phase);
-      Latch(phase, TripReason::kDeadline,
-            Status::DeadlineExceeded(os.str()));
+      // Same contract as the cancellation branch above.
+      (void)Latch(  // ssjoin-lint: allow(status-must-use)
+          phase, TripReason::kDeadline, Status::DeadlineExceeded(os.str()));
       return true;
     }
   }

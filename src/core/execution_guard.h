@@ -29,11 +29,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ssjoin::obs {
 class MetricsRegistry;
@@ -52,6 +52,11 @@ std::string_view JoinPhaseName(JoinPhase phase);
 /// Copies share state: hand one copy to the thread running the join (via
 /// ExecutionGuard) and keep another to call RequestCancel() from anywhere.
 /// Cancellation is cooperative — the join stops at its next guard poll.
+///
+/// Thread-safety: lock-free by construction — the only shared state is
+/// one atomic<bool> behind a shared_ptr, so there is no capability to
+/// annotate; copying a token (which rebinds flag_) is the only
+/// non-atomic operation and must stay on the thread that owns the copy.
 class CancellationToken {
  public:
   CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
@@ -112,19 +117,19 @@ class ExecutionGuard {
   /// (now latched) trip Status. Call between phases and between
   /// fixed-size verification chunks — never from inside a parallel
   /// region, so budget decisions stay deterministic.
-  Status Checkpoint(JoinPhase phase);
+  Status Checkpoint(JoinPhase phase) SSJOIN_EXCLUDES(mutex_);
 
   /// Circuit-breaker barrier check (see ExecutionBudget). `candidates` /
   /// `results` are the totals verified / matched so far; both must be
   /// thread-count-independent at the call site.
   Status CheckBreaker(JoinPhase phase, uint64_t candidates,
-                      uint64_t results);
+                      uint64_t results) SSJOIN_EXCLUDES(mutex_);
 
   /// Cheap worker-loop poll: returns true once the guard has tripped or a
   /// cancellation / deadline stop is pending. Latches cancellation
   /// immediately; the deadline is re-read at most every few hundred polls
   /// so the clock read stays off the hot path.
-  bool ShouldStop(JoinPhase phase);
+  bool ShouldStop(JoinPhase phase) SSJOIN_EXCLUDES(mutex_);
 
   /// Adds `bytes` to the tracked allocation total. Thread-safe; checked
   /// only at the next Checkpoint, so workers may charge freely from
@@ -145,9 +150,9 @@ class ExecutionGuard {
 
   bool tripped() const { return stop_.load(std::memory_order_acquire); }
   /// The latched trip Status (OK if the guard never tripped).
-  Status trip_status() const;
+  Status trip_status() const SSJOIN_EXCLUDES(mutex_);
   /// Phase the trip was latched in (meaningful only when tripped()).
-  JoinPhase trip_phase() const;
+  JoinPhase trip_phase() const SSJOIN_EXCLUDES(mutex_);
 
   /// Why the guard tripped; drives the PartEnum advisor-retry policy
   /// (retry only makes sense after a candidate explosion).
@@ -158,43 +163,48 @@ class ExecutionGuard {
     kMemory,
     kCandidateExplosion,
   };
-  TripReason trip_reason() const;
+  TripReason trip_reason() const SSJOIN_EXCLUDES(mutex_);
 
   /// Publishes trip causes into `metrics` (counters named
   /// "guard.trips.<reason>", incremented when a trip latches). Not owned;
   /// nullptr detaches. Drivers bind the registry from
   /// JoinOptions::metrics before the first checkpoint.
-  void BindMetrics(obs::MetricsRegistry* metrics);
+  void BindMetrics(obs::MetricsRegistry* metrics) SSJOIN_EXCLUDES(mutex_);
 
   /// Clears the trip latch and the memory charge so the guard can watch a
   /// retry run. The deadline stays anchored at construction time (a retry
   /// does not earn extra wall-clock) and the cancellation token is kept.
-  void Reset();
+  void Reset() SSJOIN_EXCLUDES(mutex_);
 
   const ExecutionBudget& budget() const { return budget_; }
 
  private:
   // Latches `status` as the trip (first caller wins) and raises stop_.
-  Status Latch(JoinPhase phase, TripReason reason, Status status);
+  Status Latch(JoinPhase phase, TripReason reason, Status status)
+      SSJOIN_EXCLUDES(mutex_);
   // Non-latching poll of cancellation and deadline; returns the would-be
   // trip, or nullopt.
   std::optional<std::pair<TripReason, Status>> PollTimingLimits(
       JoinPhase phase);
 
   const ExecutionBudget budget_;
-  CancellationToken token_;
-  std::chrono::steady_clock::time_point start_;
+  // Internally lock-free (one shared atomic<bool>); never rebound after
+  // construction, so reads from any thread are safe.
+  CancellationToken token_;  // ssjoin-lint: allow(guarded-by-required)
+  // Fixed at construction; Reset() keeps the anchor by contract.
+  std::chrono::steady_clock::time_point
+      start_;  // ssjoin-lint: allow(guarded-by-required)
 
   std::atomic<bool> stop_{false};
   std::atomic<size_t> memory_bytes_{0};
   std::atomic<size_t> memory_high_water_{0};
   std::atomic<uint32_t> poll_count_{0};
 
-  mutable std::mutex mutex_;  // guards the trip record below
-  Status trip_status_;        // OK until tripped
-  JoinPhase trip_phase_ = JoinPhase::kSigGen;
-  TripReason trip_reason_ = TripReason::kNone;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  mutable util::Mutex mutex_;  // guards the trip record below
+  Status trip_status_ SSJOIN_GUARDED_BY(mutex_);  // OK until tripped
+  JoinPhase trip_phase_ SSJOIN_GUARDED_BY(mutex_) = JoinPhase::kSigGen;
+  TripReason trip_reason_ SSJOIN_GUARDED_BY(mutex_) = TripReason::kNone;
+  obs::MetricsRegistry* metrics_ SSJOIN_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// Stable lowercase name of a trip reason ("none", "cancelled",

@@ -17,6 +17,19 @@
 //     spans for shard/chunk/block detail and feeds latency histograms.
 //
 // Construction opens the root span; destruction closes it.
+//
+// Thread-safety (DESIGN.md Section 10): JoinTelemetry itself holds no
+// lock because it owns no shared mutable state — root_ is written once
+// in the constructor, and phase_span_ is *control-thread-confined*:
+// only Phase(), called from the driver's control thread between
+// parallel regions, writes it. Worker threads may use Sample(),
+// Event(), Attr(), AddCount() and SetGauge() freely: those delegate to
+// the Tracer and MetricsRegistry sinks, whose capabilities (their
+// internal util::Mutex, see obs/trace.h and obs/metrics.h) serialize
+// the actual mutation. There is deliberately no annotation that could
+// express "confined to the control thread"; the parallel drivers
+// enforce it structurally by never passing the JoinTelemetry handle
+// into ParallelFor bodies — only raw Tracer*/Histogram* handles.
 
 #pragma once
 

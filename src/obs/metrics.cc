@@ -100,23 +100,23 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,
 
 Counter& MetricsRegistry::counter(std::string_view name,
                                   Stability stability) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return *FindOrCreate(name, MetricKind::kCounter, stability).counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Stability stability) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return *FindOrCreate(name, MetricKind::kGauge, stability).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       Stability stability) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return *FindOrCreate(name, MetricKind::kHistogram, stability).histogram;
 }
 
 std::vector<MetricRecord> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<MetricRecord> records;
   records.reserve(metrics_.size());
   // std::map iteration is already name-sorted.
@@ -147,7 +147,7 @@ std::vector<MetricRecord> MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return metrics_.size();
 }
 

@@ -23,12 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/stability.h"
+#include "util/thread_annotations.h"
 
 namespace ssjoin::obs {
 
@@ -114,18 +114,23 @@ class MetricsRegistry {
 
   /// Finds or creates the named instrument. The returned reference stays
   /// valid for the registry's lifetime. The stability argument only
-  /// matters on first registration.
+  /// matters on first registration. (The handle's own operations are
+  /// atomic — the registry mutex only protects the name table, which is
+  /// why hot paths register once and then touch the handle lock-free.)
   Counter& counter(std::string_view name,
-                   Stability stability = Stability::kStable);
+                   Stability stability = Stability::kStable)
+      SSJOIN_EXCLUDES(mutex_);
   Gauge& gauge(std::string_view name,
-               Stability stability = Stability::kStable);
+               Stability stability = Stability::kStable)
+      SSJOIN_EXCLUDES(mutex_);
   Histogram& histogram(std::string_view name,
-                       Stability stability = Stability::kRuntime);
+                       Stability stability = Stability::kRuntime)
+      SSJOIN_EXCLUDES(mutex_);
 
   /// All metrics, sorted by name (deterministic exporter order).
-  std::vector<MetricRecord> Snapshot() const;
+  std::vector<MetricRecord> Snapshot() const SSJOIN_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const SSJOIN_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -137,10 +142,11 @@ class MetricsRegistry {
   };
 
   Entry& FindOrCreate(std::string_view name, MetricKind kind,
-                      Stability stability);
+                      Stability stability) SSJOIN_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> metrics_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_
+      SSJOIN_GUARDED_BY(mutex_);
 };
 
 }  // namespace ssjoin::obs

@@ -27,7 +27,7 @@ AttrValue AttrValue::String(std::string_view v) {
 
 SpanId Tracer::StartSpan(std::string_view name, SpanId parent,
                          Stability stability, uint32_t lane) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SpanRecord span;
   span.id = static_cast<SpanId>(spans_.size() + 1);
   span.parent = parent;
@@ -45,7 +45,7 @@ SpanRecord* Tracer::Find(SpanId id) {
 }
 
 void Tracer::EndSpan(SpanId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SpanRecord* span = Find(id);
   SSJOIN_CHECK(span != nullptr, "EndSpan: unknown span id ", id);
   span->end_us = epoch_.ElapsedMicros();
@@ -53,7 +53,7 @@ void Tracer::EndSpan(SpanId id) {
 
 void Tracer::AddEvent(SpanId id, std::string_view name,
                       std::string_view detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SpanRecord* span = Find(id);
   SSJOIN_CHECK(span != nullptr, "AddEvent: unknown span id ", id);
   SpanEvent event;
@@ -65,7 +65,7 @@ void Tracer::AddEvent(SpanId id, std::string_view name,
 
 void Tracer::SetAttrValue(SpanId id, std::string_view key,
                           AttrValue value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SpanRecord* span = Find(id);
   SSJOIN_CHECK(span != nullptr, "SetAttr: unknown span id ", id);
   for (auto& [existing, slot] : span->attrs) {
@@ -91,17 +91,17 @@ void Tracer::SetAttr(SpanId id, std::string_view key,
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return spans_;
 }
 
 size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return spans_.size();
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   spans_.clear();
 }
 

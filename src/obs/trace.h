@@ -22,13 +22,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/stability.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ssjoin::obs {
@@ -82,36 +82,42 @@ class Tracer {
   /// Opens a span under `parent` (kNoSpan = a root). Returns its handle.
   SpanId StartSpan(std::string_view name, SpanId parent = kNoSpan,
                    Stability stability = Stability::kStable,
-                   uint32_t lane = 0);
+                   uint32_t lane = 0) SSJOIN_EXCLUDES(mutex_);
 
   /// Closes the span. Open spans are exported with their start only.
-  void EndSpan(SpanId id);
+  void EndSpan(SpanId id) SSJOIN_EXCLUDES(mutex_);
 
   /// Appends a point event to the span.
   void AddEvent(SpanId id, std::string_view name,
-                std::string_view detail = {});
+                std::string_view detail = {}) SSJOIN_EXCLUDES(mutex_);
 
   /// Sets (or overwrites) one attribute. Attribute order is insertion
   /// order, so control-thread instrumentation stays deterministic.
-  void SetAttr(SpanId id, std::string_view key, uint64_t value);
-  void SetAttr(SpanId id, std::string_view key, double value);
-  void SetAttr(SpanId id, std::string_view key, std::string_view value);
+  void SetAttr(SpanId id, std::string_view key, uint64_t value)
+      SSJOIN_EXCLUDES(mutex_);
+  void SetAttr(SpanId id, std::string_view key, double value)
+      SSJOIN_EXCLUDES(mutex_);
+  void SetAttr(SpanId id, std::string_view key, std::string_view value)
+      SSJOIN_EXCLUDES(mutex_);
 
   /// Copy of all spans in creation order (exporter input).
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const SSJOIN_EXCLUDES(mutex_);
 
-  size_t span_count() const;
+  size_t span_count() const SSJOIN_EXCLUDES(mutex_);
 
   /// Drops every recorded span (the epoch is kept).
-  void Reset();
+  void Reset() SSJOIN_EXCLUDES(mutex_);
 
  private:
-  SpanRecord* Find(SpanId id);  // mutex_ must be held
-  void SetAttrValue(SpanId id, std::string_view key, AttrValue value);
+  SpanRecord* Find(SpanId id) SSJOIN_REQUIRES(mutex_);
+  void SetAttrValue(SpanId id, std::string_view key, AttrValue value)
+      SSJOIN_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  Stopwatch epoch_;  // all span times are relative to tracer creation
-  std::vector<SpanRecord> spans_;
+  mutable util::Mutex mutex_;
+  // Stopwatch reads are pure clock queries against a start point that is
+  // fixed at construction (Restart() is never called on the epoch).
+  Stopwatch epoch_;  // ssjoin-lint: allow(guarded-by-required)
+  std::vector<SpanRecord> spans_ SSJOIN_GUARDED_BY(mutex_);
 };
 
 }  // namespace ssjoin::obs

@@ -41,7 +41,15 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A Status is cheap to copy in the OK case (no allocation). Failed
 /// statuses carry a code and a message. Statuses must be checked; the
 /// SSJOIN_RETURN_NOT_OK macro propagates failures up the call chain.
-class Status {
+///
+/// The class-level [[nodiscard]] makes *every* function returning a
+/// Status warn (error under -Werror / the CI matrix) when the result is
+/// dropped on the floor — a discarded guard trip or IO failure is a
+/// swallowed error. Use SSJOIN_RETURN_NOT_OK / assign / branch; in the
+/// rare case a failure is genuinely ignorable, write
+/// `(void)Call();  // ssjoin-lint: allow(status-must-use)` with a
+/// justification so both the compiler and the AST lint see intent.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -101,8 +109,10 @@ class Status {
 ///
 /// Result<T> either holds a T (status().ok()) or a non-OK Status.
 /// Dereferencing a failed Result is a programming error (assert).
+/// [[nodiscard]] for the same reason as Status: discarding one hides
+/// the failure it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design

@@ -33,15 +33,15 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::RecordException(std::exception_ptr err) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!first_error_) first_error_ = std::move(err);
 }
 
@@ -65,28 +65,28 @@ void ThreadPool::RunOnAll(const std::function<void(size_t)>& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     SSJOIN_CHECK(job_ == nullptr, "ThreadPool::RunOnAll is not reentrant");
     first_error_ = nullptr;
     job_ = &job;
     remaining_ = threads_.size();
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   try {
     job(threads_.size());  // The caller is the last worker.
   } catch (...) {
     RecordException(std::current_exception());
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr err = std::move(first_error_);
+  std::exception_ptr err;
+  {
+    util::MutexLock lock(mutex_);
+    while (remaining_ != 0) work_done_.Wait(lock);
+    job_ = nullptr;
+    err = std::move(first_error_);
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
@@ -94,9 +94,8 @@ void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     const std::function<void(size_t)>* job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(
-          lock, [&] { return shutdown_ || generation_ != seen; });
+      util::MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) work_ready_.Wait(lock);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
@@ -109,8 +108,8 @@ void ThreadPool::WorkerLoop(size_t index) {
       RecordException(std::current_exception());
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) work_done_.notify_all();
+      util::MutexLock lock(mutex_);
+      if (--remaining_ == 0) work_done_.NotifyAll();
     }
   }
 }

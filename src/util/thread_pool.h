@@ -14,14 +14,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace ssjoin::obs {
 class Counter;
@@ -76,24 +76,30 @@ class ThreadPool {
   /// worker finishes its invocation) and the first-recorded exception is
   /// rethrown on the calling thread — it never escapes on a worker, which
   /// would std::terminate the process.
-  void RunOnAll(const std::function<void(size_t)>& job);
+  void RunOnAll(const std::function<void(size_t)>& job)
+      SSJOIN_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(size_t index);
+  void WorkerLoop(size_t index) SSJOIN_EXCLUDES(mutex_);
   // Stores `err` as the fork-join's exception unless one is already
   // recorded. Thread-safe.
-  void RecordException(std::exception_ptr err);
+  void RecordException(std::exception_ptr err) SSJOIN_EXCLUDES(mutex_);
 
-  std::vector<std::thread> threads_;
-  obs::Counter* forkjoins_ = nullptr;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  std::exception_ptr first_error_;
-  uint64_t generation_ = 0;
-  size_t remaining_ = 0;
-  bool shutdown_ = false;
+  // Spawned in the constructor, joined in the destructor; never touched
+  // in between, so the vector itself needs no lock (the *elements* run
+  // concurrently, the container does not change).
+  std::vector<std::thread> threads_;  // ssjoin-lint: allow(guarded-by-required)
+  // Bound by BindMetrics between fork-joins (a control-thread-only call,
+  // per the contract above); workers never read it.
+  obs::Counter* forkjoins_ = nullptr;  // ssjoin-lint: allow(guarded-by-required)
+  util::Mutex mutex_;
+  util::CondVar work_ready_;
+  util::CondVar work_done_;
+  const std::function<void(size_t)>* job_ SSJOIN_GUARDED_BY(mutex_) = nullptr;
+  std::exception_ptr first_error_ SSJOIN_GUARDED_BY(mutex_);
+  uint64_t generation_ SSJOIN_GUARDED_BY(mutex_) = 0;
+  size_t remaining_ SSJOIN_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ SSJOIN_GUARDED_BY(mutex_) = false;
 };
 
 /// Fork-join loop over [0, total): fn(begin, end, chunk) is invoked once

@@ -11,8 +11,9 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace ssjoin {
 
@@ -71,37 +72,42 @@ class PhaseTimer {
   Scope Measure(std::string phase) { return Scope(this, std::move(phase)); }
 
   /// Adds `seconds` to the accumulated time of `phase`. Thread-safe.
-  void Add(const std::string& phase, double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Add(const std::string& phase, double seconds) SSJOIN_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     phases_[phase] += seconds;
   }
 
   /// Accumulated seconds for `phase` (0 if never measured).
-  double Seconds(const std::string& phase) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double Seconds(const std::string& phase) const SSJOIN_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     auto it = phases_.find(phase);
     return it == phases_.end() ? 0.0 : it->second;
   }
 
   /// Sum over all phases.
-  double TotalSeconds() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double TotalSeconds() const SSJOIN_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     double total = 0;
     for (const auto& [_, s] : phases_) total += s;
     return total;
   }
 
   /// Unsynchronized view; callers must have joined all measuring threads.
-  const std::map<std::string, double>& phases() const { return phases_; }
+  /// That quiescence contract is outside what the analysis can express,
+  /// hence the explicit exemption.
+  const std::map<std::string, double>& phases() const
+      SSJOIN_NO_THREAD_SAFETY_ANALYSIS {
+    return phases_;
+  }
 
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Reset() SSJOIN_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     phases_.clear();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double> phases_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, double> phases_ SSJOIN_GUARDED_BY(mutex_);
 };
 
 // Canonical phase names used by all join drivers (paper Figure 2 steps).

@@ -1,0 +1,20 @@
+// Fixture: mutex-wrapper-only.
+//
+// Bare <mutex> vocabulary outside util/thread_annotations.h must be
+// flagged (the util::Mutex wrappers carry the Clang Thread Safety
+// capability annotations; bare std primitives are invisible to
+// -Wthread-safety); an allow-comment suppresses a justified case.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_lock;  // expect(mutex-wrapper-only)
+
+int Locked(int x) {
+  std::lock_guard<std::mutex> guard(g_lock);  // expect(mutex-wrapper-only)
+  return x + 1;
+}
+
+std::mutex g_allowed;  // ssjoin-lint: allow(mutex-wrapper-only)
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: no-unjoined-thread.
+//
+// Raw std::thread outside util/thread_pool.{h,cc} must be flagged; the
+// static hardware_concurrency() query creates no thread and must not;
+// an allow-comment suppresses a justified case.
+#include <thread>
+
+namespace fixture {
+
+void SpawnRaw() {
+  std::thread worker([] {});  // expect(no-unjoined-thread)
+  worker.join();
+}
+
+unsigned Parallelism() {
+  return std::thread::hardware_concurrency();  // static query, no thread
+}
+
+void SpawnAllowed() {
+  std::thread worker([] {});  // ssjoin-lint: allow(no-unjoined-thread)
+  worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: no-raw-timing exemption — execution_guard.cc needs a real
+// wall clock for deadline enforcement, so none of this is flagged.
+#include <chrono>
+
+namespace fixture {
+
+double DeadlinePoll() {
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: no-dropped-status — a bare statement calling one of the
+// guardrail/IO Status functions drops a trip or an IO failure.
+namespace fixture {
+
+void Run(Guard* guard, Table& table, Collection& c) {
+  guard->Checkpoint(0);        // expect(no-dropped-status)
+  CheckBreaker(1, 2, 3);       // expect(no-dropped-status)
+  Status st = SaveSetsBinary("p", c);  // assigned: not flagged
+  if (!st.ok()) return;
+  // Best-effort persist on the shutdown path, justified suppression:
+  (void)table.Validate();      // ssjoin-lint: allow(no-dropped-status)
+}
+
+}  // namespace fixture

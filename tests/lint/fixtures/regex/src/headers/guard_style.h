@@ -1,0 +1,11 @@
+// Fixture: pragma-once — old-style #ifndef include guards are flagged
+// even when the once-pragma is also present.
+#pragma once
+#ifndef FIXTURE_GUARD_STYLE_H_  // expect(pragma-once)
+#define FIXTURE_GUARD_STYLE_H_
+
+namespace fixture {
+struct GuardStyle {};
+}  // namespace fixture
+
+#endif  // FIXTURE_GUARD_STYLE_H_

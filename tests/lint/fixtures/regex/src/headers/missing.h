@@ -1,0 +1,4 @@
+// expect(pragma-once) — this header deliberately lacks the once-pragma.
+namespace fixture {
+struct Missing {};
+}  // namespace fixture

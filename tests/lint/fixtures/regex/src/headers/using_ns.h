@@ -1,0 +1,11 @@
+// Fixture: no-using-namespace — a header-level using-directive leaks
+// into every includer.
+#pragma once
+
+using namespace std;  // expect(no-using-namespace)
+
+namespace fixture {
+// Local alias instead of a using-directive: not flagged.
+namespace obs_alias = fixture;
+struct UsingNs {};
+}  // namespace fixture

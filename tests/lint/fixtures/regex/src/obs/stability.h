@@ -1,0 +1,8 @@
+// Fixture registry: the telemetry-name vocabulary for this fixture
+// tree (mirrors src/obs/stability.h in the real repo).
+#pragma once
+
+namespace fixture::names {
+inline constexpr const char* kFixtureCount = "join.fixture.count";
+inline constexpr const char* kFixturePhase = "join.fixture.phase";
+}  // namespace fixture::names

@@ -1,0 +1,14 @@
+// Fixture: telemetry-registry — string-literal telemetry names must be
+// registered in src/obs/stability.h; names:: constants are registered
+// by construction.
+namespace fixture {
+
+void Emit(Telemetry& telemetry, Registry& metrics) {
+  telemetry.Attr("join.fixture.count", 1);  // registered: not flagged
+  telemetry.Event("join.fixture.unregistered", "d");  // expect(telemetry-registry)
+  // One-off experiment counter, justified suppression:
+  metrics.counter("join.fixture.oneoff");  // ssjoin-lint: allow(telemetry-registry)
+  telemetry.AddCount(names::kFixtureCount, 2);  // constant: not flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: no-raw-rand and no-assert.
+#include <cassert>  // expect(no-assert)
+
+namespace fixture {
+
+int SeedlessRandom() {
+  int a = rand();          // expect(no-raw-rand)
+  srand(42);               // expect(no-raw-rand)
+  // Deterministic replay harness, justified suppression:
+  int b = rand();          // ssjoin-lint: allow(no-raw-rand)
+  return a + b;
+}
+
+void Checks(int x) {
+  assert(x > 0);           // expect(no-assert)
+  static_assert(sizeof(int) >= 4, "ok");  // compile-time: not flagged
+  // NDEBUG-independent invariant documented next door:
+  assert(x < 100);         // ssjoin-lint: allow(no-assert)
+}
+
+}  // namespace fixture

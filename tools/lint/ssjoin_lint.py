@@ -88,6 +88,14 @@ NO_RAW_TIMING_EXEMPT = {"execution_guard.h", "execution_guard.cc"}
 
 ALLOW_RE = re.compile(r"//\s*ssjoin-lint:\s*allow\(([a-z-]+)\)")
 
+# Lint self-test fixtures: deliberately-bad sources that must never be
+# linted as part of the real tree. `--self-test` runs the linter over
+# FIXTURE_DIR ("regex" subtree) and diffs the findings against
+# `// expect(<rule>)` markers in the fixtures.
+FIXTURE_PREFIX = ("tests", "lint", "fixtures")
+FIXTURE_DIR = ("tests", "lint", "fixtures", "regex")
+EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
+
 RAW_RAND_RE = re.compile(r"(?<![\w:.])(std\s*::\s*)?s?rand\s*\(")
 ASSERT_RE = re.compile(r"(?<![\w:.])(assert\s*\(|static_assert\s*\()")
 CASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
@@ -303,14 +311,19 @@ class Linter:
                                 "use `#pragma once`, not #ifndef include "
                                 "guards (repo convention)")
 
-    def run(self) -> int:
+    def collect_files(self) -> list[Path]:
         scopes = sorted({d for dirs in RULE_SCOPES.values() for d in dirs})
-        files = sorted(
+        return sorted(
             p
             for scope in scopes
             for p in (self.root / scope).rglob("*")
             if p.is_file() and p.suffix in SOURCE_SUFFIXES
+            and p.relative_to(self.root).parts[: len(FIXTURE_PREFIX)]
+            != FIXTURE_PREFIX
         )
+
+    def run(self) -> int:
+        files = self.collect_files()
         if not files:
             print(f"ssjoin_lint: no sources found under {self.root}",
                   file=sys.stderr)
@@ -327,6 +340,57 @@ class Linter:
         return 0
 
 
+def run_self_test(repo_root: Path) -> int:
+    """Lints tests/lint/fixtures/regex (a miniature repo layout full of
+    deliberate violations) and diffs the findings against the fixtures'
+    `// expect(<rule>)` markers. Fixtures without markers but with
+    `// ssjoin-lint: allow(...)` comments prove suppression works: a
+    broken allow-path shows up here as an UNEXPECTED finding."""
+    fixture_root = repo_root.joinpath(*FIXTURE_DIR)
+    if not fixture_root.is_dir():
+        print(f"ssjoin_lint: self-test fixture tree missing: {fixture_root}",
+              file=sys.stderr)
+        return 2
+
+    linter = Linter(fixture_root)
+    files = linter.collect_files()
+    for path in files:
+        linter.lint_file(path)
+    actual = {(str(rel), lineno, rule)
+              for rel, lineno, rule, _ in linter.violations}
+
+    expected: set[tuple[str, int, str]] = set()
+    rules_covered: set[str] = set()
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                rel = str(path.relative_to(fixture_root))
+                expected.add((rel, lineno, m.group(1)))
+                rules_covered.add(m.group(1))
+
+    missing_rules = set(RULE_SCOPES) - rules_covered
+    ok = True
+    if missing_rules:
+        print(f"ssjoin_lint self-test: fixtures exercise no violation for: "
+              f"{', '.join(sorted(missing_rules))}", file=sys.stderr)
+        ok = False
+    for miss in sorted(expected - actual):
+        print(f"ssjoin_lint self-test: MISSED expected finding: "
+              f"{miss[0]}:{miss[1]} [{miss[2]}]", file=sys.stderr)
+        ok = False
+    for extra in sorted(actual - expected):
+        print(f"ssjoin_lint self-test: UNEXPECTED finding: "
+              f"{extra[0]}:{extra[1]} [{extra[2]}]", file=sys.stderr)
+        ok = False
+    if not ok:
+        return 1
+    print(f"ssjoin_lint self-test OK: {len(expected)} expected findings "
+          f"matched across {len(files)} fixtures, all "
+          f"{len(RULE_SCOPES)} rules fire, suppressions honored")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path,
@@ -334,12 +398,17 @@ def main() -> int:
                         help="repository root (default: two levels up)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and scopes, then exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against "
+                        "tests/lint/fixtures/regex")
     args = parser.parse_args()
     if args.list_rules:
         for rule, dirs in RULE_SCOPES.items():
             print(f"{rule}: {', '.join(dirs)}")
         return 0
     root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(root)
     if not (root / "src").is_dir():
         print(f"ssjoin_lint: {root} does not look like the repo root",
               file=sys.stderr)
