@@ -5,8 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "baselines/lsh.h"
 #include "baselines/prefix_filter.h"
+#include "core/kernels/bitmap_filter.h"
+#include "core/kernels/flat_set.h"
+#include "core/kernels/hash_kernels.h"
+#include "core/kernels/intersect.h"
 #include "core/partenum.h"
 #include "core/partenum_jaccard.h"
 #include "core/wtenum.h"
@@ -213,7 +222,178 @@ void BM_AmsSketchAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_AmsSketchAdd);
 
+// --- Kernel layer (src/core/kernels/, DESIGN.md Section 11) ----------
+// These pin the wins the kernel layer claims: the SIMD/galloping
+// intersection vs the scalar merge, the bitmap pre-filter check cost,
+// the batched hash transforms vs their scalar chains, and the flat
+// dedup table vs sort+unique. Emitted into BENCH_kernels.json (see
+// main below) for the perf trajectory.
+
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> MakeSortedPair(
+    uint32_t size_a, uint32_t size_b, uint32_t domain, uint64_t seed) {
+  Rng rng(seed);
+  auto a = SampleWithoutReplacement(domain, size_a, rng);
+  auto b = SampleWithoutReplacement(domain, size_b, rng);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return {std::move(a), std::move(b)};
+}
+
+void BM_IntersectKernel(benchmark::State& state) {
+  auto kernel = static_cast<kernels::IntersectKernel>(state.range(0));
+  auto [a, b] = MakeSortedPair(static_cast<uint32_t>(state.range(1)),
+                               static_cast<uint32_t>(state.range(2)),
+                               static_cast<uint32_t>(state.range(2)) * 4,
+                               42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::IntersectSizeWith(kernel, a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(kernels::IntersectKernelName(kernel));
+}
+// Comparable sizes (the block-kernel regime) and skewed ratios (the
+// galloping regime), each run through every kernel for the comparison.
+BENCHMARK(BM_IntersectKernel)
+    ->Args({0, 50, 50})->Args({1, 50, 50})->Args({2, 50, 50})
+    ->Args({0, 200, 200})->Args({1, 200, 200})->Args({2, 200, 200})
+    ->Args({0, 16, 2048})->Args({1, 16, 2048})->Args({2, 16, 2048});
+
+void BM_IntersectDispatch(benchmark::State& state) {
+  auto [a, b] = MakeSortedPair(static_cast<uint32_t>(state.range(0)),
+                               static_cast<uint32_t>(state.range(1)),
+                               static_cast<uint32_t>(state.range(1)) * 4,
+                               43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::IntersectSize(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntersectDispatch)
+    ->Args({50, 50})->Args({200, 200})->Args({16, 2048});
+
+void BM_BitmapBuild(benchmark::State& state) {
+  SetCollection sets = MakeSets(4096, 20, 10000);
+  uint32_t bits = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    kernels::BitmapTable table = kernels::BitmapTable::Build(sets, bits);
+    benchmark::DoNotOptimize(table.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * sets.size());
+}
+BENCHMARK(BM_BitmapBuild)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BitmapMayMatch(benchmark::State& state) {
+  SetCollection sets = MakeSets(1024, 20, 10000);
+  uint32_t bits = static_cast<uint32_t>(state.range(0));
+  kernels::BitmapTable table = kernels::BitmapTable::Build(sets, bits);
+  JaccardPredicate predicate(0.85);
+  size_t i = 0;
+  for (auto _ : state) {
+    SetId r = static_cast<SetId>(i % sets.size());
+    SetId s = static_cast<SetId>((i + 1) % sets.size());
+    benchmark::DoNotOptimize(table.MayMatch(
+        predicate, r, s, static_cast<uint32_t>(sets.set(r).size()),
+        static_cast<uint32_t>(sets.set(s).size())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapMayMatch)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HashCombineScalarChain(benchmark::State& state) {
+  std::vector<uint64_t> values(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto& v : values) v = rng.Next64();
+  std::vector<uint64_t> out(values.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = HashCombine(0x1234, values[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_HashCombineScalarChain)->Arg(64)->Arg(1024);
+
+void BM_HashCombineBatch(benchmark::State& state) {
+  std::vector<uint64_t> values(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto& v : values) v = rng.Next64();
+  std::vector<uint64_t> out(values.size());
+  for (auto _ : state) {
+    std::copy(values.begin(), values.end(), out.begin());
+    kernels::HashCombineBatch(0x1234, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_HashCombineBatch)->Arg(64)->Arg(1024);
+
+void BM_MixBatch(benchmark::State& state) {
+  std::vector<uint32_t> values(static_cast<size_t>(state.range(0)));
+  Rng rng(8);
+  for (auto& v : values) v = rng.Next32();
+  std::vector<uint64_t> mixed(values.size());
+  for (auto _ : state) {
+    kernels::MixBatch(values, mixed.data());
+    benchmark::DoNotOptimize(mixed.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_MixBatch)->Arg(64)->Arg(1024);
+
+void BM_DedupFlatSet(benchmark::State& state) {
+  // Candidate-dedup workload: many duplicate packed pairs.
+  Rng rng(9);
+  std::vector<uint64_t> keys(static_cast<size_t>(state.range(0)));
+  for (auto& k : keys) k = rng.Uniform(static_cast<uint32_t>(keys.size() / 4));
+  for (auto _ : state) {
+    kernels::FlatU64Set table(keys.size() / 4);
+    for (uint64_t k : keys) table.Insert(k);
+    benchmark::DoNotOptimize(table.ExtractSorted());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_DedupFlatSet)->Arg(4096)->Arg(65536);
+
+void BM_DedupSortUnique(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<uint64_t> keys(static_cast<size_t>(state.range(0)));
+  for (auto& k : keys) k = rng.Uniform(static_cast<uint32_t>(keys.size() / 4));
+  for (auto _ : state) {
+    std::vector<uint64_t> copy = keys;
+    std::sort(copy.begin(), copy.end());
+    copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_DedupSortUnique)->Arg(4096)->Arg(65536);
+
 }  // namespace
 }  // namespace ssjoin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default --benchmark_out so every run leaves
+// BENCH_kernels.json behind for the perf-trajectory tooling (explicit
+// --benchmark_out flags still win).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/kernels/hash_kernels.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -138,6 +139,19 @@ PartEnumScheme::PartEnumScheme(const PartEnumParams& params)
                "C({}, {}) = {}",
                subset_masks_.size(), params_.n2, params_.n2 - k2_,
                BinomialSaturating(params_.n2, params_.n2 - k2_));
+  // Precompute the fixed per-signature hash material (see partenum.h).
+  level_hashers_.reserve(params_.n1);
+  for (uint32_t i = 0; i < params_.n1; ++i) {
+    SequenceHasher hasher(params_.seed);
+    hasher.Add(i);
+    level_hashers_.push_back(hasher);
+  }
+  mixed_subset_masks_.reserve(subset_masks_.size());
+  for (uint32_t m : subset_masks_) mixed_subset_masks_.push_back(Mix64(m));
+  mixed_partition_tags_.reserve(params_.n2);
+  for (uint32_t j = 0; j < params_.n2; ++j) {
+    mixed_partition_tags_.push_back(Mix64(kPartitionTag ^ j));
+  }
 }
 
 std::string PartEnumScheme::Name() const {
@@ -157,33 +171,51 @@ void PartEnumScheme::Generate(std::span<const ElementId> set,
                               std::vector<Signature>* out) const {
   uint32_t n1 = params_.n1;
   uint32_t n2 = params_.n2;
-  // Bucket elements by second-level partition. Iterating the sorted set
-  // keeps each bucket sorted, so equal projections hash equally.
-  std::vector<std::vector<ElementId>> buckets(
-      static_cast<size_t>(n1) * n2);
-  for (ElementId e : set) {
-    uint32_t p = PartitionOf(e);
-    SSJOIN_DCHECK_BOUNDS(p, buckets.size());
-    buckets[p].push_back(e);
+  const size_t num_buckets = static_cast<size_t>(n1) * n2;
+  const size_t n = set.size();
+  // Mix every element once (4-wide, core/kernels/hash_kernels.h). The
+  // mixes drive both the partition assignment (PartitionOf inlined below)
+  // and — via AddMixed — every subset fold, replacing the old one-Mix64-
+  // per-element-per-subset chain with a value-exact precomputed lookup.
+  std::vector<uint64_t> mixed(n);
+  kernels::MixBatch(set, mixed.data());
+  // Bucket the mixed elements by second-level partition into one flat
+  // CSR array (the old code built n1*n2 little vectors per call).
+  // Scattering in set order keeps each bucket in set order, so equal
+  // projections still hash equally.
+  std::vector<uint32_t> part(n);
+  std::vector<uint32_t> offsets(num_buckets + 1, 0);
+  for (size_t idx = 0; idx < n; ++idx) {
+    uint64_t h = Mix64(params_.seed ^ mixed[idx]);
+    uint32_t p = static_cast<uint32_t>(h % num_buckets);
+    SSJOIN_DCHECK_BOUNDS(p, num_buckets);
+    part[idx] = p;
+    ++offsets[p + 1];
+  }
+  for (size_t b = 1; b <= num_buckets; ++b) offsets[b] += offsets[b - 1];
+  std::vector<uint64_t> bucketed(n);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t idx = 0; idx < n; ++idx) {
+    bucketed[cursor[part[idx]]++] = mixed[idx];
   }
   size_t size_before = out->size();
   out->reserve(out->size() + static_cast<size_t>(n1) * subset_masks_.size());
   for (uint32_t i = 0; i < n1; ++i) {
-    for (uint32_t mask : subset_masks_) {
+    for (size_t m = 0; m < subset_masks_.size(); ++m) {
       // Signature <v[P], P> with P = union of partitions p_ij, j in mask,
-      // sparse-encoded as hash(i, mask, elements of v within P).
-      SequenceHasher hasher(params_.seed);
-      hasher.Add(i);
-      hasher.Add(mask);
-      uint32_t remaining = mask;
+      // sparse-encoded as hash(i, mask, elements of v within P). The
+      // header folds reuse the mixes precomputed in the constructor.
+      SequenceHasher hasher = level_hashers_[i];
+      hasher.AddMixed(mixed_subset_masks_[m]);
+      uint32_t remaining = subset_masks_[m];
       while (remaining != 0) {
         uint32_t j = static_cast<uint32_t>(std::countr_zero(remaining));
         remaining &= remaining - 1;
         SSJOIN_DCHECK(j < n2, "subset mask bit {} outside n2={}", j, n2);
-        hasher.Add(kPartitionTag ^ j);
-        for (ElementId e :
-             buckets[static_cast<size_t>(i) * n2 + j]) {
-          hasher.Add(e);
+        hasher.AddMixed(mixed_partition_tags_[j]);
+        size_t b = static_cast<size_t>(i) * n2 + j;
+        for (size_t idx = offsets[b]; idx < offsets[b + 1]; ++idx) {
+          hasher.AddMixed(bucketed[idx]);
         }
       }
       out->push_back(hasher.Finish());

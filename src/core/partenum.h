@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/signature_scheme.h"
+#include "util/hashing.h"
 #include "util/status.h"
 
 namespace ssjoin {
@@ -97,6 +98,14 @@ class PartEnumScheme final : public SignatureScheme {
   uint32_t k2_;
   // Bitmasks over {0..n2-1}, one per (n2 - k2)-subset, enumerated once.
   std::vector<uint32_t> subset_masks_;
+  // Precomputed hash material (core/kernels/hash_kernels.h split): the
+  // per-signature header Adds — seed, first-level index i, subset mask,
+  // partition tags — never vary per set, so their Mix64s are computed
+  // once here and folded with AddMixed in Generate. Value-exact with the
+  // original Add chain.
+  std::vector<SequenceHasher> level_hashers_;   // state after Add(i)
+  std::vector<uint64_t> mixed_subset_masks_;    // Mix64(mask)
+  std::vector<uint64_t> mixed_partition_tags_;  // Mix64(kPartitionTag ^ j)
 };
 
 }  // namespace ssjoin

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <sstream>
 
+#include "core/kernels/hash_kernels.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -154,10 +156,11 @@ void PartEnumJaccardScheme::Generate(std::span<const ElementId> set,
   for (size_t tag : {i, i + 1}) {
     size_t before = out->size();
     instances_[tag]->Generate(set, out);
-    for (size_t p = before; p < out->size(); ++p) {
-      (*out)[p] =
-          HashCombine(Mix64(static_cast<uint64_t>(tag) + 1), (*out)[p]);
-    }
+    // Batched tag combine (4-wide, core/kernels/hash_kernels.h);
+    // value-exact with HashCombine(Mix64(tag + 1), sig) per signature.
+    kernels::HashCombineBatch(
+        Mix64(static_cast<uint64_t>(tag) + 1),
+        std::span<Signature>(out->data() + before, out->size() - before));
   }
 }
 

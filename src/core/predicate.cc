@@ -5,7 +5,7 @@
 #include <limits>
 #include <sstream>
 
-#include "util/bit_vector.h"
+#include "core/kernels/intersect.h"
 #include "util/check.h"
 
 namespace ssjoin {
@@ -27,7 +27,9 @@ bool Predicate::Matches(uint32_t size_r, uint32_t size_s,
 
 bool Predicate::Evaluate(std::span<const ElementId> r,
                          std::span<const ElementId> s) const {
-  uint32_t overlap = SortedIntersectionSize(r, s);
+  // Dispatched kernel (SIMD / galloping / SWAR, core/kernels/intersect.h);
+  // bit-exact with util/bit_vector.h's scalar SortedIntersectionSize.
+  uint32_t overlap = kernels::IntersectSize(r, s);
   return Matches(static_cast<uint32_t>(r.size()),
                  static_cast<uint32_t>(s.size()), overlap);
 }

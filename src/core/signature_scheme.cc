@@ -1,5 +1,8 @@
 #include "core/signature_scheme.h"
 
+#include <span>
+
+#include "core/kernels/hash_kernels.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -12,11 +15,12 @@ void NarrowedScheme::Generate(std::span<const ElementId> set,
                "narrowed signature width {} outside [1, 64] bits", bits_);
   size_t before = out->size();
   base_->Generate(set, out);
-  for (size_t i = before; i < out->size(); ++i) {
-    // Re-mix before narrowing so that structured low bits (e.g. raw
-    // element ids from the identity scheme) spread over the kept bits.
-    (*out)[i] = NarrowHash(Mix64((*out)[i]), bits_);
-  }
+  // Re-mix before narrowing so that structured low bits (e.g. raw
+  // element ids from the identity scheme) spread over the kept bits.
+  // Batched 4-wide; value-exact with NarrowHash(Mix64(sig), bits).
+  kernels::MixNarrowBatch(
+      std::span<Signature>(out->data() + before, out->size() - before),
+      bits_);
 }
 
 }  // namespace ssjoin

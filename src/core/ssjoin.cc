@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/kernels/bitmap_filter.h"
+#include "core/kernels/flat_set.h"
+#include "core/kernels/intersect.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
 #include "util/hashing.h"
@@ -34,9 +37,14 @@ std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
 // event on the root. Called on every exit path, so traces and metrics of
 // tripped runs still carry the partial accounting the stats report.
 // Everything published here is derived from JoinStats, which is
-// byte-identical for every thread count (the determinism contract).
+// byte-identical for every thread count (the determinism contract) —
+// except the intersect-kernel dispatch deltas, which depend on the host
+// CPU and are therefore published as kRuntime counters only.
+// `isect_start` is the process-wide dispatch snapshot the driver took at
+// entry; the delta is this join's kernel mix.
 void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
-                ExecutionGuard* guard, obs::ExplainReport* explain) {
+                ExecutionGuard* guard, obs::ExplainReport* explain,
+                const kernels::IntersectCounts& isect_start) {
   if (guard != nullptr && guard->tripped()) {
     std::string_view reason = TripReasonName(guard->trip_reason());
     telem.Event("guard_trip", reason);
@@ -65,6 +73,29 @@ void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
                      : 1.0);
   telem.SetGauge("join.seconds.total", stats.TotalSeconds(),
                  obs::Stability::kRuntime);
+  // Bitmap pre-filter effectiveness (DESIGN.md Section 11). The counters
+  // derive from JoinStats, so they are deterministic; a disabled filter
+  // reports 0 checked / 0 pruned and a 0.0 rate.
+  telem.Attr("bitmap_filter_checked", stats.bitmap_filter_checked);
+  telem.Attr("bitmap_filter_pruned", stats.bitmap_filter_pruned);
+  telem.AddCount("join.bitmap_filter_checked", stats.bitmap_filter_checked);
+  telem.AddCount("join.bitmap_filter_pruned", stats.bitmap_filter_pruned);
+  telem.SetGauge("join.bitmap_prune_rate",
+                 stats.bitmap_filter_checked > 0
+                     ? static_cast<double>(stats.bitmap_filter_pruned) /
+                           static_cast<double>(stats.bitmap_filter_checked)
+                     : 0.0);
+  // Which IntersectSize kernel verification actually ran: runtime-only
+  // (the mix depends on __builtin_cpu_supports and the SSJOIN_SIMD build
+  // gate, so it must stay out of the deterministic export).
+  kernels::IntersectCounts isect = kernels::IntersectDispatchCounts();
+  telem.AddCount("join.intersect.scalar", isect.scalar - isect_start.scalar,
+                 obs::Stability::kRuntime);
+  telem.AddCount("join.intersect.galloping",
+                 isect.galloping - isect_start.galloping,
+                 obs::Stability::kRuntime);
+  telem.AddCount("join.intersect.simd", isect.simd - isect_start.simd,
+                 obs::Stability::kRuntime);
   // Drift actuals: everything stable the advisor can predict, plus the
   // run outcome quantities (one-sided entries render without a ratio).
   // RecordActual is null-safe — a detached explain costs one compare.
@@ -81,6 +112,10 @@ void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
                     static_cast<double>(stats.results));
   obs::RecordActual(explain, "join.false_positives",
                     static_cast<double>(stats.false_positives));
+  obs::RecordActual(explain, "join.bitmap_filter_checked",
+                    static_cast<double>(stats.bitmap_filter_checked));
+  obs::RecordActual(explain, "join.bitmap_filter_pruned",
+                    static_cast<double>(stats.bitmap_filter_pruned));
   if (explain != nullptr) {
     explain->joins += 1;
     explain->siggen_seconds += stats.siggen_seconds;
@@ -239,19 +274,76 @@ struct ShardCandidates {
   uint64_t collisions = 0;
 };
 
-void SortUnique(std::vector<uint64_t>* packed) {
-  std::sort(packed->begin(), packed->end());
-  packed->erase(std::unique(packed->begin(), packed->end()), packed->end());
-}
-
 // Self-join candidate generation over one shard's sorted postings.
 // Within a signature group the (sig, id) postings are unique and sorted,
-// so ids ascend: a < b already yields first < second.
+// so ids ascend: a < b already yields first < second. Dedup runs through
+// a flat open-addressing table (core/kernels/flat_set.h) — one Mix64
+// probe per occurrence instead of sort+unique over the occurrence list —
+// and ExtractSorted() restores the exact sorted duplicate-free vector
+// the old path produced.
+// Occurrence-count cutoff for the flat dedup table. Below it the table
+// (sized for every insertion up front, so it never rehashes) stays
+// cache-resident and one Mix64 probe per occurrence beats sort+unique
+// handily; above it every probe is a cache miss into a multi-MiB table
+// and the sequential sort wins back. Both paths produce the identical
+// sorted duplicate-free vector, so the switch is invisible in output.
+constexpr uint64_t kFlatDedupMaxInsertions = 1ull << 17;
+
+// Dedup sink for the candidate shards: flat table or occurrence vector
+// chosen once per shard from the exact insertion count.
+class CandidateDedup {
+ public:
+  explicit CandidateDedup(uint64_t expected_insertions, size_t reserve) {
+    use_flat_ = expected_insertions <= kFlatDedupMaxInsertions;
+    if (use_flat_) {
+      flat_.Reserve(std::max<size_t>(
+          reserve, static_cast<size_t>(expected_insertions)));
+    } else {
+      occurrences_.reserve(static_cast<size_t>(expected_insertions));
+    }
+  }
+
+  void Insert(uint64_t key) {
+    if (use_flat_) {
+      flat_.Insert(key);
+    } else {
+      occurrences_.push_back(key);
+    }
+  }
+
+  std::vector<uint64_t> ExtractSorted() {
+    if (use_flat_) return flat_.ExtractSorted();
+    std::sort(occurrences_.begin(), occurrences_.end());
+    occurrences_.erase(
+        std::unique(occurrences_.begin(), occurrences_.end()),
+        occurrences_.end());
+    return std::move(occurrences_);
+  }
+
+ private:
+  bool use_flat_ = true;
+  kernels::FlatU64Set flat_;
+  std::vector<uint64_t> occurrences_;
+};
+
 ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
                               size_t reserve,
                               const std::function<bool()>& stop) {
   ShardCandidates out;
-  out.packed.reserve(reserve);
+  // Pre-scan the signature groups for the exact insertion count
+  // (== collisions >= distinct candidates): one sequential pass picks
+  // the dedup strategy and sizes it in a single allocation.
+  uint64_t expected = 0;
+  for (size_t g = 0; g < postings.size();) {
+    size_t h = g;
+    while (h < postings.size() && postings[h].first == postings[g].first) {
+      ++h;
+    }
+    uint64_t group = h - g;
+    expected += group * (group - 1) / 2;
+    g = h;
+  }
+  CandidateDedup dedup(expected, reserve);
   size_t i = 0;
   uint64_t groups = 0;
   while (i < postings.size()) {
@@ -264,13 +356,12 @@ ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
     out.collisions += group * (group - 1) / 2;
     for (size_t a = i; a < j; ++a) {
       for (size_t b = a + 1; b < j; ++b) {
-        out.packed.push_back(
-            PackPair(postings[a].second, postings[b].second));
+        dedup.Insert(PackPair(postings[a].second, postings[b].second));
       }
     }
     i = j;
   }
-  SortUnique(&out.packed);
+  out.packed = dedup.ExtractSorted();
   return out;
 }
 
@@ -280,7 +371,27 @@ ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
                                 size_t reserve,
                                 const std::function<bool()>& stop) {
   ShardCandidates out;
-  out.packed.reserve(reserve);
+  // Same exact-insertion-count pre-scan as SelfJoinShard, via a dry
+  // merge over the two posting lists.
+  uint64_t expected = 0;
+  for (size_t gi = 0, gj = 0;
+       gi < postings_r.size() && gj < postings_s.size();) {
+    Signature sr = postings_r[gi].first;
+    Signature ss = postings_s[gj].first;
+    if (sr < ss) {
+      ++gi;
+    } else if (ss < sr) {
+      ++gj;
+    } else {
+      size_t ei = gi, ej = gj;
+      while (ei < postings_r.size() && postings_r[ei].first == sr) ++ei;
+      while (ej < postings_s.size() && postings_s[ej].first == sr) ++ej;
+      expected += static_cast<uint64_t>(ei - gi) * (ej - gj);
+      gi = ei;
+      gj = ej;
+    }
+  }
+  CandidateDedup dedup(expected, reserve);
   size_t i = 0, j = 0;
   uint64_t iters = 0;
   while (i < postings_r.size() && j < postings_s.size()) {
@@ -298,15 +409,14 @@ ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
       out.collisions += static_cast<uint64_t>(ei - i) * (ej - j);
       for (size_t a = i; a < ei; ++a) {
         for (size_t b = j; b < ej; ++b) {
-          out.packed.push_back(
-              PackPair(postings_r[a].second, postings_s[b].second));
+          dedup.Insert(PackPair(postings_r[a].second, postings_s[b].second));
         }
       }
       i = ei;
       j = ej;
     }
   }
-  SortUnique(&out.packed);
+  out.packed = dedup.ExtractSorted();
   return out;
 }
 
@@ -387,6 +497,43 @@ std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
   return candidates;
 }
 
+// Builds the XOR bitmap signature table for `input` with the rows
+// sharded across the pool. Row contents are per-set independent, so the
+// table is byte-identical for every thread count.
+kernels::BitmapTable BuildBitmap(const SetCollection& input, uint32_t bits,
+                                 ThreadPool& pool) {
+  kernels::BitmapTable table =
+      kernels::BitmapTable::Prepare(input.size(), bits);
+  ParallelFor(pool, input.size(),
+              [&](size_t begin, size_t end, size_t) {
+                table.BuildRange(input, begin, end);
+              });
+  return table;
+}
+
+// The bitmap pre-filter step shared by all verify loops: returns true
+// when the pair was pruned (provably non-matching). Pruned pairs count
+// as false positives — the filter only ever skips candidates Evaluate
+// would have rejected, so results/false_positives stay byte-identical
+// with the filter on or off; only the two bitmap_* counters record that
+// the filter did the rejecting.
+inline bool BitmapPrunes(const kernels::BitmapTable* bm_r,
+                         const kernels::BitmapTable* bm_s,
+                         const Predicate& predicate, SetId id_r, SetId id_s,
+                         size_t size_r, size_t size_s, uint64_t* checked,
+                         uint64_t* pruned) {
+  if (bm_r == nullptr) return false;
+  ++*checked;
+  if (kernels::BitmapTable::MayMatch(predicate, bm_r->row(id_r),
+                                     bm_s->row(id_s), bm_r->words_per_set(),
+                                     static_cast<uint32_t>(size_r),
+                                     static_cast<uint32_t>(size_s))) {
+    return false;
+  }
+  ++*pruned;
+  return true;
+}
+
 // Verifies a sorted candidate vector in parallel ranges. The chunks are
 // contiguous slices of a sorted vector, so concatenating the per-chunk
 // outputs in chunk order yields result->pairs already sorted — the
@@ -402,20 +549,30 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
                   const std::vector<uint64_t>& candidates,
                   const Predicate& predicate, ThreadPool& pool,
                   ExecutionGuard* guard, obs::JoinTelemetry* telem,
-                  JoinResult* result) {
+                  const kernels::BitmapTable* bm_r,
+                  const kernels::BitmapTable* bm_s, JoinResult* result) {
   size_t chunks = pool.size();
   if (guard == nullptr) {
     std::vector<std::vector<SetPair>> pairs(chunks);
     std::vector<uint64_t> results(chunks, 0);
     std::vector<uint64_t> false_positives(chunks, 0);
+    std::vector<uint64_t> bitmap_checked(chunks, 0);
+    std::vector<uint64_t> bitmap_pruned(chunks, 0);
     ParallelFor(pool, candidates.size(),
                 [&](size_t begin, size_t end, size_t c) {
                   std::vector<SetPair>& mine = pairs[c];
                   mine.reserve((end - begin) / 4 + 1);
                   uint64_t hits = 0, misses = 0;
+                  uint64_t checked = 0, pruned = 0;
                   for (size_t i = begin; i < end; ++i) {
                     auto [id_r, id_s] = UnpackPair(candidates[i]);
-                    if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+                    auto set_r = r.set(id_r);
+                    auto set_s = s.set(id_s);
+                    if (BitmapPrunes(bm_r, bm_s, predicate, id_r, id_s,
+                                     set_r.size(), set_s.size(), &checked,
+                                     &pruned)) {
+                      ++misses;
+                    } else if (predicate.Evaluate(set_r, set_s)) {
                       mine.emplace_back(id_r, id_s);
                       ++hits;
                     } else {
@@ -424,6 +581,8 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
                   }
                   results[c] = hits;
                   false_positives[c] = misses;
+                  bitmap_checked[c] = checked;
+                  bitmap_pruned[c] = pruned;
                 });
     size_t total = 0;
     for (const std::vector<SetPair>& p : pairs) total += p.size();
@@ -433,6 +592,8 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
                            pairs[c].end());
       result->stats.results += results[c];
       result->stats.false_positives += false_positives[c];
+      result->stats.bitmap_filter_checked += bitmap_checked[c];
+      result->stats.bitmap_filter_pruned += bitmap_pruned[c];
     }
     return Status::OK();
   }
@@ -454,12 +615,20 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
     std::vector<std::vector<SetPair>> pairs(chunks);
     std::vector<uint64_t> results(chunks, 0);
     std::vector<uint64_t> false_positives(chunks, 0);
+    std::vector<uint64_t> bitmap_checked(chunks, 0);
+    std::vector<uint64_t> bitmap_pruned(chunks, 0);
     ParallelFor(pool, s1 - s0, [&](size_t begin, size_t end, size_t c) {
       std::vector<SetPair>& mine = pairs[c];
       uint64_t hits = 0, misses = 0;
+      uint64_t checked = 0, pruned = 0;
       for (size_t i = begin; i < end; ++i) {
         auto [id_r, id_s] = UnpackPair(candidates[s0 + i]);
-        if (predicate.Evaluate(r.set(id_r), s.set(id_s))) {
+        auto set_r = r.set(id_r);
+        auto set_s = s.set(id_s);
+        if (BitmapPrunes(bm_r, bm_s, predicate, id_r, id_s, set_r.size(),
+                         set_s.size(), &checked, &pruned)) {
+          ++misses;
+        } else if (predicate.Evaluate(set_r, set_s)) {
           mine.emplace_back(id_r, id_s);
           ++hits;
         } else {
@@ -468,6 +637,8 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
       }
       results[c] = hits;
       false_positives[c] = misses;
+      bitmap_checked[c] = checked;
+      bitmap_pruned[c] = pruned;
     });
     size_t appended = 0;
     for (size_t c = 0; c < chunks; ++c) {
@@ -476,6 +647,8 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
       appended += pairs[c].size();
       result->stats.results += results[c];
       result->stats.false_positives += false_positives[c];
+      result->stats.bitmap_filter_checked += bitmap_checked[c];
+      result->stats.bitmap_filter_pruned += bitmap_pruned[c];
     }
     guard->ChargeMemory(appended * sizeof(SetPair));
   }
@@ -503,6 +676,18 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
+
+  // Bitmap pre-filter rows for the whole input (ids are known upfront
+  // even though the index grows incrementally). Built inside the
+  // postfilter clock: it is verification infrastructure.
+  kernels::BitmapTable bitmap;
+  const bool use_bitmap = options.verify && options.bitmap_bits != 0;
+  if (use_bitmap) {
+    auto scope = telem.Time(&result.stats.postfilter_seconds);
+    bitmap = kernels::BitmapTable::Build(input, options.bitmap_bits);
+    if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
+  }
 
   // Inverted index: signature -> ids of already-processed sets.
   std::unordered_map<Signature, std::vector<SetId>> index;
@@ -559,8 +744,15 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
     }
     if (options.verify) {
       auto scope = telem.Time(&result.stats.postfilter_seconds);
+      auto set_id = input.set(id);
       for (SetId partner : probe_candidates) {
-        if (predicate.Evaluate(input.set(partner), input.set(id))) {
+        auto set_p = input.set(partner);
+        if (BitmapPrunes(use_bitmap ? &bitmap : nullptr, &bitmap, predicate,
+                         partner, id, set_p.size(), set_id.size(),
+                         &result.stats.bitmap_filter_checked,
+                         &result.stats.bitmap_filter_pruned)) {
+          ++result.stats.false_positives;
+        } else if (predicate.Evaluate(set_p, set_id)) {
           result.pairs.emplace_back(partner, id);
           ++result.stats.results;
         } else {
@@ -578,11 +770,11 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard, options.explain);
+  FinishJoin(telem, result, guard, options.explain, isect0);
   return result;
 }
 
@@ -611,10 +803,22 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   size_t chunks = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
   obs::Histogram* block_micros =
       options.metrics != nullptr
           ? &options.metrics->histogram("join.pipeline.block_micros")
           : nullptr;
+
+  // Bitmap pre-filter rows, sharded across the pool (must match the
+  // serial driver's table bit for bit — BuildRange rows are per-set
+  // independent, so it does).
+  kernels::BitmapTable bitmap;
+  const bool use_bitmap = options.verify && options.bitmap_bits != 0;
+  if (use_bitmap) {
+    auto scope = telem.Time(&result.stats.postfilter_seconds);
+    bitmap = BuildBitmap(input, options.bitmap_bits, pool);
+    if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
+  }
 
   std::unordered_map<Signature, std::vector<SetId>> index;
   if (options.table_reserve > 0) index.reserve(options.table_reserve);
@@ -717,13 +921,22 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
       std::vector<std::vector<SetPair>> pairs(chunks);
       std::vector<uint64_t> results(chunks, 0);
       std::vector<uint64_t> false_positives(chunks, 0);
+      std::vector<uint64_t> bitmap_checked(chunks, 0);
+      std::vector<uint64_t> bitmap_pruned(chunks, 0);
+      const kernels::BitmapTable* bm = use_bitmap ? &bitmap : nullptr;
       ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
         std::vector<SetPair>& mine = pairs[c];
         uint64_t hits = 0, misses = 0;
+        uint64_t checked = 0, pruned = 0;
         for (size_t i = begin; i < end; ++i) {
           SetId id = static_cast<SetId>(b0 + i);
+          auto set_id = input.set(id);
           for (SetId partner : block_partners[i]) {
-            if (predicate.Evaluate(input.set(partner), input.set(id))) {
+            auto set_p = input.set(partner);
+            if (BitmapPrunes(bm, bm, predicate, partner, id, set_p.size(),
+                             set_id.size(), &checked, &pruned)) {
+              ++misses;
+            } else if (predicate.Evaluate(set_p, set_id)) {
               mine.emplace_back(partner, id);
               ++hits;
             } else {
@@ -733,12 +946,16 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
         }
         results[c] = hits;
         false_positives[c] = misses;
+        bitmap_checked[c] = checked;
+        bitmap_pruned[c] = pruned;
       });
       for (size_t c = 0; c < chunks; ++c) {
         result.pairs.insert(result.pairs.end(), pairs[c].begin(),
                             pairs[c].end());
         result.stats.results += results[c];
         result.stats.false_positives += false_positives[c];
+        result.stats.bitmap_filter_checked += bitmap_checked[c];
+        result.stats.bitmap_filter_pruned += bitmap_pruned[c];
       }
     }
     {
@@ -755,11 +972,11 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
     result.status = std::move(trip);
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
   std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard, options.explain);
+  FinishJoin(telem, result, guard, options.explain, isect0);
   return result;
 }
 
@@ -772,7 +989,9 @@ std::string JoinStats::ToString() const {
      << ") sigs=" << signatures_r << "+" << signatures_s
      << " collisions=" << signature_collisions << " F2=" << F2()
      << " candidates=" << candidates << " results=" << results
-     << " false_pos=" << false_positives;
+     << " false_pos=" << false_positives
+     << " bitmap_checked=" << bitmap_filter_checked
+     << " bitmap_pruned=" << bitmap_filter_pruned;
   return os.str();
 }
 
@@ -794,11 +1013,12 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
 
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return std::move(result);
   };
 
@@ -854,7 +1074,7 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   }
 
   if (!options.verify) {
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
 
@@ -862,12 +1082,19 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   {
     auto scope = telem.Phase(obs::kPhasePostFilter,
                              &result.stats.postfilter_seconds);
+    kernels::BitmapTable bitmap;
+    const kernels::BitmapTable* bm = nullptr;
+    if (options.bitmap_bits != 0) {
+      bitmap = BuildBitmap(input, options.bitmap_bits, pool);
+      if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
+      bm = &bitmap;
+    }
     post_status = PostFilter(input, input, candidates, predicate, pool,
-                             guard, &telem, &result);
+                             guard, &telem, bm, bm, &result);
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  FinishJoin(telem, result, guard, options.explain);
+  FinishJoin(telem, result, guard, options.explain, isect0);
   return result;
 }
 
@@ -888,11 +1115,12 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
 
   auto trip_return = [&](Status st) {
     result.pairs.clear();
     result.status = std::move(st);
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return std::move(result);
   };
 
@@ -952,7 +1180,7 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   }
 
   if (!options.verify) {
-    FinishJoin(telem, result, guard, options.explain);
+    FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
 
@@ -960,12 +1188,24 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   {
     auto scope = telem.Phase(obs::kPhasePostFilter,
                              &result.stats.postfilter_seconds);
+    kernels::BitmapTable bitmap_r, bitmap_s;
+    const kernels::BitmapTable* bm_r = nullptr;
+    const kernels::BitmapTable* bm_s = nullptr;
+    if (options.bitmap_bits != 0) {
+      bitmap_r = BuildBitmap(r, options.bitmap_bits, pool);
+      bitmap_s = BuildBitmap(s, options.bitmap_bits, pool);
+      if (guard != nullptr) {
+        guard->ChargeMemory(bitmap_r.size_bytes() + bitmap_s.size_bytes());
+      }
+      bm_r = &bitmap_r;
+      bm_s = &bitmap_s;
+    }
     post_status = PostFilter(r, s, candidates, predicate, pool, guard,
-                             &telem, &result);
+                             &telem, bm_r, bm_s, &result);
   }
   if (!post_status.ok()) return trip_return(std::move(post_status));
 
-  FinishJoin(telem, result, guard, options.explain);
+  FinishJoin(telem, result, guard, options.explain, isect0);
   return result;
 }
 
@@ -1011,12 +1251,17 @@ JoinResult Join(const JoinRequest& request) {
   if (request.predicate == nullptr) {
     return invalid("JoinRequest::predicate is required");
   }
+  if (!kernels::IsValidBitmapBits(request.options.bitmap_bits)) {
+    return invalid(
+        "JoinOptions::bitmap_bits must be 0 (off), 64, 128, or 256");
+  }
   // EXPLAIN header: the chosen driver and the stable input-size params.
   // Thread count is deliberately absent — the report's stable fields
   // must be byte-identical across thread counts (DESIGN.md Section 9).
   if (obs::ExplainReport* ex = request.options.explain) {
     ex->mode = std::string(ExecutionModeName(request.mode));
     ex->SetParam("input_sets", std::to_string(request.left->size()));
+    ex->SetParam("bitmap_bits", std::to_string(request.options.bitmap_bits));
     if (request.mode == ExecutionMode::kBinaryJoin &&
         request.right != nullptr) {
       ex->SetParam("input_sets_r", std::to_string(request.left->size()));

@@ -60,6 +60,15 @@ struct JoinOptions {
   /// Reserve hint for the candidate containers / signature index
   /// (0 = derive from input).
   size_t table_reserve = 0;
+  /// Width of the XOR bitmap pre-filter (core/kernels/bitmap_filter.h)
+  /// applied between candidate generation and exact verification: 64,
+  /// 128 (default) or 256 bits per set, 0 disables the filter. The
+  /// filter is exact — it never rejects a true match — so the join
+  /// output and all legacy stats are byte-identical for every setting;
+  /// only bitmap_filter_checked / bitmap_filter_pruned and wall-clock
+  /// change. Ignored when verify == false (there is nothing to
+  /// pre-filter). Invalid widths make Join() return InvalidArgument.
+  uint32_t bitmap_bits = 128;
   /// Worker threads for the drivers: 1 (default) runs the serial
   /// reference path on the calling thread, 0 means one thread per
   /// hardware core, any other value is used literally. Every thread
@@ -126,6 +135,14 @@ struct JoinStats {
   /// Candidates that failed the predicate (filtering-effectiveness
   /// measure 2 of Section 3.2).
   uint64_t false_positives = 0;
+
+  /// Candidates examined by the bitmap pre-filter (== candidates when
+  /// the filter is on, 0 when bitmap_bits == 0 or verify == false).
+  uint64_t bitmap_filter_checked = 0;
+  /// Candidates the bitmap filter proved non-matching — these skip the
+  /// exact Predicate::Evaluate but still count into false_positives, so
+  /// every legacy stat is identical with the filter on or off.
+  uint64_t bitmap_filter_pruned = 0;
 
   std::string ToString() const;
 };

@@ -1,8 +1,10 @@
 #include "core/weighted.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "core/kernels/intersect.h"
 #include "util/check.h"
 
 namespace ssjoin {
@@ -21,6 +23,38 @@ double WeightedSize(std::span<const ElementId> set,
 double WeightedIntersection(std::span<const ElementId> r,
                             std::span<const ElementId> s,
                             const WeightFunction& weights) {
+  // Skewed pairs gallop (same policy and ratio as kernels::IntersectSize):
+  // each element of the small side is located in the large side by a
+  // forward doubling probe instead of scanning it. Shared elements are
+  // visited in the same ascending order as the merge below, so the
+  // floating-point accumulation order — and therefore the sum — is
+  // bit-identical to the scalar path.
+  std::span<const ElementId> small = r.size() <= s.size() ? r : s;
+  std::span<const ElementId> large = r.size() <= s.size() ? s : r;
+  if (!small.empty() &&
+      large.size() >= kernels::kGallopRatio * small.size()) {
+    double total = 0;
+    size_t lo = 0;
+    for (ElementId value : small) {
+      size_t step = 1;
+      size_t hi = lo;
+      while (hi < large.size() && large[hi] < value) {
+        lo = hi;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, large.size());
+      const ElementId* pos =
+          std::lower_bound(large.data() + lo, large.data() + hi, value);
+      lo = static_cast<size_t>(pos - large.data());
+      if (lo == large.size()) break;
+      if (large[lo] == value) {
+        total += weights(value);
+        ++lo;
+      }
+    }
+    return total;
+  }
   double total = 0;
   size_t i = 0, j = 0;
   while (i < r.size() && j < s.size()) {

@@ -20,6 +20,7 @@ constexpr double kEps = 1e-9;
 // One element of the set under enumeration, with both weight systems.
 struct Entry {
   ElementId element;
+  uint64_t mixed_element;  // Mix64(element), computed once per set
   double size_weight;   // defines the predicate threshold T (step 2)
   double order_weight;  // IDF weight: ordering and TH accounting (step 3)
 };
@@ -101,8 +102,10 @@ struct Enumeration {
       double new_sum = sum + entries[idx].size_weight;
       double new_min = std::min(min_w, entries[idx].size_weight);
       double new_idf = idf_sum + entries[idx].order_weight;
+      // Fold the precomputed Mix64 — the DFS revisits each element once
+      // per prefix, and the old per-visit Add() re-mixed it every time.
       SequenceHasher new_hasher = prefix_hasher;
-      new_hasher.Add(entries[idx].element);
+      new_hasher.AddMixed(entries[idx].mixed_element);
       if (new_sum >= threshold) {
         // `chosen ∪ {idx}` crossed T: it is a candidate minimal subset.
         // Supersets are non-minimal, so the branch ends here either way.
@@ -149,6 +152,7 @@ Result<WtEnumScheme> WtEnumScheme::CreateOverlap(WeightFunction size_weights,
   scheme.size_weights_ = std::move(size_weights);
   scheme.order_weights_ = std::move(order_weights);
   scheme.params_ = params;
+  scheme.seeded_root_ = SequenceHasher(params.seed);
   scheme.jaccard_mode_ = false;
   scheme.threshold_ = threshold;
   return scheme;
@@ -177,6 +181,7 @@ Result<WtEnumScheme> WtEnumScheme::CreateJaccard(WeightFunction size_weights,
   scheme.size_weights_ = std::move(size_weights);
   scheme.order_weights_ = std::move(order_weights);
   scheme.params_ = params;
+  scheme.seeded_root_ = SequenceHasher(params.seed);
   scheme.jaccard_mode_ = true;
   scheme.gamma_ = gamma;
   scheme.base_size_ = min_weighted_size * (1.0 - kEps);
@@ -220,7 +225,8 @@ void WtEnumScheme::EnumerateForThreshold(std::span<const ElementId> set,
   std::vector<Entry> entries;
   entries.reserve(set.size());
   for (ElementId e : set) {
-    entries.push_back(Entry{e, size_weights_(e), order_weights_(e)});
+    entries.push_back(Entry{e, Mix64(e), size_weights_(e),
+                            order_weights_(e)});
   }
   // Descending IDF (order weight); ties by element id for determinism.
   std::sort(entries.begin(), entries.end(), [](const Entry& a,
@@ -254,7 +260,9 @@ void WtEnumScheme::EnumerateForThreshold(std::span<const ElementId> set,
                           false,
                           &emitted,
                           out};
-  SequenceHasher root(params_.seed);
+  // Copy the seeded state hoisted at Create time instead of re-running
+  // the seed mix per (set, threshold) instance (wtenum.h note).
+  SequenceHasher root = seeded_root_;
   root.Add(tag);
   enumeration.Dfs(0, 0.0, std::numeric_limits<double>::infinity(), 0.0, root);
   if (enumeration.overflowed) {

@@ -41,6 +41,7 @@
 
 #include "core/signature_scheme.h"
 #include "core/weighted.h"
+#include "util/hashing.h"
 #include "util/status.h"
 
 namespace ssjoin {
@@ -104,6 +105,11 @@ class WtEnumScheme final : public SignatureScheme {
   WeightFunction size_weights_;
   WeightFunction order_weights_;
   WtEnumParams params_;
+  // Hasher state after folding the seed, computed once at Create time:
+  // each EnumerateForThreshold call copies this instead of re-running
+  // the constructor's Mix64 chain (value-exact hoist; the per-element
+  // mixes are likewise precomputed into Entry::mixed_element).
+  SequenceHasher seeded_root_{0};
   bool jaccard_mode_ = false;
   double threshold_ = 0;  // overlap mode
   double gamma_ = 0;      // jaccard mode

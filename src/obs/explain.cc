@@ -249,6 +249,25 @@ std::string ExplainText(const ExplainReport& report,
       out += buf;
     }
   }
+  // Bitmap pre-filter stage summary (derived from the drift actuals the
+  // drivers record; both names are registered in obs/stability.h).
+  double bitmap_checked = 0, bitmap_pruned = 0;
+  for (const DriftEntry& entry : report.drift) {
+    if (!entry.has_actual) continue;
+    if (entry.name == "join.bitmap_filter_checked") {
+      bitmap_checked = entry.actual;
+    } else if (entry.name == "join.bitmap_filter_pruned") {
+      bitmap_pruned = entry.actual;
+    }
+  }
+  if (bitmap_checked > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  bitmap filter: checked=%.0f pruned=%.0f "
+                  "prune_rate=%.1f%%\n",
+                  bitmap_checked, bitmap_pruned,
+                  100.0 * bitmap_pruned / bitmap_checked);
+    out += buf;
+  }
   out += "  runtime (excluded from the stable JSONL export):\n";
   std::snprintf(buf, sizeof(buf),
                 "    siggen=%.3fs candpair=%.3fs postfilter=%.3fs\n",

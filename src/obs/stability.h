@@ -68,6 +68,10 @@ inline constexpr std::string_view kAttrSignatureCollisions =
 inline constexpr std::string_view kAttrCandidates = "candidates";
 inline constexpr std::string_view kAttrResults = "results";
 inline constexpr std::string_view kAttrFalsePositives = "false_positives";
+inline constexpr std::string_view kAttrBitmapFilterChecked =
+    "bitmap_filter_checked";
+inline constexpr std::string_view kAttrBitmapFilterPruned =
+    "bitmap_filter_pruned";
 inline constexpr std::string_view kAttrRows = "rows";
 
 // Span events.
@@ -84,6 +88,24 @@ inline constexpr std::string_view kJoinFalsePositives =
     "join.false_positives";
 inline constexpr std::string_view kJoinCandidateDedupRatio =
     "join.candidate_dedup_ratio";
+// Bitmap pre-filter effectiveness (core/kernels/bitmap_filter.h):
+// counters and the derived prune rate are all functions of JoinStats, so
+// they are kStable.
+inline constexpr std::string_view kJoinBitmapFilterChecked =
+    "join.bitmap_filter_checked";
+inline constexpr std::string_view kJoinBitmapFilterPruned =
+    "join.bitmap_filter_pruned";
+inline constexpr std::string_view kJoinBitmapPruneRate =
+    "join.bitmap_prune_rate";
+// IntersectSize dispatch counts (core/kernels/intersect.h): which kernel
+// — scalar, galloping, or the SIMD block compare — verification chose
+// per pair. CPU- and build-dependent, hence kRuntime only.
+inline constexpr std::string_view kJoinIntersectScalar =
+    "join.intersect.scalar";
+inline constexpr std::string_view kJoinIntersectGalloping =
+    "join.intersect.galloping";
+inline constexpr std::string_view kJoinIntersectSimd =
+    "join.intersect.simd";
 inline constexpr std::string_view kJoinSecondsTotal = "join.seconds.total";
 inline constexpr std::string_view kJoinShardCandidates =
     "join.shard.candidates";
@@ -115,6 +137,7 @@ inline constexpr std::string_view kParamN1 = "n1";
 inline constexpr std::string_view kParamN2 = "n2";
 inline constexpr std::string_view kParamAlgo = "algo";
 inline constexpr std::string_view kParamInput = "input";
+inline constexpr std::string_view kParamBitmapBits = "bitmap_bits";
 // Note: there is deliberately no "threads" param — explain params are
 // exported in the stable JSONL, which must be byte-identical across
 // thread counts. Thread count is runtime detail (the human report).

@@ -23,9 +23,17 @@ constexpr uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// The combine step of HashCombine with the expensive Mix64 already
+/// applied to the value. Batched callers (core/kernels/hash_kernels.h)
+/// precompute Mix64 once per element and fold it many times through
+/// this — value-exact with HashCombine by construction.
+constexpr uint64_t CombineMixed(uint64_t seed, uint64_t mixed) {
+  return seed ^ (mixed + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
 /// Combines a hash accumulator with the next value (boost-style, 64-bit).
 constexpr uint64_t HashCombine(uint64_t seed, uint64_t v) {
-  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  return CombineMixed(seed, Mix64(v));
 }
 
 /// Hashes a 32-bit value with an explicit seed, producing a 64-bit hash.
@@ -41,6 +49,11 @@ class SequenceHasher {
       : state_(Mix64(seed)) {}
 
   void Add(uint64_t v) { state_ = HashCombine(state_, v); }
+
+  /// Folds a value whose Mix64 was precomputed (MixBatch). Equivalent to
+  /// Add(v) when `mixed == Mix64(v)` — the hot siggen loops (PartEnum
+  /// subsets, WtEnum DFS) mix each element once and fold it per subset.
+  void AddMixed(uint64_t mixed) { state_ = CombineMixed(state_, mixed); }
 
   void AddSpan(std::span<const uint32_t> values) {
     for (uint32_t v : values) Add(v);
