@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                     result.stats.false_positives),
                 static_cast<unsigned long long>(result.stats.results),
                 result.stats.results == results64 ? "" : "  RESULTS DIFFER");
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(hash collisions only merge signatures, so results are identical\n"

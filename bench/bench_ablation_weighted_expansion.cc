@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(result.stats.results));
       }
     }
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(Section 7: the expansion needs O(alpha^2.39) more signatures for\n"

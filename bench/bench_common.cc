@@ -237,7 +237,10 @@ bool WriteParallelScalingJson(const std::string& path,
         i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  if (std::fclose(out) != 0) {
+    std::fprintf(stderr, "error: write failed for %s\n", path.c_str());
+    return false;
+  }
   return true;
 }
 

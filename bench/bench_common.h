@@ -113,7 +113,7 @@ inline void PrintTimeRow(size_t size, const std::string& threshold,
               stats.TotalSeconds(),
               static_cast<unsigned long long>(stats.candidates),
               static_cast<unsigned long long>(stats.results));
-  std::fflush(stdout);
+  std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
 }
 
 inline void PrintF2Header() {
@@ -130,7 +130,7 @@ inline void PrintF2Row(size_t size, const std::string& threshold,
                                       stats.signatures_s),
       static_cast<unsigned long long>(stats.signature_collisions),
       static_cast<unsigned long long>(stats.F2()));
-  std::fflush(stdout);
+  std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
 }
 
 /// Minimal command-line parsing for the bench harnesses (kept free of

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(indexed->stats.F2()),
                 static_cast<unsigned long long>(indexed->stats.results),
                 driver.pairs == indexed->pairs ? "yes" : "NO");
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(F2 is identical across engines by construction; wall time\n"

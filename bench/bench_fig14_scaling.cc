@@ -91,7 +91,7 @@ void RunScalingSeries(BenchRun& run, double gamma) {
     pf_f2.push_back(row[2]);
     std::printf("%-10zu %-14.3g %-14.3g %-14.3g\n", size, row[0], row[1],
                 row[2]);
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "log-log slopes: PEN=%.2f LSH=%.2f PF=%.2f   "
@@ -134,7 +134,7 @@ void RunGammaSweep(BenchRun& run) {
     }
     std::printf("%-8.2f %-14.3g %-14.3g %-14.3g\n", gamma, values[0],
                 values[1], values[2]);
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "(paper: PEN cost rises steeply as gamma decreases; LSH(0.99) costs\n"

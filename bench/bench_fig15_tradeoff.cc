@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(num_sign),
                 static_cast<unsigned long long>(collisions),
                 static_cast<unsigned long long>(result.stats.candidates));
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(paper Figure 15: moving right, NumSign rises monotonically while\n"

@@ -125,7 +125,10 @@ bool WriteJson(const std::string& path, size_t input_size, size_t threads,
         r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  if (std::fclose(out) != 0) {
+    std::fprintf(stderr, "error: write failed for %s\n", path.c_str());
+    return false;
+  }
   return true;
 }
 

@@ -64,7 +64,7 @@ int main() {
     std::printf("%-12zu %-16s %-22llu %-14.4g\n", target, shape,
                 static_cast<unsigned long long>(choice->signatures_per_set),
                 choice->estimated_f2);
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(paper Table 1: (9,3)->13 sigs at 10K shrinking n1 / growing\n"

@@ -78,7 +78,7 @@ int main() {
                 static_cast<unsigned long long>(params.SignaturesPerSet()),
                 100.0 * collisions / std::max(checked, 1),
                 std::pow(k, 2.39));
-    std::fflush(stdout);
+    std::fflush(stdout);  // ssjoin-lint: allow(no-unchecked-io) progress display
   }
   std::printf(
       "\n(expected: collision rate near zero for all k; signatures grow\n"

@@ -1,0 +1,138 @@
+// Internal building blocks of the Figure-2 drivers, shared between the
+// in-memory execution paths (core/ssjoin.cc) and the out-of-core spill
+// driver (core/spill/spill_join.cc).
+//
+// Everything here used to live in ssjoin.cc's anonymous namespace; the
+// spill layer reuses it verbatim so a spilled join is the same candidate
+// generation and the same verification code operating on partition-sized
+// slices — which is what makes the byte-identity contract (DESIGN.md
+// Section 12) a structural property instead of a test hope.
+//
+// This header is internal: nothing in it is API, and its contracts (in
+// particular the determinism notes on each function) are those of
+// DESIGN.md Sections 6-7.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/execution_guard.h"
+#include "core/kernels/bitmap_filter.h"
+#include "core/kernels/intersect.h"
+#include "core/predicate.h"
+#include "core/signature_scheme.h"
+#include "core/ssjoin.h"
+#include "core/types.h"
+#include "data/collection.h"
+#include "obs/join_telemetry.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ssjoin::detail {
+
+// One (signature, set id) occurrence; sorted order groups equal
+// signatures and, within a group, ascends by id.
+using Posting = std::pair<Signature, SetId>;
+
+// Wraps guard->ShouldStop(phase) for the interruptible ParallelFor
+// overload. Empty when no guard is attached, which selects the plain
+// (single-invocation-per-chunk) ParallelFor — unguarded runs execute the
+// exact pre-guard code path.
+std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase);
+
+// Publishes the end-of-join accounting — root-span attributes plus the
+// join.* metrics — and, when the guard tripped, the trip cause as a span
+// event on the root. Called on every exit path. `isect_start` is the
+// process-wide intersect-kernel dispatch snapshot taken at driver entry.
+void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
+                ExecutionGuard* guard, obs::ExplainReport* explain,
+                const kernels::IntersectCounts& isect_start);
+
+// Replaces *scratch with the deduplicated, sorted Sign(set).
+void GenerateSorted(const SignatureScheme& scheme,
+                    std::span<const ElementId> set,
+                    std::vector<Signature>* scratch);
+
+// Shard assignment for candidate generation. All postings of one
+// signature land in one shard, so a signature group never straddles
+// shards: per-shard collision counts sum to exactly the serial total.
+size_t ShardOf(Signature sig, size_t shards);
+
+// One shard's candidate output: packed pairs, sorted and duplicate-free
+// within the shard (a pair can still surface in two shards via two
+// different signatures; UnionShards removes those).
+struct ShardCandidates {
+  std::vector<uint64_t> packed;
+  uint64_t collisions = 0;
+};
+
+// Self-join candidate generation over one shard's sorted postings.
+ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
+                              size_t reserve,
+                              const std::function<bool()>& stop);
+
+// Binary-join candidate generation: merge-join of the two shard slices.
+ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
+                                const std::vector<Posting>& postings_s,
+                                size_t reserve,
+                                const std::function<bool()>& stop);
+
+// Unions sorted duplicate-free candidate lists: log2(n) pairwise
+// set_union rounds, the merges of each round running in parallel.
+std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
+                                  ThreadPool& pool,
+                                  const std::function<bool()>& stop);
+
+// Shared candidate-generation phase: run `shard_fn` per pool shard, then
+// union the shard outputs. Adds into stats->signature_collisions, sets
+// stats->candidates, and returns the global sorted duplicate-free
+// candidate vector.
+std::vector<uint64_t> GenerateCandidates(
+    ThreadPool& pool,
+    const std::function<ShardCandidates(size_t)>& shard_fn,
+    const std::function<bool()>& stop, JoinStats* stats,
+    obs::JoinTelemetry* telem);
+
+// Builds the XOR bitmap signature table for `input` with the rows
+// sharded across the pool (byte-identical for every thread count).
+kernels::BitmapTable BuildBitmap(const SetCollection& input, uint32_t bits,
+                                 ThreadPool& pool);
+
+// The bitmap pre-filter step shared by all verify loops: returns true
+// when the pair was pruned (provably non-matching). Pruned pairs count
+// as false positives, so results/false_positives stay byte-identical
+// with the filter on or off.
+inline bool BitmapPrunes(const kernels::BitmapTable* bm_r,
+                         const kernels::BitmapTable* bm_s,
+                         const Predicate& predicate, SetId id_r, SetId id_s,
+                         size_t size_r, size_t size_s, uint64_t* checked,
+                         uint64_t* pruned) {
+  if (bm_r == nullptr) return false;
+  ++*checked;
+  if (kernels::BitmapTable::MayMatch(predicate, bm_r->row(id_r),
+                                     bm_s->row(id_s), bm_r->words_per_set(),
+                                     static_cast<uint32_t>(size_r),
+                                     static_cast<uint32_t>(size_s))) {
+    return false;
+  }
+  ++*pruned;
+  return true;
+}
+
+// Verifies a sorted candidate vector in parallel ranges; with a guard
+// the vector is walked in fixed-size super-chunks whose boundaries are
+// deterministic barriers (checkpoint + breaker). Returns the trip
+// Status; the caller clears result->pairs on failure.
+Status PostFilter(const SetCollection& r, const SetCollection& s,
+                  const std::vector<uint64_t>& candidates,
+                  const Predicate& predicate, ThreadPool& pool,
+                  ExecutionGuard* guard, obs::JoinTelemetry* telem,
+                  const kernels::BitmapTable* bm_r,
+                  const kernels::BitmapTable* bm_s, JoinResult* result);
+
+}  // namespace ssjoin::detail

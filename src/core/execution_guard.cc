@@ -20,6 +20,8 @@ std::string_view TripReasonName(ExecutionGuard::TripReason reason) {
       return "memory";
     case ExecutionGuard::TripReason::kCandidateExplosion:
       return "candidate_explosion";
+    case ExecutionGuard::TripReason::kDiskBudget:
+      return "disk";
   }
   return "unknown";
 }
@@ -32,20 +34,53 @@ std::string_view JoinPhaseName(JoinPhase phase) {
       return "CandGen";
     case JoinPhase::kVerify:
       return "Verify";
+    case JoinPhase::kSpill:
+      return "Spill";
   }
   return "Unknown";
 }
 
 namespace fault {
+
+#ifdef SSJOIN_FAULT_INJECT
 namespace {
 
-// One armed injection for the whole process. -1 phase = any phase,
-// -2 = disarmed. A plain struct behind atomics keeps the hook free of
-// locks; tests arm/clear serially.
-std::atomic<int> g_armed_phase{-2};
-std::atomic<int> g_armed_code{0};
+// The process-wide fault schedule. Checkpoints and spill I/O run at
+// barrier / file-operation granularity, so a mutex on the slow path is
+// fine; g_armed keeps the common no-plan case down to one relaxed load.
+struct PlanState {
+  // Number of specs not yet fired; mirrored into g_armed.
+  size_t live = 0;
+  std::vector<FaultSpec> specs;
+  std::vector<uint64_t> seen;  // matching events counted per spec
+  std::vector<bool> fired;
+};
+
+std::atomic<size_t> g_armed{0};
+util::Mutex g_plan_mutex;
+PlanState g_plan SSJOIN_GUARDED_BY(g_plan_mutex);
+
+// Offers one event to the plan: the first unfired spec matching
+// `matches` counts it, and fires once past its `after` threshold.
+// Returns a copy of the fired spec, or nullopt.
+template <typename Matches>
+std::optional<FaultSpec> ConsumeEvent(const Matches& matches) {
+  if (g_armed.load(std::memory_order_acquire) == 0) return std::nullopt;
+  util::MutexLock lock(g_plan_mutex);
+  for (size_t i = 0; i < g_plan.specs.size(); ++i) {
+    if (g_plan.fired[i] || !matches(g_plan.specs[i])) continue;
+    ++g_plan.seen[i];
+    if (g_plan.seen[i] <= g_plan.specs[i].after) return std::nullopt;
+    g_plan.fired[i] = true;
+    --g_plan.live;
+    g_armed.store(g_plan.live, std::memory_order_release);
+    return g_plan.specs[i];
+  }
+  return std::nullopt;
+}
 
 }  // namespace
+#endif  // SSJOIN_FAULT_INJECT
 
 bool Enabled() {
 #ifdef SSJOIN_FAULT_INJECT
@@ -55,42 +90,73 @@ bool Enabled() {
 #endif
 }
 
-void InjectTrip(std::optional<JoinPhase> phase, StatusCode code) {
+FaultSpec CheckpointTrip(std::optional<JoinPhase> phase, StatusCode code,
+                         uint64_t after) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kCheckpoint;
+  spec.phase = phase;
+  spec.code = code;
+  spec.after = after;
+  return spec;
+}
+
+FaultSpec IoFaultAfter(IoOp op, IoFault io, uint64_t after) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kIo;
+  spec.op = op;
+  spec.io = io;
+  spec.after = after;
+  return spec;
+}
+
+void SetPlan(FaultPlan plan) {
 #ifdef SSJOIN_FAULT_INJECT
-  g_armed_code.store(static_cast<int>(code), std::memory_order_relaxed);
-  g_armed_phase.store(phase ? static_cast<int>(*phase) : -1,
-                      std::memory_order_release);
+  util::MutexLock lock(g_plan_mutex);
+  g_plan.specs = std::move(plan.specs);
+  g_plan.seen.assign(g_plan.specs.size(), 0);
+  g_plan.fired.assign(g_plan.specs.size(), false);
+  g_plan.live = g_plan.specs.size();
+  g_armed.store(g_plan.live, std::memory_order_release);
 #else
-  (void)phase;
-  (void)code;
+  (void)plan;
 #endif
 }
 
-void Clear() { g_armed_phase.store(-2, std::memory_order_release); }
+void InjectTrip(std::optional<JoinPhase> phase, StatusCode code) {
+  FaultPlan plan;
+  plan.specs.push_back(CheckpointTrip(phase, code));
+  SetPlan(std::move(plan));
+}
 
-namespace {
+void Clear() { SetPlan(FaultPlan{}); }
 
-// Consumes the armed injection if it targets `phase`; returns the forced
-// StatusCode.
-std::optional<StatusCode> Consume(JoinPhase phase) {
+std::optional<StatusCode> ConsumeCheckpoint(JoinPhase phase) {
 #ifdef SSJOIN_FAULT_INJECT
-  int armed = g_armed_phase.load(std::memory_order_acquire);
-  if (armed == -2) return std::nullopt;
-  if (armed != -1 && armed != static_cast<int>(phase)) return std::nullopt;
-  // One-shot: disarm before reporting so a retry run is not re-tripped.
-  if (!g_armed_phase.compare_exchange_strong(armed, -2,
-                                             std::memory_order_acq_rel)) {
-    return std::nullopt;
-  }
-  return static_cast<StatusCode>(
-      g_armed_code.load(std::memory_order_relaxed));
+  std::optional<FaultSpec> fired = ConsumeEvent([&](const FaultSpec& spec) {
+    return spec.kind == FaultSpec::Kind::kCheckpoint &&
+           (!spec.phase.has_value() || *spec.phase == phase);
+  });
+  if (!fired) return std::nullopt;
+  return fired->code;
 #else
   (void)phase;
   return std::nullopt;
 #endif
 }
 
-}  // namespace
+std::optional<IoFault> ConsumeIo(IoOp op) {
+#ifdef SSJOIN_FAULT_INJECT
+  std::optional<FaultSpec> fired = ConsumeEvent([&](const FaultSpec& spec) {
+    return spec.kind == FaultSpec::Kind::kIo && spec.op == op;
+  });
+  if (!fired) return std::nullopt;
+  return fired->io;
+#else
+  (void)op;
+  return std::nullopt;
+#endif
+}
+
 }  // namespace fault
 
 ExecutionGuard::ExecutionGuard(const ExecutionBudget& budget,
@@ -149,6 +215,7 @@ void ExecutionGuard::Reset() {
   trip_reason_ = TripReason::kNone;
   stop_.store(false, std::memory_order_release);
   memory_bytes_.store(0, std::memory_order_relaxed);
+  disk_bytes_.store(0, std::memory_order_relaxed);
   poll_count_.store(0, std::memory_order_relaxed);
 }
 
@@ -176,7 +243,7 @@ ExecutionGuard::PollTimingLimits(JoinPhase phase) {
 
 Status ExecutionGuard::Checkpoint(JoinPhase phase) {
   if (tripped()) return trip_status();
-  if (auto forced = fault::Consume(phase)) {
+  if (auto forced = fault::ConsumeCheckpoint(phase)) {
     TripReason reason = TripReason::kNone;
     switch (*forced) {
       case StatusCode::kCancelled:
@@ -205,6 +272,17 @@ Status ExecutionGuard::Checkpoint(JoinPhase phase) {
          << ": " << charged << " bytes charged, budget "
          << budget_.memory_budget_bytes << " bytes";
       return Latch(phase, TripReason::kMemory,
+                   Status::ResourceExhausted(os.str()));
+    }
+  }
+  if (budget_.disk_budget_bytes > 0) {
+    size_t charged = disk_bytes_.load(std::memory_order_acquire);
+    if (charged > budget_.disk_budget_bytes) {
+      std::ostringstream os;
+      os << "join disk budget exceeded during " << JoinPhaseName(phase)
+         << ": " << charged << " bytes spilled, budget "
+         << budget_.disk_budget_bytes << " bytes";
+      return Latch(phase, TripReason::kDiskBudget,
                    Status::ResourceExhausted(os.str()));
     }
   }
@@ -269,6 +347,19 @@ void ExecutionGuard::ChargeMemory(size_t bytes) {
 
 void ExecutionGuard::ReleaseMemory(size_t bytes) {
   memory_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+void ExecutionGuard::ChargeDisk(size_t bytes) {
+  size_t now =
+      disk_bytes_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+  size_t high = disk_high_water_.load(std::memory_order_relaxed);
+  while (now > high && !disk_high_water_.compare_exchange_weak(
+                           high, now, std::memory_order_relaxed)) {
+  }
+}
+
+void ExecutionGuard::ReleaseDisk(size_t bytes) {
+  disk_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
 }
 
 }  // namespace ssjoin

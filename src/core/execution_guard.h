@@ -31,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -43,7 +44,11 @@ namespace ssjoin {
 
 /// The Figure-2 phase a guard checkpoint is issued from. Used for trip
 /// diagnostics and to target fault injection at a specific phase.
-enum class JoinPhase { kSigGen = 0, kCandGen = 1, kVerify = 2 };
+/// kSpill is the out-of-core partition write/read stage of the spill
+/// driver (core/spill, DESIGN.md Section 12) — not a Figure-2 phase, but
+/// its checkpoints need their own identity so disk-budget trips report
+/// where they actually happened.
+enum class JoinPhase { kSigGen = 0, kCandGen = 1, kVerify = 2, kSpill = 3 };
 
 std::string_view JoinPhaseName(JoinPhase phase);
 
@@ -89,6 +94,10 @@ struct ExecutionBudget {
   /// The breaker never trips before this many candidates were verified,
   /// so small joins cannot trip on startup noise.
   uint64_t breaker_min_candidates = 4096;
+  /// Upper bound on bytes charged via ChargeDisk — the on-disk footprint
+  /// of the spill partitions (core/spill). 0 = unlimited. A trip returns
+  /// kResourceExhausted with TripReason::kDiskBudget ("disk").
+  size_t disk_budget_bytes = 0;
 };
 
 /// \brief Cancellation + deadline + memory budget + candidate-explosion
@@ -138,11 +147,23 @@ class ExecutionGuard {
   /// Subtracts `bytes` (freed structures). Thread-safe.
   void ReleaseMemory(size_t bytes);
 
+  /// Adds `bytes` to the tracked on-disk spill footprint. Thread-safe;
+  /// like memory, the budget is only evaluated at the next Checkpoint.
+  void ChargeDisk(size_t bytes);
+  /// Subtracts `bytes` (deleted spill files). Thread-safe.
+  void ReleaseDisk(size_t bytes);
+
   size_t memory_charged() const {
     return memory_bytes_.load(std::memory_order_relaxed);
   }
   size_t memory_high_water() const {
     return memory_high_water_.load(std::memory_order_relaxed);
+  }
+  size_t disk_charged() const {
+    return disk_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t disk_high_water() const {
+    return disk_high_water_.load(std::memory_order_relaxed);
   }
 
   /// Seconds since construction / last Reset().
@@ -162,6 +183,7 @@ class ExecutionGuard {
     kDeadline,
     kMemory,
     kCandidateExplosion,
+    kDiskBudget,
   };
   TripReason trip_reason() const SSJOIN_EXCLUDES(mutex_);
 
@@ -198,6 +220,8 @@ class ExecutionGuard {
   std::atomic<bool> stop_{false};
   std::atomic<size_t> memory_bytes_{0};
   std::atomic<size_t> memory_high_water_{0};
+  std::atomic<size_t> disk_bytes_{0};
+  std::atomic<size_t> disk_high_water_{0};
   std::atomic<uint32_t> poll_count_{0};
 
   mutable util::Mutex mutex_;  // guards the trip record below
@@ -208,8 +232,8 @@ class ExecutionGuard {
 };
 
 /// Stable lowercase name of a trip reason ("none", "cancelled",
-/// "deadline", "memory", "candidate_explosion") — the token used in span
-/// events and in the guard.trips.* metric names.
+/// "deadline", "memory", "candidate_explosion", "disk") — the token used
+/// in span events and in the guard.trips.* metric names.
 std::string_view TripReasonName(ExecutionGuard::TripReason reason);
 
 namespace fault {
@@ -218,15 +242,75 @@ namespace fault {
 /// default; Release service builds may switch it off).
 bool Enabled();
 
-/// Arms a one-shot forced trip: the next ExecutionGuard::Checkpoint
-/// issued from `phase` (any phase if nullopt) latches `code` as if the
-/// corresponding real limit had tripped there. Used by tests to exercise
-/// every guardrail path deterministically. No-op without
-/// SSJOIN_FAULT_INJECT.
+/// I/O operations the spill layer routes through the fault seam
+/// (core/spill/spill_file.cc consults ConsumeIo before every real call).
+enum class IoOp { kOpen = 0, kWrite = 1, kRead = 2 };
+
+/// How a faulted I/O operation misbehaves.
+enum class IoFault {
+  /// Open fails outright (permissions / missing directory class).
+  kFailOpen = 0,
+  /// The write persists only a prefix of the buffer, then errors — the
+  /// partial-write shape torn files are made of.
+  kShortWrite = 1,
+  /// The write fails with no-space semantics before any byte lands.
+  kEnospc = 2,
+  /// The read returns bit-flipped data; checksum validation must catch
+  /// it and surface IOError.
+  kCorruptRead = 3,
+};
+
+/// One scripted fault. Build via CheckpointTrip() / IoFaultAfter();
+/// every spec is one-shot — it fires on its (after+1)-th matching event
+/// and is then spent.
+struct FaultSpec {
+  enum class Kind { kCheckpoint = 0, kIo = 1 };
+  Kind kind = Kind::kCheckpoint;
+  /// kCheckpoint: target phase (nullopt = any) and forced Status code.
+  std::optional<JoinPhase> phase;
+  StatusCode code = StatusCode::kResourceExhausted;
+  /// kIo: which operation to fault, and how.
+  IoOp op = IoOp::kWrite;
+  IoFault io = IoFault::kEnospc;
+  /// Matching events to let pass before firing (0 = fire on the first).
+  uint64_t after = 0;
+};
+
+/// A forced trip at the (after+1)-th Checkpoint issued from `phase`.
+FaultSpec CheckpointTrip(std::optional<JoinPhase> phase, StatusCode code,
+                         uint64_t after = 0);
+/// An I/O fault on the (after+1)-th spill operation of kind `op`.
+FaultSpec IoFaultAfter(IoOp op, IoFault io, uint64_t after = 0);
+
+/// The runtime-scriptable fault schedule: an ordered list of one-shot
+/// specs. Each checkpoint / spill-I/O event is offered to the specs in
+/// order; the first unfired spec that matches counts the event, and
+/// fires once its `after` threshold is crossed. Tests script multi-step
+/// failure scenarios (e.g. "ENOSPC on the first write of two successive
+/// attempts") without rebuilding.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+};
+
+/// Installs `plan`, replacing any previous plan. No-op without
+/// SSJOIN_FAULT_INJECT. Tests arm/clear serially (the plan itself is
+/// consulted thread-safely).
+void SetPlan(FaultPlan plan);
+
+/// Legacy one-shot shim, kept as a thin wrapper: equivalent to
+/// SetPlan({CheckpointTrip(phase, code)}).
 void InjectTrip(std::optional<JoinPhase> phase, StatusCode code);
 
-/// Disarms any pending injection.
+/// Disarms any pending plan.
 void Clear();
+
+/// Consumes a matching armed checkpoint fault for `phase`, if any.
+/// Called by ExecutionGuard::Checkpoint; exposed for the guard only.
+std::optional<StatusCode> ConsumeCheckpoint(JoinPhase phase);
+
+/// Consumes a matching armed I/O fault for `op`, if any. Called by the
+/// spill I/O seam before each real operation.
+std::optional<IoFault> ConsumeIo(IoOp op);
 
 }  // namespace fault
 

@@ -1,0 +1,61 @@
+// Out-of-core execution of the Figure-2 driver (DESIGN.md Section 12).
+//
+// When memory pressure would trip the guard — or the spill policy forces
+// it — the driver degrades instead of failing: signature generation
+// streams its postings into K hash-partitioned, checksummed spill files
+// (core/spill/spill_file.h), and candidate generation runs one partition
+// at a time, each through the *same* shard/union/verify building blocks
+// as the in-memory path (core/driver_internal.h).
+//
+// The partitioning invariant that makes this exact: postings are routed
+// by a hash of the signature alone, so every signature group lands
+// wholly inside one partition. Per-partition collision counts therefore
+// sum to exactly the serial total, and the only cross-partition overlap
+// — a candidate pair reachable via two signatures in two partitions —
+// is removed by the sorted set_union merge, the same dedup the in-memory
+// shards already rely on. A spilled join returns byte-identical pairs
+// and exactly-equal legacy stats at any thread count and any partition
+// count; only the spill_* stats and wall-clock differ.
+//
+// Failure-first: every file operation returns a structured Status, spill
+// files live in a util::ScopedTempDir that is removed on every exit path
+// (success, trip, I/O failure), disk usage is charged against the
+// guard's disk budget at deterministic JoinPhase::kSpill checkpoints,
+// and an I/O failure retries with half the partitions (bounded by
+// SpillOptions::max_retries) before surrendering with kIOError.
+
+#pragma once
+
+#include "core/predicate.h"
+#include "core/signature_scheme.h"
+#include "core/ssjoin.h"
+#include "data/collection.h"
+
+namespace ssjoin::spill {
+
+/// Partition count used when SpillOptions::partitions is 0.
+inline constexpr uint32_t kDefaultPartitions = 8;
+
+/// Resolves SpillPolicy::kDefault through the SSJOIN_SPILL environment
+/// variable ("off" / "auto" / "force"; unset or unrecognized reads as
+/// off). Explicit policies pass through untouched, so call sites that
+/// pin kDisabled escape a CI-wide force.
+SpillPolicy ResolvePolicy(SpillPolicy requested);
+
+/// Out-of-core self-join. `mode` is the requested execution mode (the
+/// sorted and pipelined self-joins share one output contract, so both
+/// degrade here); `forced` records whether the spill was policy-forced
+/// or an auto degradation, for telemetry only.
+JoinResult SpilledSelfJoin(const SetCollection& input,
+                           const SignatureScheme& scheme,
+                           const Predicate& predicate,
+                           const JoinOptions& options, ExecutionMode mode,
+                           bool forced);
+
+/// Out-of-core binary join between R and S.
+JoinResult SpilledBinaryJoin(const SetCollection& r, const SetCollection& s,
+                             const SignatureScheme& scheme,
+                             const Predicate& predicate,
+                             const JoinOptions& options, bool forced);
+
+}  // namespace ssjoin::spill

@@ -7,9 +7,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/driver_internal.h"
 #include "core/kernels/bitmap_filter.h"
 #include "core/kernels/flat_set.h"
 #include "core/kernels/intersect.h"
+#include "core/spill/spill_join.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
 #include "util/hashing.h"
@@ -17,20 +19,22 @@
 
 namespace ssjoin {
 
-namespace {
+// The building blocks shared with the out-of-core driver
+// (core/spill/spill_join.cc) live in ssjoin::detail and are declared in
+// core/driver_internal.h; the in-memory-only plumbing stays in the
+// anonymous namespace below.
+namespace detail {
 
-// One (signature, set id) occurrence; sorted order groups equal
-// signatures and, within a group, ascends by id.
-using Posting = std::pair<Signature, SetId>;
-
-// Wraps guard->ShouldStop(phase) for the interruptible ParallelFor
-// overload. Empty when no guard is attached, which selects the plain
-// (single-invocation-per-chunk) ParallelFor — unguarded runs execute the
-// exact pre-guard code path.
 std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
   if (guard == nullptr) return {};
   return [guard, phase] { return guard->ShouldStop(phase); };
 }
+
+}  // namespace detail
+
+using namespace detail;  // the drivers read as before the split
+
+namespace detail {
 
 // Publishes the end-of-join accounting — root-span attributes plus the
 // join.* metrics — and, when the guard tripped, the trip cause as a span
@@ -116,6 +120,20 @@ void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
                     static_cast<double>(stats.bitmap_filter_checked));
   obs::RecordActual(explain, "join.bitmap_filter_pruned",
                     static_cast<double>(stats.bitmap_filter_pruned));
+  // Out-of-core accounting, emitted only when the join actually spilled
+  // so in-memory runs keep their pre-spill telemetry shape (DESIGN.md
+  // Section 12). All four counters are deterministic for a fixed input
+  // and spill configuration.
+  if (stats.spill_partitions > 0) {
+    telem.Attr("spill_partitions", stats.spill_partitions);
+    telem.Attr("spill_retries", stats.spill_retries);
+    telem.AddCount("join.spill.partitions", stats.spill_partitions);
+    telem.AddCount("join.spill.bytes_written", stats.spill_bytes_written);
+    telem.AddCount("join.spill.bytes_read", stats.spill_bytes_read);
+    telem.AddCount("join.spill.retries", stats.spill_retries);
+    obs::RecordActual(explain, "join.spill.bytes_written",
+                      static_cast<double>(stats.spill_bytes_written));
+  }
   if (explain != nullptr) {
     explain->joins += 1;
     explain->siggen_seconds += stats.siggen_seconds;
@@ -123,6 +141,10 @@ void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
     explain->postfilter_seconds += stats.postfilter_seconds;
   }
 }
+
+}  // namespace detail
+
+namespace {
 
 // Flattened per-set signature lists (CSR). Signatures are deduplicated
 // within each set: Sign(s) is a set, and duplicates would double-count
@@ -139,6 +161,10 @@ size_t TableBytes(const SignatureTable& table) {
          table.offsets.size() * sizeof(size_t);
 }
 
+}  // namespace
+
+namespace detail {
+
 // Replaces *scratch with the deduplicated, sorted Sign(set).
 void GenerateSorted(const SignatureScheme& scheme,
                     std::span<const ElementId> set,
@@ -149,6 +175,18 @@ void GenerateSorted(const SignatureScheme& scheme,
   scratch->erase(std::unique(scratch->begin(), scratch->end()),
                  scratch->end());
 }
+
+// Shard assignment for candidate generation. All postings of one
+// signature land in one shard, so a signature group never straddles
+// shards: per-shard collision counts sum to exactly the serial total,
+// and the Section 4 / Theorem 2 accounting is preserved.
+size_t ShardOf(Signature sig, size_t shards) {
+  return shards == 1 ? 0 : static_cast<size_t>(Mix64(sig) % shards);
+}
+
+}  // namespace detail
+
+namespace {
 
 // Signature generation, fanned out per set into thread-local CSR chunks
 // that are stitched back in set order — the layout is identical to the
@@ -213,14 +251,6 @@ SignatureTable GenerateAll(const SetCollection& input,
   return table;
 }
 
-// Shard assignment for candidate generation. All postings of one
-// signature land in one shard, so a signature group never straddles
-// shards: per-shard collision counts sum to exactly the serial total,
-// and the Section 4 / Theorem 2 accounting is preserved.
-size_t ShardOf(Signature sig, size_t shards) {
-  return shards == 1 ? 0 : static_cast<size_t>(Mix64(sig) % shards);
-}
-
 // Scatters a CSR table into per-(producer, shard) posting buckets.
 // Producer c writes only buckets[c * shards + *], so the pass is
 // race-free; shard s later reads buckets[* * shards + s].
@@ -265,14 +295,6 @@ std::vector<Posting> ShardPostings(
   std::sort(postings.begin(), postings.end());
   return postings;
 }
-
-// One shard's candidate output: packed pairs, sorted and duplicate-free
-// within the shard (a pair can still surface in two shards via two
-// different signatures; UnionShards removes those).
-struct ShardCandidates {
-  std::vector<uint64_t> packed;
-  uint64_t collisions = 0;
-};
 
 // Self-join candidate generation over one shard's sorted postings.
 // Within a signature group the (sig, id) postings are unique and sorted,
@@ -325,6 +347,10 @@ class CandidateDedup {
   kernels::FlatU64Set flat_;
   std::vector<uint64_t> occurrences_;
 };
+
+}  // namespace
+
+namespace detail {
 
 ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
                               size_t reserve,
@@ -452,12 +478,11 @@ std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
 // `shard_fn` per shard, then union the shard outputs. Fills
 // stats.signature_collisions / stats.candidates and returns the global
 // sorted duplicate-free candidate vector.
-template <typename ShardFn>
-std::vector<uint64_t> GenerateCandidates(ThreadPool& pool,
-                                         const ShardFn& shard_fn,
-                                         const std::function<bool()>& stop,
-                                         JoinStats* stats,
-                                         obs::JoinTelemetry* telem) {
+std::vector<uint64_t> GenerateCandidates(
+    ThreadPool& pool,
+    const std::function<ShardCandidates(size_t)>& shard_fn,
+    const std::function<bool()>& stop, JoinStats* stats,
+    obs::JoinTelemetry* telem) {
   size_t shards = pool.size();
   std::vector<ShardCandidates> per_shard(shards);
   obs::Histogram* shard_candidates =
@@ -509,29 +534,6 @@ kernels::BitmapTable BuildBitmap(const SetCollection& input, uint32_t bits,
                 table.BuildRange(input, begin, end);
               });
   return table;
-}
-
-// The bitmap pre-filter step shared by all verify loops: returns true
-// when the pair was pruned (provably non-matching). Pruned pairs count
-// as false positives — the filter only ever skips candidates Evaluate
-// would have rejected, so results/false_positives stay byte-identical
-// with the filter on or off; only the two bitmap_* counters record that
-// the filter did the rejecting.
-inline bool BitmapPrunes(const kernels::BitmapTable* bm_r,
-                         const kernels::BitmapTable* bm_s,
-                         const Predicate& predicate, SetId id_r, SetId id_s,
-                         size_t size_r, size_t size_s, uint64_t* checked,
-                         uint64_t* pruned) {
-  if (bm_r == nullptr) return false;
-  ++*checked;
-  if (kernels::BitmapTable::MayMatch(predicate, bm_r->row(id_r),
-                                     bm_s->row(id_s), bm_r->words_per_set(),
-                                     static_cast<uint32_t>(size_r),
-                                     static_cast<uint32_t>(size_s))) {
-    return false;
-  }
-  ++*pruned;
-  return true;
 }
 
 // Verifies a sorted candidate vector in parallel ranges. The chunks are
@@ -659,6 +661,10 @@ Status PostFilter(const SetCollection& r, const SetCollection& s,
                              result->stats.results);
 }
 
+}  // namespace detail
+
+namespace {
+
 // The serial pipelined driver — the num_threads == 1 reference path,
 // kept verbatim as the baseline the block-parallel variant must match.
 JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
@@ -695,6 +701,13 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   std::vector<Signature> sigs;
   std::vector<SetId> probe_candidates;  // per-probe scratch, deduped
   uint64_t charged_sigs = 0;
+  // With SpillPolicy::kAuto, crossing the memory budget at a barrier
+  // abandons the pipelined run and degrades to the out-of-core driver
+  // instead of tripping the guard (DESIGN.md Section 12).
+  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
+                          guard != nullptr &&
+                          guard->budget().memory_budget_bytes > 0;
+  bool degrade = false;
   Status trip;
 
   // Guard barrier for the pipelined loop: phases interleave per set, so
@@ -708,6 +721,11 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
     guard->ChargeMemory(
         (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
     charged_sigs = result.stats.signatures_r;
+    if (auto_spill &&
+        guard->memory_charged() > guard->budget().memory_budget_bytes) {
+      degrade = true;  // checkpoint skipped: the guard must not latch
+      return Status::OK();
+    }
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
@@ -719,7 +737,7 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
   for (SetId id = 0; id < input.size(); ++id) {
     if (guard != nullptr && id % 1024 == 0) {
       trip = barrier();
-      if (!trip.ok()) break;
+      if (!trip.ok() || degrade) break;
     }
     {
       auto scope = telem.Time(&result.stats.siggen_seconds);
@@ -765,7 +783,16 @@ JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
       for (Signature sig : sigs) index[sig].push_back(id);
     }
   }
-  if (guard != nullptr && trip.ok()) trip = barrier();
+  if (guard != nullptr && trip.ok() && !degrade) trip = barrier();
+  if (degrade) {
+    // Hand every byte this run charged back before delegating — the
+    // spilled driver accounts its own footprint from zero.
+    guard->ReleaseMemory(charged_sigs * sizeof(Posting) +
+                         (use_bitmap ? bitmap.size_bytes() : 0));
+    return spill::SpilledSelfJoin(input, scheme, predicate, options,
+                                  ExecutionMode::kPipelinedSelfJoin,
+                                  /*forced=*/false);
+  }
   result.stats.signatures_s = result.stats.signatures_r;
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
@@ -827,6 +854,14 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   std::vector<std::vector<SetId>> block_partners;
   std::vector<Posting> block_postings;
   uint64_t charged_sigs = 0;
+  // Same auto-degradation contract as the serial pipelined driver. The
+  // degradation *point* is a barrier, so it is deterministic per thread
+  // count (like the budget trip points here); the spilled join it
+  // delegates to is byte-identical for every thread count regardless.
+  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
+                          guard != nullptr &&
+                          guard->budget().memory_budget_bytes > 0;
+  bool degrade = false;
   Status trip;
 
   // Same barrier protocol as the serial pipelined driver, at block
@@ -838,6 +873,11 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
     guard->ChargeMemory(
         (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
     charged_sigs = result.stats.signatures_r;
+    if (auto_spill &&
+        guard->memory_charged() > guard->budget().memory_budget_bytes) {
+      degrade = true;  // checkpoint skipped: the guard must not latch
+      return Status::OK();
+    }
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
     SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
@@ -849,7 +889,7 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
   for (size_t b0 = 0; b0 < input.size(); b0 += block) {
     if (guard != nullptr) {
       trip = barrier();
-      if (!trip.ok()) break;
+      if (!trip.ok() || degrade) break;
     }
     size_t b1 = std::min(static_cast<size_t>(input.size()), b0 + block);
     size_t n = b1 - b0;
@@ -967,7 +1007,14 @@ JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
       }
     }
   }
-  if (guard != nullptr && trip.ok()) trip = barrier();
+  if (guard != nullptr && trip.ok() && !degrade) trip = barrier();
+  if (degrade) {
+    guard->ReleaseMemory(charged_sigs * sizeof(Posting) +
+                         (use_bitmap ? bitmap.size_bytes() : 0));
+    return spill::SpilledSelfJoin(input, scheme, predicate, options,
+                                  ExecutionMode::kPipelinedSelfJoin,
+                                  /*forced=*/false);
+  }
   result.stats.signatures_s = result.stats.signatures_r;
   if (guard != nullptr && !trip.ok()) {
     result.pairs.clear();
@@ -992,6 +1039,12 @@ std::string JoinStats::ToString() const {
      << " false_pos=" << false_positives
      << " bitmap_checked=" << bitmap_filter_checked
      << " bitmap_pruned=" << bitmap_filter_pruned;
+  if (spill_partitions > 0) {
+    os << " spill_partitions=" << spill_partitions
+       << " spill_written=" << spill_bytes_written
+       << " spill_read=" << spill_bytes_read
+       << " spill_retries=" << spill_retries;
+  }
   return os.str();
 }
 
@@ -1013,6 +1066,12 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  // Auto-degradation arm point: with SpillPolicy::kAuto and a memory
+  // budget, a signature table that would blow the budget reruns
+  // out-of-core instead of tripping the guard (DESIGN.md Section 12).
+  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
+                          guard != nullptr &&
+                          guard->budget().memory_budget_bytes > 0;
   kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
 
   auto trip_return = [&](Status st) {
@@ -1040,6 +1099,18 @@ JoinResult SortedSelfJoinImpl(const SetCollection& input,
   result.stats.signatures_r = table.total();
   result.stats.signatures_s = table.total();
   telem.PhaseAttr("signatures", table.total());
+  if (auto_spill && guard->memory_charged() + TableBytes(table) >
+                        guard->budget().memory_budget_bytes) {
+    // The table would trip the budget at the checkpoint below: degrade
+    // before charging. TableBytes is thread-count-independent, so the
+    // decision is deterministic; the guard never latches. The spilled
+    // driver re-generates signatures streaming, so the table is dropped
+    // here rather than carried across.
+    table = SignatureTable();
+    return spill::SpilledSelfJoin(input, scheme, predicate, options,
+                                  ExecutionMode::kSelfJoin,
+                                  /*forced=*/false);
+  }
   if (guard != nullptr) {
     guard->ChargeMemory(TableBytes(table));
     Status st = guard->Checkpoint(JoinPhase::kCandGen);
@@ -1115,6 +1186,11 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
+  // Same auto-degradation arm point as SortedSelfJoinImpl, over the sum
+  // of both signature tables.
+  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
+                          guard != nullptr &&
+                          guard->budget().memory_budget_bytes > 0;
   kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
 
   auto trip_return = [&](Status st) {
@@ -1144,6 +1220,14 @@ JoinResult SortedBinaryJoinImpl(const SetCollection& r,
   result.stats.signatures_r = table_r.total();
   result.stats.signatures_s = table_s.total();
   telem.PhaseAttr("signatures", table_r.total() + table_s.total());
+  if (auto_spill &&
+      guard->memory_charged() + TableBytes(table_r) + TableBytes(table_s) >
+          guard->budget().memory_budget_bytes) {
+    table_r = SignatureTable();
+    table_s = SignatureTable();
+    return spill::SpilledBinaryJoin(r, s, scheme, predicate, options,
+                                    /*forced=*/false);
+  }
   if (guard != nullptr) {
     guard->ChargeMemory(TableBytes(table_r) + TableBytes(table_s));
     Status st = guard->Checkpoint(JoinPhase::kCandGen);
@@ -1268,6 +1352,11 @@ JoinResult Join(const JoinRequest& request) {
       ex->SetParam("input_sets_s", std::to_string(request.right->size()));
     }
   }
+  // Resolve SpillPolicy::kDefault (the SSJOIN_SPILL env hook) once here,
+  // so the impls and the spill driver only ever see explicit policies.
+  JoinOptions options = request.options;
+  options.spill.policy = spill::ResolvePolicy(request.options.spill.policy);
+  const bool forced = options.spill.policy == SpillPolicy::kForced;
   switch (request.mode) {
     case ExecutionMode::kSelfJoin:
     case ExecutionMode::kPipelinedSelfJoin:
@@ -1276,20 +1365,32 @@ JoinResult Join(const JoinRequest& request) {
             "self-join modes take a single input; JoinRequest::right must "
             "be null or alias left");
       }
+      if (forced) {
+        // Both self-join modes share one output contract, so forcing the
+        // spill path is valid for either; `mode` is kept for telemetry.
+        return spill::SpilledSelfJoin(*request.left, *request.scheme,
+                                      *request.predicate, options,
+                                      request.mode, /*forced=*/true);
+      }
       if (request.mode == ExecutionMode::kSelfJoin) {
         return SortedSelfJoinImpl(*request.left, *request.scheme,
-                                  *request.predicate, request.options);
+                                  *request.predicate, options);
       }
       return PipelinedSelfJoinImpl(*request.left, *request.scheme,
-                                   *request.predicate, request.options);
+                                   *request.predicate, options);
     case ExecutionMode::kBinaryJoin:
       if (request.right == nullptr) {
         return invalid(
             "ExecutionMode::kBinaryJoin requires JoinRequest::right");
       }
+      if (forced) {
+        return spill::SpilledBinaryJoin(*request.left, *request.right,
+                                        *request.scheme, *request.predicate,
+                                        options, /*forced=*/true);
+      }
       return SortedBinaryJoinImpl(*request.left, *request.right,
                                   *request.scheme, *request.predicate,
-                                  request.options);
+                                  options);
   }
   return invalid("unknown ExecutionMode");
 }

@@ -45,6 +45,43 @@ struct ExplainReport;
 
 namespace ssjoin {
 
+/// When the driver trades memory for disk (DESIGN.md Section 12).
+enum class SpillPolicy {
+  /// Resolve from the SSJOIN_SPILL environment variable ("off", "auto",
+  /// "force"); unset or unrecognized means kDisabled. The env hook lets
+  /// CI force the out-of-core path under the whole test suite without
+  /// touching call sites.
+  kDefault = 0,
+  /// Never spill: memory pressure trips the guard (pre-spill behavior).
+  kDisabled,
+  /// Degrade instead of tripping: when the signature table would exceed
+  /// the guard's memory budget, abandon the in-memory table and rerun
+  /// candidate generation out-of-core. Requires a guard with a memory
+  /// budget to ever engage.
+  kAuto,
+  /// Always run candidate generation out-of-core, regardless of memory
+  /// pressure. The differential-testing mode: forced-spill output is
+  /// byte-identical to the in-memory join.
+  kForced,
+};
+
+/// Out-of-core execution knobs (core/spill, DESIGN.md Section 12).
+struct SpillOptions {
+  SpillPolicy policy = SpillPolicy::kDefault;
+  /// Base directory for the run's spill files; a uniquely-named
+  /// subdirectory is created (and always removed) under it. Empty =
+  /// the system temp directory.
+  std::string dir;
+  /// Number of on-disk partitions K (0 = default 8). Postings are
+  /// routed by signature hash, so every signature group lands in one
+  /// partition and per-partition results merge exactly.
+  uint32_t partitions = 0;
+  /// I/O-failure retries: each retry halves the partition count (fewer,
+  /// larger files — the failure mode is usually per-file overhead or
+  /// file-count limits) before the join surrenders with kIOError.
+  uint32_t max_retries = 2;
+};
+
 /// Knobs of the generic driver.
 struct JoinOptions {
   /// Run the PostFilter phase (step 4). false skips verification
@@ -103,6 +140,12 @@ struct JoinOptions {
   /// owned; not thread-safe (one report per join sequence); nullptr =
   /// no explain (zero cost, same null-sink contract as the sinks above).
   obs::ExplainReport* explain = nullptr;
+  /// Graceful degradation under memory pressure: spill candidate
+  /// generation to disk instead of tripping the guard (DESIGN.md
+  /// Section 12). The spilled join produces byte-identical pairs and
+  /// exactly-equal legacy stats at any thread count; only the spill_*
+  /// stats and wall-clock change.
+  SpillOptions spill;
 };
 
 /// Evaluation measures of one join execution (paper Section 3.2).
@@ -144,6 +187,18 @@ struct JoinStats {
   /// every legacy stat is identical with the filter on or off.
   uint64_t bitmap_filter_pruned = 0;
 
+  /// Out-of-core accounting (0 when the join ran in memory). All four
+  /// are deterministic for a given input + spill configuration.
+  /// Partition count of the (last, successful) spill attempt.
+  uint64_t spill_partitions = 0;
+  /// Bytes written to / read back from spill files, summed over all
+  /// attempts including failed ones.
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  /// Spill attempts that failed with an I/O error and were retried with
+  /// half the partitions.
+  uint64_t spill_retries = 0;
+
   std::string ToString() const;
 };
 
@@ -152,9 +207,10 @@ struct JoinResult {
   std::vector<SetPair> pairs;
   JoinStats stats;
   /// OK unless JoinOptions::guard tripped (kCancelled /
-  /// kDeadlineExceeded / kResourceExhausted). On a trip `pairs` is empty
-  /// — a partial pair list would be silently wrong — while `stats`
-  /// reports the accounting of the work that completed before the trip
+  /// kDeadlineExceeded / kResourceExhausted) or the spill layer ran out
+  /// of I/O retries (kIOError). On a failure `pairs` is empty — a
+  /// partial pair list would be silently wrong — while `stats` reports
+  /// the accounting of the work that completed before the trip
   /// (completed phases, and completed verification chunks within
   /// PostFilter), which is exactly what an operator needs to re-budget.
   Status status;

@@ -1,6 +1,7 @@
 #include "data/serialization.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -42,7 +43,14 @@ Status SaveSetsBinary(const std::string& path,
     out.write(reinterpret_cast<const char*>(set.data()),
               static_cast<std::streamsize>(set.size() * sizeof(ElementId)));
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  out.close();
+  if (!out) {
+    // Don't leave a truncated file behind: a later LoadSetsBinary would
+    // reject it, but the half-written artifact wastes the disk whose
+    // exhaustion likely caused the failure in the first place.
+    std::remove(path.c_str());  // ssjoin-lint: allow(no-unchecked-io)
+    return Status::IOError("write failed: " + path);
+  }
   return Status::OK();
 }
 

@@ -73,6 +73,13 @@ inline constexpr std::string_view kAttrBitmapFilterChecked =
 inline constexpr std::string_view kAttrBitmapFilterPruned =
     "bitmap_filter_pruned";
 inline constexpr std::string_view kAttrRows = "rows";
+// Out-of-core execution (core/spill, DESIGN.md Section 12). "spill"
+// records how the spilled path was entered ("forced" / "auto"); the
+// counters are functions of the input and spill configuration, so all
+// are kStable.
+inline constexpr std::string_view kAttrSpill = "spill";
+inline constexpr std::string_view kAttrSpillPartitions = "spill_partitions";
+inline constexpr std::string_view kAttrSpillRetries = "spill_retries";
 
 // Span events.
 inline constexpr std::string_view kEventGuardTrip = "guard_trip";
@@ -114,6 +121,15 @@ inline constexpr std::string_view kJoinVerifyChunkMicros =
     "join.verify.chunk_micros";
 inline constexpr std::string_view kJoinPipelineBlockMicros =
     "join.pipeline.block_micros";
+// Spill accounting (emitted only when a join actually spilled): the
+// counters are deterministic for a fixed input + spill configuration.
+inline constexpr std::string_view kJoinSpillPartitions =
+    "join.spill.partitions";
+inline constexpr std::string_view kJoinSpillBytesWritten =
+    "join.spill.bytes_written";
+inline constexpr std::string_view kJoinSpillBytesRead =
+    "join.spill.bytes_read";
+inline constexpr std::string_view kJoinSpillRetries = "join.spill.retries";
 inline constexpr std::string_view kDbmsRowsSignature = "dbms.rows.signature";
 inline constexpr std::string_view kDbmsRowsCandPair = "dbms.rows.candpair";
 inline constexpr std::string_view kDbmsRowsOutput = "dbms.rows.output";
@@ -138,6 +154,10 @@ inline constexpr std::string_view kParamN2 = "n2";
 inline constexpr std::string_view kParamAlgo = "algo";
 inline constexpr std::string_view kParamInput = "input";
 inline constexpr std::string_view kParamBitmapBits = "bitmap_bits";
+// Spill configuration of the run (core/spill): entry cause and the
+// partition count the attempt started from.
+inline constexpr std::string_view kParamSpill = "spill";
+inline constexpr std::string_view kParamSpillPartitions = "spill_partitions";
 // Note: there is deliberately no "threads" param — explain params are
 // exported in the stable JSONL, which must be byte-identical across
 // thread counts. Thread count is runtime detail (the human report).

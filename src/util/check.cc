@@ -17,7 +17,9 @@ namespace ssjoin::internal {
     std::fprintf(stderr, "%s:%d: SSJOIN_CHECK failed: %s — %s\n", file, line,
                  condition, message.c_str());
   }
-  std::fflush(stderr);
+  // Best effort: the process is about to abort; there is nowhere to
+  // report a flush failure.
+  std::fflush(stderr);  // ssjoin-lint: allow(no-unchecked-io)
   std::abort();
 }
 

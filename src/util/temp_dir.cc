@@ -1,0 +1,66 @@
+#include "util/temp_dir.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace ssjoin::util {
+
+namespace fs = std::filesystem;
+
+ScopedTempDir::~ScopedTempDir() {
+  // Destructors cannot report; the explicit Remove() path exists for
+  // callers that need the outcome.
+  (void)Remove();  // ssjoin-lint: allow(status-must-use)
+}
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    (void)Remove();  // ssjoin-lint: allow(status-must-use)
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Result<ScopedTempDir> ScopedTempDir::Create(const std::string& base) {
+  std::error_code ec;
+  fs::path parent = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) {
+    return Status::IOError("temp dir: cannot resolve system temp path: " +
+                           ec.message());
+  }
+  std::string tmpl = (parent / "ssjoin-XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("temp dir: mkdtemp failed for " + tmpl);
+  }
+  return ScopedTempDir(std::string(buf.data()));
+}
+
+std::string ScopedTempDir::FilePath(std::string_view name) const {
+  return (fs::path(path_) / fs::path(name)).string();
+}
+
+Status ScopedTempDir::Remove() {
+  if (path_.empty()) return Status::OK();
+  std::string path = std::move(path_);
+  path_.clear();
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("temp dir: failed to remove " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace ssjoin::util

@@ -1,0 +1,61 @@
+// RAII ownership of a unique temporary directory.
+//
+// The spill layer (core/spill) and several tests create scratch files
+// that must never outlive the operation that made them — not on success,
+// not on a guard trip, not on an exception unwinding through the stack.
+// ScopedTempDir owns one freshly-created directory and removes it (and
+// everything inside it) when destroyed, so "zero leaked spill files" is
+// a structural guarantee instead of a cleanup convention.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ssjoin::util {
+
+/// \brief A uniquely-named directory that is recursively deleted on
+/// destruction.
+///
+/// Create() makes the directory via mkdtemp under `base` (or the system
+/// temp directory when `base` is empty). The object is move-only; a
+/// moved-from instance owns nothing and its destructor is a no-op.
+/// Destruction removes the tree best-effort (errors are swallowed — a
+/// destructor cannot report); call Remove() first when the caller needs
+/// the deletion outcome as a Status.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() = default;
+  ~ScopedTempDir();
+
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  /// Creates a new directory `base`/ssjoin-XXXXXX (system temp dir when
+  /// `base` is empty). Fails with IOError when the parent is missing or
+  /// the directory cannot be created.
+  static Result<ScopedTempDir> Create(const std::string& base = "");
+
+  /// Absolute-ish path of the owned directory; empty when moved-from or
+  /// already removed.
+  const std::string& path() const { return path_; }
+  bool valid() const { return !path_.empty(); }
+
+  /// `path()`/`name` — convenience for files inside the directory.
+  std::string FilePath(std::string_view name) const;
+
+  /// Recursively deletes the directory now and releases ownership.
+  /// Idempotent; returns IOError when entries could not be removed.
+  Status Remove();
+
+ private:
+  explicit ScopedTempDir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+};
+
+}  // namespace ssjoin::util

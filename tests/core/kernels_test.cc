@@ -285,6 +285,15 @@ TEST(BitmapFilter, ValidBits) {
 
 // Length sweep 0..20 covers every unroll tail; the batched kernels must
 // be value-exact with the scalar chain, element for element.
+//
+// GCC 12 at -O2 inlines the appending MixBatch overload into this body,
+// pins the 1-element `appended{7}` allocation, and falsely flags the
+// vector's own resize as out of bounds (-Warray-bounds); suppress for
+// this test only so the -Werror release preset builds.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
 TEST(HashKernels, MixBatchMatchesScalar) {
   Rng rng(123);
   for (size_t n = 0; n <= 20; ++n) {
@@ -305,6 +314,9 @@ TEST(HashKernels, MixBatchMatchesScalar) {
     }
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 TEST(HashKernels, HashCombineBatchMatchesScalar) {
   Rng rng(456);

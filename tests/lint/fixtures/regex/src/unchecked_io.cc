@@ -1,0 +1,19 @@
+// Fixture: no-unchecked-io — a bare statement calling a C stdio /
+// POSIX write primitive discards the only report of a short write,
+// ENOSPC, or a buffered-write failure surfacing at flush/close.
+namespace fixture {
+
+void Persist(std::FILE* out, const char* buf, std::size_t n) {
+  std::fwrite(buf, 1, n, out);   // expect(no-unchecked-io)
+  fflush(out);                   // expect(no-unchecked-io)
+  (void)std::fsync(3);           // expect(no-unchecked-io) — (void) is not a check
+  std::fclose(out);              // expect(no-unchecked-io)
+  std::size_t wrote = std::fwrite(buf, 1, n, out);  // assigned: not flagged
+  if (wrote != n) return;
+  if (std::fclose(out) != 0) return;  // branched on: not flagged
+  stream.write(buf, n);  // member call on a checked stream: not flagged
+  // Destructor-style best-effort close, justified suppression:
+  std::fclose(out);  // ssjoin-lint: allow(no-unchecked-io)
+}
+
+}  // namespace fixture

@@ -121,11 +121,21 @@ TEST(ObsDeterminismTest, PipelinedExportIsThreadCountInvariant) {
   // The serial and block-parallel pipelined drivers are structurally
   // different, so the pipelined mode emits no stable phase spans — the
   // deterministic export (root span + attrs + metrics) must still be
-  // byte-identical across thread counts.
+  // byte-identical across thread counts. The no-SigGen-span shape is a
+  // property of the in-memory driver (the spilled driver's
+  // per-partition joins legitimately emit phase spans), so pin the
+  // policy rather than inherit a CI-wide SSJOIN_SPILL=force.
+  request.options.spill.policy = SpillPolicy::kDisabled;
   std::string serial = DeterministicExport(request, 1);
   EXPECT_EQ(serial, DeterministicExport(request, 4));
   EXPECT_NE(serial.find("\"mode\":\"pipelined_self\""), std::string::npos);
   EXPECT_EQ(serial.find("\"name\":\"SigGen\""), std::string::npos);
+
+  // The forced-spill export must be thread-count invariant too.
+  request.options.spill.policy = SpillPolicy::kForced;
+  std::string spilled = DeterministicExport(request, 1);
+  EXPECT_EQ(spilled, DeterministicExport(request, 4));
+  EXPECT_NE(spilled.find("\"mode\":\"pipelined_self\""), std::string::npos);
 }
 
 TEST(ObsDeterminismTest, GuardTripSurfacesEverywhere) {

@@ -1,0 +1,104 @@
+#include "util/temp_dir.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+namespace ssjoin::util {
+namespace {
+
+bool DirExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void Touch(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fclose(f), 0) << path;
+}
+
+TEST(ScopedTempDirTest, CreateMakesUniqueDirectories) {
+  Result<ScopedTempDir> a = ScopedTempDir::Create();
+  Result<ScopedTempDir> b = ScopedTempDir::Create();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(a.value().valid());
+  EXPECT_TRUE(DirExists(a.value().path()));
+  EXPECT_TRUE(DirExists(b.value().path()));
+  EXPECT_NE(a.value().path(), b.value().path());
+}
+
+TEST(ScopedTempDirTest, DestructorRemovesTreeIncludingContents) {
+  std::string path;
+  {
+    Result<ScopedTempDir> dir = ScopedTempDir::Create();
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    path = dir.value().path();
+    Touch(dir.value().FilePath("a.spill"));
+    Touch(dir.value().FilePath("b.spill"));
+    ASSERT_TRUE(FileExists(path + "/a.spill"));
+  }
+  EXPECT_FALSE(DirExists(path));
+}
+
+TEST(ScopedTempDirTest, RemoveIsExplicitAndIdempotent) {
+  Result<ScopedTempDir> dir = ScopedTempDir::Create();
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  std::string path = dir.value().path();
+  Touch(dir.value().FilePath("x"));
+  EXPECT_TRUE(dir.value().Remove().ok());
+  EXPECT_FALSE(DirExists(path));
+  EXPECT_FALSE(dir.value().valid());
+  // Second Remove on a released instance is a no-op success.
+  EXPECT_TRUE(dir.value().Remove().ok());
+}
+
+TEST(ScopedTempDirTest, MoveTransfersOwnership) {
+  Result<ScopedTempDir> made = ScopedTempDir::Create();
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::string path = made.value().path();
+  ScopedTempDir moved = std::move(made.value());
+  EXPECT_FALSE(made.value().valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.path(), path);
+  {
+    ScopedTempDir assigned;
+    assigned = std::move(moved);
+    EXPECT_FALSE(moved.valid());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(DirExists(path));
+  }
+  EXPECT_FALSE(DirExists(path));
+}
+
+TEST(ScopedTempDirTest, CreateUnderExplicitBase) {
+  Result<ScopedTempDir> base = ScopedTempDir::Create();
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  Result<ScopedTempDir> nested = ScopedTempDir::Create(base.value().path());
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(nested.value().path().find(base.value().path()), 0u);
+}
+
+TEST(ScopedTempDirTest, CreateFailsWhenBaseMissing) {
+  Result<ScopedTempDir> dir =
+      ScopedTempDir::Create("/nonexistent/ssjoin-test-base");
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.status().code(), StatusCode::kIOError);
+}
+
+TEST(ScopedTempDirTest, FilePathJoinsWithSeparator) {
+  Result<ScopedTempDir> dir = ScopedTempDir::Create();
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  EXPECT_EQ(dir.value().FilePath("part-0.spill"),
+            dir.value().path() + "/part-0.spill");
+}
+
+}  // namespace
+}  // namespace ssjoin::util

@@ -25,6 +25,13 @@ Rules (scope: the directories named in RULE_SCOPES):
                        spans, metrics and JoinStats stay in one place.
                        execution_guard.{h,cc} are exempt (deadline
                        enforcement needs a wall clock, not telemetry).
+  no-unchecked-io      a bare-statement call to a C stdio / POSIX write
+                       primitive (fwrite, fflush, fclose, fsync, ...)
+                       discards the only notification of a short write or
+                       a full disk; consume the result (branch on it or
+                       fold it into a Status). Destructor-style
+                       best-effort closes may suppress with an allow
+                       marker and a justification.
   telemetry-registry   every span / attribute / metric / explain name
                        emitted as a string literal from src/ must be
                        registered in src/obs/stability.h (the single
@@ -62,6 +69,7 @@ RULE_SCOPES = {
     "no-dropped-status": ("src", "tools", "bench", "examples"),
     # Scoped tighter than a top-level directory: see NO_RAW_TIMING_PREFIX.
     "no-raw-timing": ("src",),
+    "no-unchecked-io": ("src", "tools", "bench"),
     "telemetry-registry": ("src",),
 }
 
@@ -116,6 +124,16 @@ DROPPED_STATUS_RE = re.compile(
 # (PhaseTimer / Stopwatch / ScopedTimer live there) and direct <chrono>
 # clock reads. `#include <chrono>` alone is also flagged — core code that
 # needs elapsed time should take a JoinTelemetry scope instead.
+# I/O primitives whose int/size_t result is the only report of a short
+# write, ENOSPC, or a buffered-write failure surfacing at flush/close.
+# A line that is nothing but such a call (even behind a `(void)` cast)
+# throws that report away. Member-style calls (`out.write(...)` on a
+# stream whose state is checked afterwards) deliberately do not match.
+IO_FUNCTIONS = ("fwrite", "fread", "fflush", "fclose", "fsync",
+                "fdatasync", "ftruncate", "pwrite", "pread")
+UNCHECKED_IO_RE = re.compile(
+    r"^\s*(?:\(void\)\s*)?(?:std\s*::\s*)?(%s)\s*\(.*\)\s*;\s*$"
+    % "|".join(IO_FUNCTIONS))
 TIMER_INCLUDE_RE = re.compile(r'#\s*include\s*"util/timer\.h"')
 CHRONO_INCLUDE_RE = re.compile(r"#\s*include\s*<chrono>")
 CHRONO_CLOCK_RE = re.compile(
@@ -252,6 +270,14 @@ class Linter:
                                 f"util::Status returned by {m.group(1)}() is "
                                 "discarded; propagate it "
                                 "(SSJOIN_RETURN_NOT_OK / assign / branch)")
+            if self.in_scope("no-unchecked-io", rel):
+                m = UNCHECKED_IO_RE.match(line)
+                if m and not allowed(lineno, "no-unchecked-io"):
+                    self.report(rel, lineno, "no-unchecked-io",
+                                f"result of {m.group(1)}() is discarded — a "
+                                "short write / ENOSPC / deferred flush error "
+                                "vanishes; consume it (branch or fold into a "
+                                "Status)")
             if self.in_scope("no-raw-timing", rel):
                 # The include path is a string literal, which the stripper
                 # blanks — match it on the raw line instead.

@@ -86,8 +86,21 @@ guardrail flags (jaccard / weighted, signature-based algorithms only;
   --memory-budget-mb <n>     abort when tracked join allocations pass n MiB
   --max-candidate-ratio <f>  abort when verified candidates exceed
                              f * max(1, results) — candidate explosion
+  --disk-budget-mb <n>       abort when spill files written by the
+                             out-of-core path pass n MiB
 A tripped guardrail exits with "error: Cancelled/Deadline exceeded/
 Resource exhausted: ..." and no pairs are written.
+
+spill flags (jaccard / weighted, signature-based algorithms only):
+  --spill off|auto|force  out-of-core policy: "auto" degrades to the
+                          disk-partitioned join instead of tripping the
+                          memory budget, "force" always spills (the
+                          output is byte-identical either way); default
+                          reads the SSJOIN_SPILL environment variable,
+                          unset means off
+  --spill-dir <dir>       base directory for the run's (always-removed)
+                          spill files; default is the system temp dir
+  --spill-partitions <n>  on-disk partition count (default 8)
 
 observability flags (signature-based algorithms):
   --trace-out <file>    write the span trace: a ".jsonl" extension
@@ -125,7 +138,9 @@ Status WritePairs(const std::vector<SetPair>& pairs,
   for (const auto& [a, b] : pairs) {
     std::fprintf(out, "%u\t%u\n", a, b);
   }
-  if (out != stdout) std::fclose(out);
+  if (out != stdout && std::fclose(out) != 0) {
+    return Status::IOError("error writing " + out_path);
+  }
   return Status::OK();
 }
 
@@ -170,6 +185,25 @@ Result<JoinOptions> ThreadedJoinOptions(Flags& flags) {
   JoinOptions options;
   options.num_threads = static_cast<size_t>(threads);
   options.bitmap_bits = static_cast<uint32_t>(bitmap_bits);
+  SSJOIN_ASSIGN_OR_RETURN(std::string spill, flags.GetString("spill", ""));
+  if (spill == "off") {
+    options.spill.policy = SpillPolicy::kDisabled;
+  } else if (spill == "auto") {
+    options.spill.policy = SpillPolicy::kAuto;
+  } else if (spill == "force") {
+    options.spill.policy = SpillPolicy::kForced;
+  } else if (!spill.empty()) {
+    return Status::InvalidArgument("--spill must be off, auto or force");
+  }
+  SSJOIN_ASSIGN_OR_RETURN(options.spill.dir,
+                          flags.GetString("spill-dir", ""));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t spill_partitions,
+                          flags.GetInt("spill-partitions", 0));
+  if (spill_partitions < 0 || spill_partitions > (1 << 20)) {
+    return Status::InvalidArgument(
+        "--spill-partitions must be in [0, 2^20]");
+  }
+  options.spill.partitions = static_cast<uint32_t>(spill_partitions);
   return options;
 }
 
@@ -188,6 +222,8 @@ Result<GuardFlags> ParseGuardFlags(Flags& flags) {
                           flags.GetInt("memory-budget-mb", 0));
   SSJOIN_ASSIGN_OR_RETURN(double ratio,
                           flags.GetDouble("max-candidate-ratio", 0));
+  SSJOIN_ASSIGN_OR_RETURN(int64_t disk_mb,
+                          flags.GetInt("disk-budget-mb", 0));
   if (deadline_ms < 0) {
     return Status::InvalidArgument("--deadline-ms must be >= 0");
   }
@@ -197,12 +233,16 @@ Result<GuardFlags> ParseGuardFlags(Flags& flags) {
   if (ratio < 0) {
     return Status::InvalidArgument("--max-candidate-ratio must be >= 0");
   }
+  if (disk_mb < 0) {
+    return Status::InvalidArgument("--disk-budget-mb must be >= 0");
+  }
   GuardFlags out;
   out.budget.deadline_ms = deadline_ms;
   out.budget.memory_budget_bytes =
       static_cast<size_t>(budget_mb) * 1024 * 1024;
   out.budget.max_candidate_ratio = ratio;
-  out.enabled = deadline_ms > 0 || budget_mb > 0 || ratio > 0;
+  out.budget.disk_budget_bytes = static_cast<size_t>(disk_mb) * 1024 * 1024;
+  out.enabled = deadline_ms > 0 || budget_mb > 0 || ratio > 0 || disk_mb > 0;
   return out;
 }
 
