@@ -47,7 +47,7 @@ int main() {
     std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
     return 1;
   }
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   std::printf("general join over %zu bibliographic records: %zu pairs\n",
               input.size(), result.pairs.size());
   std::printf("stats: %s\n", result.stats.ToString().c_str());

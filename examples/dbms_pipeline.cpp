@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   JaccardPredicate predicate(gamma);
 
   // In-memory Figure-2 driver.
-  JoinResult driver = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult driver = Join(SelfJoinRequest(input, *scheme, predicate));
   std::printf("driver:    %s\n", driver.stats.ToString().c_str());
 
   // DBMS plan: Signature -> CandPair -> CandPairIntersect -> Output.

@@ -38,7 +38,7 @@ int main() {
 
   // 3. Run the exact signature join.
   JaccardPredicate predicate(gamma);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
 
   std::printf("Jaccard >= %.2f self-join found %zu pair(s):\n", gamma,
               result.pairs.size());

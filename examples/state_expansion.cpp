@@ -75,7 +75,7 @@ int main() {
     return 1;
   }
   JaccardPredicate predicate(gamma);
-  JoinResult result = SignatureJoin(r, s, *scheme, predicate);
+  JoinResult result = Join(BinaryJoinRequest(r, s, *scheme, predicate));
 
   std::printf("State-name reconciliation via city-set SSJoin "
               "(jaccard >= %.2f):\n", gamma);

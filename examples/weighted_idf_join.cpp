@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   }
 
   WeightedJaccardPredicate predicate(gamma, weights);
-  JoinResult result = SignatureSelfJoin(sets, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(sets, *scheme, predicate));
 
   std::printf("weighted jaccard >= %.2f join over %zu records: %zu "
               "pair(s) (showing up to 5)\n\n",

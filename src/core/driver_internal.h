@@ -124,15 +124,4 @@ inline bool BitmapPrunes(const kernels::BitmapTable* bm_r,
   return true;
 }
 
-// Verifies a sorted candidate vector in parallel ranges; with a guard
-// the vector is walked in fixed-size super-chunks whose boundaries are
-// deterministic barriers (checkpoint + breaker). Returns the trip
-// Status; the caller clears result->pairs on failure.
-Status PostFilter(const SetCollection& r, const SetCollection& s,
-                  const std::vector<uint64_t>& candidates,
-                  const Predicate& predicate, ThreadPool& pool,
-                  ExecutionGuard* guard, obs::JoinTelemetry* telem,
-                  const kernels::BitmapTable* bm_r,
-                  const kernels::BitmapTable* bm_s, JoinResult* result);
-
 }  // namespace ssjoin::detail

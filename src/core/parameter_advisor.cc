@@ -326,7 +326,7 @@ Result<GuardedPartEnumResult> PartEnumJaccardSelfJoinWithRetry(
   SSJOIN_ASSIGN_OR_RETURN(auto scheme,
                           PartEnumJaccardScheme::Create(params));
   JaccardPredicate predicate(params.gamma);
-  out.join = SignatureSelfJoin(input, scheme, predicate, guarded);
+  out.join = Join(SelfJoinRequest(input, scheme, predicate, guarded));
   if (out.join.status.ok() ||
       guard.trip_reason() !=
           ExecutionGuard::TripReason::kCandidateExplosion) {
@@ -355,7 +355,7 @@ Result<GuardedPartEnumResult> PartEnumJaccardSelfJoinWithRetry(
   guard.Reset();
   out.retried = true;
   out.retry_params = tuned;
-  out.join = SignatureSelfJoin(input, retry_scheme, predicate, guarded);
+  out.join = Join(SelfJoinRequest(input, retry_scheme, predicate, guarded));
   return out;
 }
 

@@ -1,0 +1,56 @@
+// BitmapFilterOperator: the XOR-bitmap pre-filter as a pipeline stage
+// (DESIGN.md Sections 11 and 13). Only present in a plan when
+// options.verify && options.bitmap_bits != 0.
+//
+// Two build disciplines, matching the legacy drivers:
+//
+//   * Deferred (sorted and spilled modes): the tables are built when the
+//     first batch (or the end of an empty stream) arrives — i.e. after
+//     candidate generation — inside the PostFilter phase, which this
+//     operator opens via JoinTelemetry::PhaseBegin (VerifyOperator's
+//     Close ends it). Self-shaped inputs alias one table for both
+//     sides; the binary mode builds two. Guard memory is charged
+//     exactly as the drivers charged it.
+//   * Eager (pipelined mode): the table is built in Open(), before the
+//     source's first barrier, inside a timer-only scope (the pipelined
+//     drivers record no stable phase spans). The charge is added to
+//     ctx->degrade_release_bytes so a later auto-spill degrade hands it
+//     back.
+//
+// Per batch the operator fills chunk.bitmap_checked/bitmap_pruned and
+// compacts chunk.packed to the survivors, preserving candidate order.
+// It never touches JoinStats: VerifyOperator commits the tallies after
+// the chunk's guard barrier, which is what keeps partial-trip
+// accounting byte-identical to the legacy verify loop.
+
+#pragma once
+
+#include "core/kernels/bitmap_filter.h"
+#include "core/pipeline/operator.h"
+
+namespace ssjoin::pipeline {
+
+class BitmapFilterOperator : public Operator {
+ public:
+  /// `eager` selects the pipelined build discipline (table built in
+  /// Open); deferred is the sorted/spilled discipline (built with the
+  /// first batch, inside the PostFilter phase this operator opens).
+  BitmapFilterOperator(ExecContext* ctx, bool eager);
+
+  Status Open() override;
+  Status NextBatch(Batch* out) override;
+  void Close() override;
+
+ private:
+  Status EnsureReady();
+  void FilterChunk(CandidateChunk* chunk);
+
+  bool eager_;
+  bool ready_ = false;
+  kernels::BitmapTable bitmap_l_;
+  kernels::BitmapTable bitmap_r_;
+  const kernels::BitmapTable* bm_l_ = nullptr;
+  const kernels::BitmapTable* bm_r_ = nullptr;
+};
+
+}  // namespace ssjoin::pipeline

@@ -1,0 +1,44 @@
+#include "core/pipeline/operator.h"
+
+#include <utility>
+
+#include "obs/explain.h"
+
+namespace ssjoin::pipeline {
+
+void Operator::Close() {
+  obs::ExplainReport* explain = ctx_->options->explain;
+  if (explain == nullptr) return;
+  explain->plan.push_back({name_, detail_, rows_in_, rows_out_});
+}
+
+Operator* Plan::Add(std::unique_ptr<Operator> op) {
+  if (!ops_.empty()) op->set_input(ops_.back().get());
+  ops_.push_back(std::move(op));
+  return ops_.back().get();
+}
+
+Status Plan::Run() {
+  if (ops_.empty()) return Status::OK();
+  // The executed plan replaces any previous join's tree (accumulated
+  // explain reports show the last plan; see obs/explain.h).
+  if (ctx_->options->explain != nullptr) ctx_->options->explain->plan.clear();
+  Status status;
+  for (std::unique_ptr<Operator>& op : ops_) {
+    status = op->Open();
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    Operator* sink = ops_.back().get();
+    Batch batch;
+    while (true) {
+      batch.Reset();
+      status = sink->NextBatch(&batch);
+      if (!status.ok() || batch.kind == Batch::Kind::kEnd) break;
+    }
+  }
+  for (std::unique_ptr<Operator>& op : ops_) op->Close();
+  return status;
+}
+
+}  // namespace ssjoin::pipeline

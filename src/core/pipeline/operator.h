@@ -1,0 +1,143 @@
+// The batch-at-a-time operator API behind Join(JoinRequest) (DESIGN.md
+// Section 13).
+//
+// Every execution mode is a Plan: a linear chain of Operators pulled
+// sink-first (Volcano style, one Batch at a time). The three drivers in
+// core/ssjoin.cc and the spill driver reduce to plan builders
+// (core/pipeline/plan_builder.h); the phase logic they used to inline —
+// guard checkpoints, telemetry spans, stats commits — lives in exactly
+// one operator each.
+//
+// Cross-cutting concerns attach ONCE here at the base:
+//
+//   * ExplainReport plan tree: Operator::Close() records one PlanOp
+//     (name, detail, rows in/out) per operator, in chain order. Row
+//     counts must be derived from deterministic stats (signatures,
+//     candidates, results) — never batch counts, which vary with
+//     scheduling.
+//   * Lifecycle: Plan::Run() opens source-first, pulls the sink to
+//     exhaustion or error, and closes every operator on every exit path
+//     (Close must be safe after a failed or skipped Open).
+//
+// Contract (enforced by the `operator-contract` AST-lint rule): every
+// Operator subclass overrides Close() and finishes it with
+// Operator::Close(); operators never read clocks directly (they go
+// through the JoinTelemetry seams) and never emit unregistered metric
+// names.
+//
+// Thread-safety: operators run on the control thread; they fan work out
+// through ParallelFor/RunOnAll internally, exactly as the drivers did.
+// A Plan is single-use: build, Run once, destroy.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline/chunk.h"
+#include "core/ssjoin.h"
+#include "util/status.h"
+
+namespace ssjoin {
+class ExecutionGuard;
+class ThreadPool;
+}  // namespace ssjoin
+
+namespace ssjoin::obs {
+class JoinTelemetry;
+}  // namespace ssjoin::obs
+
+namespace ssjoin::pipeline {
+
+/// Everything a chain shares for one join execution. Plain pointers —
+/// the driver owns all of it; the context just wires operators to the
+/// same join-scoped state the monolithic drivers closed over.
+struct ExecContext {
+  const SetCollection* left = nullptr;
+  /// Null for the self-join modes (the spilled self path included).
+  const SetCollection* right = nullptr;
+  const SignatureScheme* scheme = nullptr;
+  const Predicate* predicate = nullptr;
+  ExecutionMode mode = ExecutionMode::kSelfJoin;
+  /// Spill policy already resolved (never SpillPolicy::kDefault).
+  const JoinOptions* options = nullptr;
+  ThreadPool* pool = nullptr;
+  ExecutionGuard* guard = nullptr;
+  obs::JoinTelemetry* telem = nullptr;
+  JoinResult* result = nullptr;
+
+  /// Set by an operator when the auto-spill budget check fires: the
+  /// chain winds down cleanly (no guard latch) and the driver delegates
+  /// to the out-of-core path.
+  bool degrade = false;
+  /// Guard memory the degraded chain still holds charged; the driver
+  /// releases it before delegating (the spilled join accounts its own
+  /// footprint from zero).
+  size_t degrade_release_bytes = 0;
+  /// True once the manual PostFilter phase is open (the phase spans
+  /// several pulls, so whichever of BitmapFilterOperator /
+  /// VerifyOperator sees the first batch opens it; VerifyOperator's
+  /// Close ends it).
+  bool postfilter_phase_open = false;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// One-time setup before the first pull (eager resource builds).
+  /// Default: nothing.
+  virtual Status Open() { return Status::OK(); }
+
+  /// Produces the next batch into `*out` (Reset by the caller). An end
+  /// batch (Batch::Kind::kEnd) terminates the pull loop; a non-OK
+  /// Status aborts it (guard trips surface here).
+  virtual Status NextBatch(Batch* out) = 0;
+
+  /// Tears down and records this operator's PlanOp into the explain
+  /// report. Runs on every exit path, including after a failed Open or
+  /// an aborted pull loop. Subclasses MUST override (the
+  /// operator-contract lint rule) and end with Operator::Close().
+  virtual void Close();
+
+  void set_input(Operator* input) { input_ = input; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  Operator(ExecContext* ctx, std::string name, std::string detail)
+      : ctx_(ctx), name_(std::move(name)), detail_(std::move(detail)) {}
+
+  ExecContext* ctx_;
+  Operator* input_ = nullptr;
+  /// Deterministic row counts for the explain plan tree, maintained by
+  /// the subclass (from stats totals, never batch counts).
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+
+ private:
+  std::string name_;
+  std::string detail_;
+};
+
+/// A linear operator chain, source first. Owns its operators.
+class Plan {
+ public:
+  explicit Plan(ExecContext* ctx) : ctx_(ctx) {}
+
+  /// Appends `op`, wiring its input to the previous operator.
+  Operator* Add(std::unique_ptr<Operator> op);
+
+  /// Opens source-first, pulls the sink until an end batch or error,
+  /// then closes every operator in chain order (always — the close pass
+  /// is what records the executed plan tree). Returns the first error.
+  Status Run();
+
+ private:
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+}  // namespace ssjoin::pipeline

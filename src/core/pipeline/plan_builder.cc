@@ -1,0 +1,52 @@
+#include "core/pipeline/plan_builder.h"
+
+#include <memory>
+
+#include "core/pipeline/bitmap_filter_operator.h"
+#include "core/pipeline/candidate_gen_operator.h"
+#include "core/pipeline/dedup_emit_operator.h"
+#include "core/pipeline/pipelined_scan_operator.h"
+#include "core/pipeline/siggen_operator.h"
+#include "core/pipeline/spill_partition_operator.h"
+#include "core/pipeline/verify_operator.h"
+
+namespace ssjoin::pipeline {
+namespace {
+
+// The shared verify tail. `eager_bitmap` and `chunked` select the
+// mode's build/guard discipline; `sort_on_end` is true only for the
+// pipelined chain, whose candidates stream in discovery order.
+void AppendVerifyTail(Plan* plan, ExecContext* ctx, bool eager_bitmap,
+                      bool chunked, bool sort_on_end) {
+  const JoinOptions& options = *ctx->options;
+  if (options.verify) {
+    if (options.bitmap_bits != 0) {
+      plan->Add(std::make_unique<BitmapFilterOperator>(ctx, eager_bitmap));
+    }
+    plan->Add(std::make_unique<VerifyOperator>(ctx, chunked));
+  }
+  plan->Add(std::make_unique<DedupEmitOperator>(ctx, sort_on_end));
+}
+
+}  // namespace
+
+void BuildSortedPlan(Plan* plan, ExecContext* ctx) {
+  plan->Add(std::make_unique<SigGenOperator>(ctx));
+  plan->Add(std::make_unique<CandidateGenOperator>(ctx));
+  AppendVerifyTail(plan, ctx, /*eager_bitmap=*/false, /*chunked=*/true,
+                   /*sort_on_end=*/false);
+}
+
+void BuildPipelinedPlan(Plan* plan, ExecContext* ctx) {
+  plan->Add(std::make_unique<PipelinedScanOperator>(ctx));
+  AppendVerifyTail(plan, ctx, /*eager_bitmap=*/true, /*chunked=*/false,
+                   /*sort_on_end=*/true);
+}
+
+void BuildSpillPlan(Plan* plan, ExecContext* ctx) {
+  plan->Add(std::make_unique<SpillPartitionOperator>(ctx));
+  AppendVerifyTail(plan, ctx, /*eager_bitmap=*/false, /*chunked=*/true,
+                   /*sort_on_end=*/false);
+}
+
+}  // namespace ssjoin::pipeline

@@ -1,0 +1,27 @@
+// Plan builders: the three execution modes expressed as operator chains
+// (DESIGN.md Section 13). The drivers in core/ssjoin.cc and the spill
+// entry points build one of these and call Plan::Run; everything the
+// modes share — guard protocol, telemetry discipline, explain plan
+// recording — lives in the operators, once.
+//
+//   Sorted     SigGen -> CandidateGen [-> BitmapFilter -> Verify]
+//              -> DedupEmit
+//   Pipelined  PipelinedScan [-> BitmapFilter -> Verify] -> DedupEmit
+//   Spilled    SpillPartition [-> BitmapFilter -> Verify] -> DedupEmit
+//
+// The bracketed tail exists only when options.verify; BitmapFilter only
+// when options.bitmap_bits != 0. The sorted and spilled chains emit
+// globally sorted candidates, so their DedupEmit appends; the pipelined
+// chain emits in discovery order and sorts at end of stream.
+
+#pragma once
+
+#include "core/pipeline/operator.h"
+
+namespace ssjoin::pipeline {
+
+void BuildSortedPlan(Plan* plan, ExecContext* ctx);
+void BuildPipelinedPlan(Plan* plan, ExecContext* ctx);
+void BuildSpillPlan(Plan* plan, ExecContext* ctx);
+
+}  // namespace ssjoin::pipeline

@@ -10,9 +10,11 @@
 
 #include "core/driver_internal.h"
 #include "core/execution_guard.h"
-#include "core/kernels/bitmap_filter.h"
 #include "core/kernels/intersect.h"
+#include "core/pipeline/operator.h"
+#include "core/pipeline/plan_builder.h"
 #include "core/spill/spill_file.h"
+#include "core/spill/spill_internal.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
 #include "util/hashing.h"
@@ -143,6 +145,10 @@ Status WriteSide(const SetCollection& input, const SignatureScheme& scheme,
   return Status::OK();
 }
 
+}  // namespace
+
+namespace internal {
+
 // One spill attempt at a fixed partition count: write both sides, then
 // run candidate generation partition by partition and merge. Fills
 // `stats` (phase seconds, signature/collision/candidate counters, spill
@@ -263,8 +269,13 @@ Status RunAttempt(const SetCollection& left, const SetCollection* right,
   return Status::OK();
 }
 
-// The shared driver behind both public entry points: retry loop around
-// RunAttempt, then the standard verify phase over the merged candidates.
+}  // namespace internal
+
+namespace {
+
+// The shared driver behind both public entry points: the spilled
+// operator chain (SpillPartition owns the retry loop around
+// internal::RunAttempt, the verify tail is the standard one).
 JoinResult SpilledJoin(const SetCollection& left, const SetCollection* right,
                        const SignatureScheme& scheme,
                        const Predicate& predicate, const JoinOptions& options,
@@ -293,97 +304,26 @@ JoinResult SpilledJoin(const SetCollection& left, const SetCollection* right,
     ex->SetParam("spill_partitions", std::to_string(partitions));
   }
 
-  auto fail_return = [&](Status st) {
+  pipeline::ExecContext ctx;
+  ctx.left = &left;
+  ctx.right = right;
+  ctx.scheme = &scheme;
+  ctx.predicate = &predicate;
+  ctx.mode = mode;
+  ctx.options = &options;
+  ctx.pool = &pool;
+  ctx.guard = guard;
+  ctx.telem = &telem;
+  ctx.result = &result;
+  pipeline::Plan plan(&ctx);
+  pipeline::BuildSpillPlan(&plan, &ctx);
+  Status st = plan.Run();
+  if (!st.ok()) {
     result.pairs.clear();
     result.status = std::move(st);
     detail::FinishJoin(telem, result, guard, options.explain, isect0);
-    return std::move(result);
-  };
-
-  if (guard != nullptr) {
-    Status st = guard->Checkpoint(JoinPhase::kSigGen);
-    if (!st.ok()) return fail_return(std::move(st));
-  }
-
-  std::vector<uint64_t> candidates;
-  uint64_t retries = 0;
-  while (true) {
-    JoinStats attempt;
-    std::vector<uint64_t> attempt_candidates;
-    Status st = RunAttempt(left, right, scheme, options, partitions, pool,
-                           guard, telem, &attempt, &attempt_candidates);
-    // Phase seconds and I/O bytes accumulate across attempts — failed
-    // work was still time and disk traffic the operator pays for.
-    result.stats.siggen_seconds += attempt.siggen_seconds;
-    result.stats.candpair_seconds += attempt.candpair_seconds;
-    result.stats.spill_bytes_written += attempt.spill_bytes_written;
-    result.stats.spill_bytes_read += attempt.spill_bytes_read;
-    result.stats.spill_partitions = partitions;
-    result.stats.spill_retries = retries;
-    if (st.ok()) {
-      result.stats.signatures_r = attempt.signatures_r;
-      result.stats.signatures_s = attempt.signatures_s;
-      result.stats.signature_collisions = attempt.signature_collisions;
-      result.stats.candidates = attempt.candidates;
-      candidates = std::move(attempt_candidates);
-      break;
-    }
-    // Guard trips are final (the budget does not heal by retrying) and
-    // only I/O failures are transient; everything else surrenders too.
-    const bool retryable = st.code() == StatusCode::kIOError &&
-                           (guard == nullptr || !guard->tripped()) &&
-                           retries < options.spill.max_retries;
-    if (!retryable) {
-      // A trip or exhausted retry keeps the completed-signature counts
-      // (deterministic: the write stage either finished or reports 0)
-      // but no candidate accounting — those counters stopped mid-flight.
-      result.stats.signatures_r = attempt.signatures_r;
-      result.stats.signatures_s = attempt.signatures_s;
-      return fail_return(std::move(st));
-    }
-    ++retries;
-    // Fewer, larger partitions: the common spill failure modes are
-    // per-file (descriptor limits, quota on file count), so halving is
-    // the retry that changes the attempt instead of repeating it.
-    partitions = std::max(1u, partitions / 2);
-  }
-  telem.PhaseAttr("candidates", result.stats.candidates);
-  if (guard != nullptr) {
-    guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
-  }
-
-  if (!options.verify) {
-    detail::FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
-
-  const SetCollection& s_side = right != nullptr ? *right : left;
-  Status post_status;
-  {
-    auto scope = telem.Phase(obs::kPhasePostFilter,
-                             &result.stats.postfilter_seconds);
-    kernels::BitmapTable bitmap_l, bitmap_r;
-    const kernels::BitmapTable* bm_l = nullptr;
-    const kernels::BitmapTable* bm_r = nullptr;
-    if (options.bitmap_bits != 0) {
-      bitmap_l = detail::BuildBitmap(left, options.bitmap_bits, pool);
-      bm_l = &bitmap_l;
-      if (right != nullptr) {
-        bitmap_r = detail::BuildBitmap(*right, options.bitmap_bits, pool);
-        bm_r = &bitmap_r;
-      } else {
-        bm_r = &bitmap_l;
-      }
-      if (guard != nullptr) {
-        guard->ChargeMemory(bitmap_l.size_bytes() +
-                            (right != nullptr ? bitmap_r.size_bytes() : 0));
-      }
-    }
-    post_status = detail::PostFilter(left, s_side, candidates, predicate,
-                                     pool, guard, &telem, bm_l, bm_r,
-                                     &result);
-  }
-  if (!post_status.ok()) return fail_return(std::move(post_status));
 
   detail::FinishJoin(telem, result, guard, options.explain, isect0);
   return result;

@@ -1,1033 +1,27 @@
 #include "core/ssjoin.h"
 
-#include <algorithm>
-#include <functional>
-#include <iterator>
 #include <sstream>
-#include <unordered_map>
-#include <vector>
+#include <string>
+#include <utility>
 
 #include "core/driver_internal.h"
 #include "core/kernels/bitmap_filter.h"
-#include "core/kernels/flat_set.h"
 #include "core/kernels/intersect.h"
+#include "core/pipeline/operator.h"
+#include "core/pipeline/plan_builder.h"
 #include "core/spill/spill_join.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
-#include "util/hashing.h"
 #include "util/thread_pool.h"
 
+// The execution engine lives in core/pipeline: every mode is an operator
+// chain (DESIGN.md Section 13) and the shared building blocks sit in
+// core/driver_internal.cc. What remains here is the public API — request
+// validation, mode dispatch — plus the two in-memory drivers, which are
+// now just plan-builders: set up telemetry/pool/guard, build the chain,
+// run it, publish the accounting.
+
 namespace ssjoin {
-
-// The building blocks shared with the out-of-core driver
-// (core/spill/spill_join.cc) live in ssjoin::detail and are declared in
-// core/driver_internal.h; the in-memory-only plumbing stays in the
-// anonymous namespace below.
-namespace detail {
-
-std::function<bool()> StopFn(ExecutionGuard* guard, JoinPhase phase) {
-  if (guard == nullptr) return {};
-  return [guard, phase] { return guard->ShouldStop(phase); };
-}
-
-}  // namespace detail
-
-using namespace detail;  // the drivers read as before the split
-
-namespace detail {
-
-// Publishes the end-of-join accounting — root-span attributes plus the
-// join.* metrics — and, when the guard tripped, the trip cause as a span
-// event on the root. Called on every exit path, so traces and metrics of
-// tripped runs still carry the partial accounting the stats report.
-// Everything published here is derived from JoinStats, which is
-// byte-identical for every thread count (the determinism contract) —
-// except the intersect-kernel dispatch deltas, which depend on the host
-// CPU and are therefore published as kRuntime counters only.
-// `isect_start` is the process-wide dispatch snapshot the driver took at
-// entry; the delta is this join's kernel mix.
-void FinishJoin(obs::JoinTelemetry& telem, const JoinResult& result,
-                ExecutionGuard* guard, obs::ExplainReport* explain,
-                const kernels::IntersectCounts& isect_start) {
-  if (guard != nullptr && guard->tripped()) {
-    std::string_view reason = TripReasonName(guard->trip_reason());
-    telem.Event("guard_trip", reason);
-    telem.Attr("trip", reason);
-    if (explain != nullptr) explain->trip = std::string(reason);
-  }
-  const JoinStats& stats = result.stats;
-  telem.Attr("signatures_r", stats.signatures_r);
-  telem.Attr("signatures_s", stats.signatures_s);
-  telem.Attr("signature_collisions", stats.signature_collisions);
-  telem.Attr("candidates", stats.candidates);
-  telem.Attr("results", stats.results);
-  telem.Attr("false_positives", stats.false_positives);
-  telem.AddCount("join.runs", 1);
-  telem.AddCount("join.signatures", stats.signatures_r + stats.signatures_s);
-  telem.AddCount("join.signature_collisions", stats.signature_collisions);
-  telem.AddCount("join.candidates", stats.candidates);
-  telem.AddCount("join.results", stats.results);
-  telem.AddCount("join.false_positives", stats.false_positives);
-  // Candidates kept per signature collision: the dedup effectiveness of
-  // candidate generation (1.0 = every collision was a distinct pair).
-  telem.SetGauge("join.candidate_dedup_ratio",
-                 stats.signature_collisions > 0
-                     ? static_cast<double>(stats.candidates) /
-                           static_cast<double>(stats.signature_collisions)
-                     : 1.0);
-  telem.SetGauge("join.seconds.total", stats.TotalSeconds(),
-                 obs::Stability::kRuntime);
-  // Bitmap pre-filter effectiveness (DESIGN.md Section 11). The counters
-  // derive from JoinStats, so they are deterministic; a disabled filter
-  // reports 0 checked / 0 pruned and a 0.0 rate.
-  telem.Attr("bitmap_filter_checked", stats.bitmap_filter_checked);
-  telem.Attr("bitmap_filter_pruned", stats.bitmap_filter_pruned);
-  telem.AddCount("join.bitmap_filter_checked", stats.bitmap_filter_checked);
-  telem.AddCount("join.bitmap_filter_pruned", stats.bitmap_filter_pruned);
-  telem.SetGauge("join.bitmap_prune_rate",
-                 stats.bitmap_filter_checked > 0
-                     ? static_cast<double>(stats.bitmap_filter_pruned) /
-                           static_cast<double>(stats.bitmap_filter_checked)
-                     : 0.0);
-  // Which IntersectSize kernel verification actually ran: runtime-only
-  // (the mix depends on __builtin_cpu_supports and the SSJOIN_SIMD build
-  // gate, so it must stay out of the deterministic export).
-  kernels::IntersectCounts isect = kernels::IntersectDispatchCounts();
-  telem.AddCount("join.intersect.scalar", isect.scalar - isect_start.scalar,
-                 obs::Stability::kRuntime);
-  telem.AddCount("join.intersect.galloping",
-                 isect.galloping - isect_start.galloping,
-                 obs::Stability::kRuntime);
-  telem.AddCount("join.intersect.simd", isect.simd - isect_start.simd,
-                 obs::Stability::kRuntime);
-  // Drift actuals: everything stable the advisor can predict, plus the
-  // run outcome quantities (one-sided entries render without a ratio).
-  // RecordActual is null-safe — a detached explain costs one compare.
-  obs::RecordActual(explain, "join.signatures",
-                    static_cast<double>(stats.signatures_r +
-                                        stats.signatures_s));
-  obs::RecordActual(explain, "join.signature_collisions",
-                    static_cast<double>(stats.signature_collisions));
-  obs::RecordActual(explain, "join.f2",
-                    static_cast<double>(stats.F2()));
-  obs::RecordActual(explain, "join.candidates",
-                    static_cast<double>(stats.candidates));
-  obs::RecordActual(explain, "join.results",
-                    static_cast<double>(stats.results));
-  obs::RecordActual(explain, "join.false_positives",
-                    static_cast<double>(stats.false_positives));
-  obs::RecordActual(explain, "join.bitmap_filter_checked",
-                    static_cast<double>(stats.bitmap_filter_checked));
-  obs::RecordActual(explain, "join.bitmap_filter_pruned",
-                    static_cast<double>(stats.bitmap_filter_pruned));
-  // Out-of-core accounting, emitted only when the join actually spilled
-  // so in-memory runs keep their pre-spill telemetry shape (DESIGN.md
-  // Section 12). All four counters are deterministic for a fixed input
-  // and spill configuration.
-  if (stats.spill_partitions > 0) {
-    telem.Attr("spill_partitions", stats.spill_partitions);
-    telem.Attr("spill_retries", stats.spill_retries);
-    telem.AddCount("join.spill.partitions", stats.spill_partitions);
-    telem.AddCount("join.spill.bytes_written", stats.spill_bytes_written);
-    telem.AddCount("join.spill.bytes_read", stats.spill_bytes_read);
-    telem.AddCount("join.spill.retries", stats.spill_retries);
-    obs::RecordActual(explain, "join.spill.bytes_written",
-                      static_cast<double>(stats.spill_bytes_written));
-  }
-  if (explain != nullptr) {
-    explain->joins += 1;
-    explain->siggen_seconds += stats.siggen_seconds;
-    explain->candpair_seconds += stats.candpair_seconds;
-    explain->postfilter_seconds += stats.postfilter_seconds;
-  }
-}
-
-}  // namespace detail
-
-namespace {
-
-// Flattened per-set signature lists (CSR). Signatures are deduplicated
-// within each set: Sign(s) is a set, and duplicates would double-count
-// collisions.
-struct SignatureTable {
-  std::vector<Signature> values;
-  std::vector<size_t> offsets;  // collection.size() + 1
-
-  uint64_t total() const { return values.size(); }
-};
-
-size_t TableBytes(const SignatureTable& table) {
-  return table.values.size() * sizeof(Signature) +
-         table.offsets.size() * sizeof(size_t);
-}
-
-}  // namespace
-
-namespace detail {
-
-// Replaces *scratch with the deduplicated, sorted Sign(set).
-void GenerateSorted(const SignatureScheme& scheme,
-                    std::span<const ElementId> set,
-                    std::vector<Signature>* scratch) {
-  scratch->clear();
-  scheme.Generate(set, scratch);
-  std::sort(scratch->begin(), scratch->end());
-  scratch->erase(std::unique(scratch->begin(), scratch->end()),
-                 scratch->end());
-}
-
-// Shard assignment for candidate generation. All postings of one
-// signature land in one shard, so a signature group never straddles
-// shards: per-shard collision counts sum to exactly the serial total,
-// and the Section 4 / Theorem 2 accounting is preserved.
-size_t ShardOf(Signature sig, size_t shards) {
-  return shards == 1 ? 0 : static_cast<size_t>(Mix64(sig) % shards);
-}
-
-}  // namespace detail
-
-namespace {
-
-// Signature generation, fanned out per set into thread-local CSR chunks
-// that are stitched back in set order — the layout is identical to the
-// serial loop for any thread count. A tripped/cancelled guard stops the
-// pass early; the caller must discard the (incomplete) table when
-// guard->tripped().
-SignatureTable GenerateAll(const SetCollection& input,
-                           const SignatureScheme& scheme, ThreadPool& pool,
-                           ExecutionGuard* guard) {
-  size_t chunks = pool.size();
-  if (chunks == 1 || input.size() < 2 * chunks) {
-    SignatureTable table;
-    table.offsets.reserve(input.size() + 1);
-    table.offsets.push_back(0);
-    std::vector<Signature> scratch;
-    for (SetId id = 0; id < input.size(); ++id) {
-      if (guard != nullptr && (id & 255u) == 0 &&
-          guard->ShouldStop(JoinPhase::kSigGen)) {
-        break;
-      }
-      GenerateSorted(scheme, input.set(id), &scratch);
-      table.values.insert(table.values.end(), scratch.begin(),
-                          scratch.end());
-      table.offsets.push_back(table.values.size());
-    }
-    return table;
-  }
-
-  std::vector<SignatureTable> parts(chunks);
-  ParallelFor(
-      pool, input.size(),
-      [&](size_t begin, size_t end, size_t c) {
-        SignatureTable& part = parts[c];
-        // With a guard the chunk arrives as several sub-blocks; only the
-        // first one plants the leading CSR offset.
-        if (part.offsets.empty()) part.offsets.push_back(0);
-        std::vector<Signature> scratch;
-        for (size_t id = begin; id < end; ++id) {
-          GenerateSorted(scheme, input.set(static_cast<SetId>(id)),
-                         &scratch);
-          part.values.insert(part.values.end(), scratch.begin(),
-                             scratch.end());
-          part.offsets.push_back(part.values.size());
-        }
-      },
-      StopFn(guard, JoinPhase::kSigGen));
-
-  SignatureTable table;
-  size_t total = 0;
-  for (const SignatureTable& part : parts) total += part.values.size();
-  table.values.reserve(total);
-  table.offsets.reserve(input.size() + 1);
-  table.offsets.push_back(0);
-  for (SignatureTable& part : parts) {
-    size_t base = table.values.size();
-    table.values.insert(table.values.end(), part.values.begin(),
-                        part.values.end());
-    for (size_t i = 1; i < part.offsets.size(); ++i) {
-      table.offsets.push_back(base + part.offsets[i]);
-    }
-  }
-  return table;
-}
-
-// Scatters a CSR table into per-(producer, shard) posting buckets.
-// Producer c writes only buckets[c * shards + *], so the pass is
-// race-free; shard s later reads buckets[* * shards + s].
-std::vector<std::vector<Posting>> BucketPostings(const SignatureTable& table,
-                                                 ThreadPool& pool,
-                                                 ExecutionGuard* guard) {
-  size_t shards = pool.size();
-  std::vector<std::vector<Posting>> buckets(shards * shards);
-  size_t num_sets = table.offsets.size() - 1;
-  ParallelFor(
-      pool, num_sets,
-      [&](size_t begin, size_t end, size_t c) {
-        std::vector<Posting>* mine = &buckets[c * shards];
-        for (size_t id = begin; id < end; ++id) {
-          for (size_t i = table.offsets[id]; i < table.offsets[id + 1];
-               ++i) {
-            Signature sig = table.values[i];
-            mine[ShardOf(sig, shards)].emplace_back(
-                sig, static_cast<SetId>(id));
-          }
-        }
-      },
-      StopFn(guard, JoinPhase::kCandGen));
-  return buckets;
-}
-
-// Concatenates shard `shard`'s buckets (in producer order) and sorts,
-// yielding this shard's slice of the sorted posting list.
-std::vector<Posting> ShardPostings(
-    const std::vector<std::vector<Posting>>& buckets, size_t shards,
-    size_t shard) {
-  std::vector<Posting> postings;
-  size_t total = 0;
-  for (size_t p = 0; p < shards; ++p) {
-    total += buckets[p * shards + shard].size();
-  }
-  postings.reserve(total);
-  for (size_t p = 0; p < shards; ++p) {
-    const std::vector<Posting>& bucket = buckets[p * shards + shard];
-    postings.insert(postings.end(), bucket.begin(), bucket.end());
-  }
-  std::sort(postings.begin(), postings.end());
-  return postings;
-}
-
-// Self-join candidate generation over one shard's sorted postings.
-// Within a signature group the (sig, id) postings are unique and sorted,
-// so ids ascend: a < b already yields first < second. Dedup runs through
-// a flat open-addressing table (core/kernels/flat_set.h) — one Mix64
-// probe per occurrence instead of sort+unique over the occurrence list —
-// and ExtractSorted() restores the exact sorted duplicate-free vector
-// the old path produced.
-// Occurrence-count cutoff for the flat dedup table. Below it the table
-// (sized for every insertion up front, so it never rehashes) stays
-// cache-resident and one Mix64 probe per occurrence beats sort+unique
-// handily; above it every probe is a cache miss into a multi-MiB table
-// and the sequential sort wins back. Both paths produce the identical
-// sorted duplicate-free vector, so the switch is invisible in output.
-constexpr uint64_t kFlatDedupMaxInsertions = 1ull << 17;
-
-// Dedup sink for the candidate shards: flat table or occurrence vector
-// chosen once per shard from the exact insertion count.
-class CandidateDedup {
- public:
-  explicit CandidateDedup(uint64_t expected_insertions, size_t reserve) {
-    use_flat_ = expected_insertions <= kFlatDedupMaxInsertions;
-    if (use_flat_) {
-      flat_.Reserve(std::max<size_t>(
-          reserve, static_cast<size_t>(expected_insertions)));
-    } else {
-      occurrences_.reserve(static_cast<size_t>(expected_insertions));
-    }
-  }
-
-  void Insert(uint64_t key) {
-    if (use_flat_) {
-      flat_.Insert(key);
-    } else {
-      occurrences_.push_back(key);
-    }
-  }
-
-  std::vector<uint64_t> ExtractSorted() {
-    if (use_flat_) return flat_.ExtractSorted();
-    std::sort(occurrences_.begin(), occurrences_.end());
-    occurrences_.erase(
-        std::unique(occurrences_.begin(), occurrences_.end()),
-        occurrences_.end());
-    return std::move(occurrences_);
-  }
-
- private:
-  bool use_flat_ = true;
-  kernels::FlatU64Set flat_;
-  std::vector<uint64_t> occurrences_;
-};
-
-}  // namespace
-
-namespace detail {
-
-ShardCandidates SelfJoinShard(const std::vector<Posting>& postings,
-                              size_t reserve,
-                              const std::function<bool()>& stop) {
-  ShardCandidates out;
-  // Pre-scan the signature groups for the exact insertion count
-  // (== collisions >= distinct candidates): one sequential pass picks
-  // the dedup strategy and sizes it in a single allocation.
-  uint64_t expected = 0;
-  for (size_t g = 0; g < postings.size();) {
-    size_t h = g;
-    while (h < postings.size() && postings[h].first == postings[g].first) {
-      ++h;
-    }
-    uint64_t group = h - g;
-    expected += group * (group - 1) / 2;
-    g = h;
-  }
-  CandidateDedup dedup(expected, reserve);
-  size_t i = 0;
-  uint64_t groups = 0;
-  while (i < postings.size()) {
-    if (stop && (groups++ & 63u) == 0 && stop()) break;
-    size_t j = i;
-    while (j < postings.size() && postings[j].first == postings[i].first) {
-      ++j;
-    }
-    uint64_t group = j - i;
-    out.collisions += group * (group - 1) / 2;
-    for (size_t a = i; a < j; ++a) {
-      for (size_t b = a + 1; b < j; ++b) {
-        dedup.Insert(PackPair(postings[a].second, postings[b].second));
-      }
-    }
-    i = j;
-  }
-  out.packed = dedup.ExtractSorted();
-  return out;
-}
-
-// Binary-join candidate generation: merge-join of the two shard slices.
-ShardCandidates BinaryJoinShard(const std::vector<Posting>& postings_r,
-                                const std::vector<Posting>& postings_s,
-                                size_t reserve,
-                                const std::function<bool()>& stop) {
-  ShardCandidates out;
-  // Same exact-insertion-count pre-scan as SelfJoinShard, via a dry
-  // merge over the two posting lists.
-  uint64_t expected = 0;
-  for (size_t gi = 0, gj = 0;
-       gi < postings_r.size() && gj < postings_s.size();) {
-    Signature sr = postings_r[gi].first;
-    Signature ss = postings_s[gj].first;
-    if (sr < ss) {
-      ++gi;
-    } else if (ss < sr) {
-      ++gj;
-    } else {
-      size_t ei = gi, ej = gj;
-      while (ei < postings_r.size() && postings_r[ei].first == sr) ++ei;
-      while (ej < postings_s.size() && postings_s[ej].first == sr) ++ej;
-      expected += static_cast<uint64_t>(ei - gi) * (ej - gj);
-      gi = ei;
-      gj = ej;
-    }
-  }
-  CandidateDedup dedup(expected, reserve);
-  size_t i = 0, j = 0;
-  uint64_t iters = 0;
-  while (i < postings_r.size() && j < postings_s.size()) {
-    if (stop && (iters++ & 1023u) == 0 && stop()) break;
-    Signature sig_r = postings_r[i].first;
-    Signature sig_s = postings_s[j].first;
-    if (sig_r < sig_s) {
-      ++i;
-    } else if (sig_s < sig_r) {
-      ++j;
-    } else {
-      size_t ei = i, ej = j;
-      while (ei < postings_r.size() && postings_r[ei].first == sig_r) ++ei;
-      while (ej < postings_s.size() && postings_s[ej].first == sig_r) ++ej;
-      out.collisions += static_cast<uint64_t>(ei - i) * (ej - j);
-      for (size_t a = i; a < ei; ++a) {
-        for (size_t b = j; b < ej; ++b) {
-          dedup.Insert(PackPair(postings_r[a].second, postings_s[b].second));
-        }
-      }
-      i = ei;
-      j = ej;
-    }
-  }
-  out.packed = dedup.ExtractSorted();
-  return out;
-}
-
-// Unions sorted duplicate-free candidate lists: log2(n) pairwise
-// set_union rounds, the merges of each round running in parallel.
-std::vector<uint64_t> UnionShards(std::vector<std::vector<uint64_t>> lists,
-                                  ThreadPool& pool,
-                                  const std::function<bool()>& stop) {
-  if (lists.empty()) return {};
-  while (lists.size() > 1) {
-    size_t pairs = lists.size() / 2;
-    std::vector<std::vector<uint64_t>> next(pairs + lists.size() % 2);
-    ParallelFor(pool, pairs, [&](size_t begin, size_t end, size_t) {
-      for (size_t p = begin; p < end; ++p) {
-        if (stop && stop()) return;
-        const std::vector<uint64_t>& a = lists[2 * p];
-        const std::vector<uint64_t>& b = lists[2 * p + 1];
-        std::vector<uint64_t> merged;
-        merged.reserve(a.size() + b.size());
-        std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                       std::back_inserter(merged));
-        next[p] = std::move(merged);
-      }
-    });
-    if (lists.size() % 2) next.back() = std::move(lists.back());
-    lists = std::move(next);
-    if (stop && stop()) break;
-  }
-  return std::move(lists[0]);
-}
-
-// Shared candidate-generation phase: bucket by signature hash, run
-// `shard_fn` per shard, then union the shard outputs. Fills
-// stats.signature_collisions / stats.candidates and returns the global
-// sorted duplicate-free candidate vector.
-std::vector<uint64_t> GenerateCandidates(
-    ThreadPool& pool,
-    const std::function<ShardCandidates(size_t)>& shard_fn,
-    const std::function<bool()>& stop, JoinStats* stats,
-    obs::JoinTelemetry* telem) {
-  size_t shards = pool.size();
-  std::vector<ShardCandidates> per_shard(shards);
-  obs::Histogram* shard_candidates =
-      telem->metrics() != nullptr
-          ? &telem->metrics()->histogram("join.shard.candidates")
-          : nullptr;
-  obs::Histogram* shard_micros =
-      telem->metrics() != nullptr
-          ? &telem->metrics()->histogram("join.shard.micros")
-          : nullptr;
-  pool.RunOnAll([&](size_t shard) {
-    {
-      // Runtime span per shard (lane = shard + 1; lane 0 is the control
-      // thread) — excluded from the deterministic export.
-      auto sample = telem->Sample("shard", shard_micros,
-                                  static_cast<uint32_t>(shard) + 1);
-      per_shard[shard] = shard_fn(shard);
-      if (sample.span() != obs::kNoSpan) {
-        telem->tracer()->SetAttr(
-            sample.span(), "candidates",
-            static_cast<uint64_t>(per_shard[shard].packed.size()));
-      }
-    }
-    if (shard_candidates != nullptr) {
-      shard_candidates->Record(per_shard[shard].packed.size());
-    }
-  });
-  std::vector<std::vector<uint64_t>> lists;
-  lists.reserve(shards);
-  for (ShardCandidates& sc : per_shard) {
-    stats->signature_collisions += sc.collisions;
-    lists.push_back(std::move(sc.packed));
-  }
-  std::vector<uint64_t> candidates =
-      UnionShards(std::move(lists), pool, stop);
-  stats->candidates = candidates.size();
-  return candidates;
-}
-
-// Builds the XOR bitmap signature table for `input` with the rows
-// sharded across the pool. Row contents are per-set independent, so the
-// table is byte-identical for every thread count.
-kernels::BitmapTable BuildBitmap(const SetCollection& input, uint32_t bits,
-                                 ThreadPool& pool) {
-  kernels::BitmapTable table =
-      kernels::BitmapTable::Prepare(input.size(), bits);
-  ParallelFor(pool, input.size(),
-              [&](size_t begin, size_t end, size_t) {
-                table.BuildRange(input, begin, end);
-              });
-  return table;
-}
-
-// Verifies a sorted candidate vector in parallel ranges. The chunks are
-// contiguous slices of a sorted vector, so concatenating the per-chunk
-// outputs in chunk order yields result->pairs already sorted — the
-// serial and every parallel execution produce the identical vector.
-//
-// With a guard the vector is walked in fixed-size super-chunks
-// (kVerifyChunk candidates, independent of thread count); each boundary
-// is a deterministic barrier where the guard checkpoint and the
-// candidate-explosion breaker run against totals that are identical for
-// every thread count. Returns the trip Status (partial super-chunks are
-// never committed; result->pairs is cleared by the driver).
-Status PostFilter(const SetCollection& r, const SetCollection& s,
-                  const std::vector<uint64_t>& candidates,
-                  const Predicate& predicate, ThreadPool& pool,
-                  ExecutionGuard* guard, obs::JoinTelemetry* telem,
-                  const kernels::BitmapTable* bm_r,
-                  const kernels::BitmapTable* bm_s, JoinResult* result) {
-  size_t chunks = pool.size();
-  if (guard == nullptr) {
-    std::vector<std::vector<SetPair>> pairs(chunks);
-    std::vector<uint64_t> results(chunks, 0);
-    std::vector<uint64_t> false_positives(chunks, 0);
-    std::vector<uint64_t> bitmap_checked(chunks, 0);
-    std::vector<uint64_t> bitmap_pruned(chunks, 0);
-    ParallelFor(pool, candidates.size(),
-                [&](size_t begin, size_t end, size_t c) {
-                  std::vector<SetPair>& mine = pairs[c];
-                  mine.reserve((end - begin) / 4 + 1);
-                  uint64_t hits = 0, misses = 0;
-                  uint64_t checked = 0, pruned = 0;
-                  for (size_t i = begin; i < end; ++i) {
-                    auto [id_r, id_s] = UnpackPair(candidates[i]);
-                    auto set_r = r.set(id_r);
-                    auto set_s = s.set(id_s);
-                    if (BitmapPrunes(bm_r, bm_s, predicate, id_r, id_s,
-                                     set_r.size(), set_s.size(), &checked,
-                                     &pruned)) {
-                      ++misses;
-                    } else if (predicate.Evaluate(set_r, set_s)) {
-                      mine.emplace_back(id_r, id_s);
-                      ++hits;
-                    } else {
-                      ++misses;
-                    }
-                  }
-                  results[c] = hits;
-                  false_positives[c] = misses;
-                  bitmap_checked[c] = checked;
-                  bitmap_pruned[c] = pruned;
-                });
-    size_t total = 0;
-    for (const std::vector<SetPair>& p : pairs) total += p.size();
-    result->pairs.reserve(total);
-    for (size_t c = 0; c < chunks; ++c) {
-      result->pairs.insert(result->pairs.end(), pairs[c].begin(),
-                           pairs[c].end());
-      result->stats.results += results[c];
-      result->stats.false_positives += false_positives[c];
-      result->stats.bitmap_filter_checked += bitmap_checked[c];
-      result->stats.bitmap_filter_pruned += bitmap_pruned[c];
-    }
-    return Status::OK();
-  }
-
-  constexpr size_t kVerifyChunk = 16384;
-  obs::Histogram* chunk_micros =
-      telem->metrics() != nullptr
-          ? &telem->metrics()->histogram("join.verify.chunk_micros")
-          : nullptr;
-  SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
-  for (size_t s0 = 0; s0 < candidates.size(); s0 += kVerifyChunk) {
-    if (s0 > 0) {
-      SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
-    }
-    SSJOIN_RETURN_NOT_OK(guard->CheckBreaker(JoinPhase::kVerify, s0,
-                                             result->stats.results));
-    size_t s1 = std::min(candidates.size(), s0 + kVerifyChunk);
-    auto sample = telem->Sample("verify_chunk", chunk_micros);
-    std::vector<std::vector<SetPair>> pairs(chunks);
-    std::vector<uint64_t> results(chunks, 0);
-    std::vector<uint64_t> false_positives(chunks, 0);
-    std::vector<uint64_t> bitmap_checked(chunks, 0);
-    std::vector<uint64_t> bitmap_pruned(chunks, 0);
-    ParallelFor(pool, s1 - s0, [&](size_t begin, size_t end, size_t c) {
-      std::vector<SetPair>& mine = pairs[c];
-      uint64_t hits = 0, misses = 0;
-      uint64_t checked = 0, pruned = 0;
-      for (size_t i = begin; i < end; ++i) {
-        auto [id_r, id_s] = UnpackPair(candidates[s0 + i]);
-        auto set_r = r.set(id_r);
-        auto set_s = s.set(id_s);
-        if (BitmapPrunes(bm_r, bm_s, predicate, id_r, id_s, set_r.size(),
-                         set_s.size(), &checked, &pruned)) {
-          ++misses;
-        } else if (predicate.Evaluate(set_r, set_s)) {
-          mine.emplace_back(id_r, id_s);
-          ++hits;
-        } else {
-          ++misses;
-        }
-      }
-      results[c] = hits;
-      false_positives[c] = misses;
-      bitmap_checked[c] = checked;
-      bitmap_pruned[c] = pruned;
-    });
-    size_t appended = 0;
-    for (size_t c = 0; c < chunks; ++c) {
-      result->pairs.insert(result->pairs.end(), pairs[c].begin(),
-                           pairs[c].end());
-      appended += pairs[c].size();
-      result->stats.results += results[c];
-      result->stats.false_positives += false_positives[c];
-      result->stats.bitmap_filter_checked += bitmap_checked[c];
-      result->stats.bitmap_filter_pruned += bitmap_pruned[c];
-    }
-    guard->ChargeMemory(appended * sizeof(SetPair));
-  }
-  // Final breaker evaluation over the complete totals: a join whose
-  // explosion only crosses the ratio in its last super-chunk still trips
-  // (this is the trigger the PartEnum advisor-retry path keys off).
-  return guard->CheckBreaker(JoinPhase::kVerify, candidates.size(),
-                             result->stats.results);
-}
-
-}  // namespace detail
-
-namespace {
-
-// The serial pipelined driver — the num_threads == 1 reference path,
-// kept verbatim as the baseline the block-parallel variant must match.
-JoinResult PipelinedSelfJoinSerial(const SetCollection& input,
-                                   const SignatureScheme& scheme,
-                                   const Predicate& predicate,
-                                   const JoinOptions& options) {
-  JoinResult result;
-  // The pipelined drivers interleave the phases per set, so they record
-  // no stable phase spans — only the root span with its accounting
-  // attributes (the serial and block-parallel executions differ in loop
-  // structure, and the deterministic export must not see that). Phase
-  // seconds still accumulate via timer-only scopes.
-  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
-  telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
-  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
-  ExecutionGuard* guard = options.guard;
-  if (guard != nullptr) guard->BindMetrics(options.metrics);
-  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
-
-  // Bitmap pre-filter rows for the whole input (ids are known upfront
-  // even though the index grows incrementally). Built inside the
-  // postfilter clock: it is verification infrastructure.
-  kernels::BitmapTable bitmap;
-  const bool use_bitmap = options.verify && options.bitmap_bits != 0;
-  if (use_bitmap) {
-    auto scope = telem.Time(&result.stats.postfilter_seconds);
-    bitmap = kernels::BitmapTable::Build(input, options.bitmap_bits);
-    if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
-  }
-
-  // Inverted index: signature -> ids of already-processed sets.
-  std::unordered_map<Signature, std::vector<SetId>> index;
-  if (options.table_reserve > 0) index.reserve(options.table_reserve);
-  std::vector<Signature> sigs;
-  std::vector<SetId> probe_candidates;  // per-probe scratch, deduped
-  uint64_t charged_sigs = 0;
-  // With SpillPolicy::kAuto, crossing the memory budget at a barrier
-  // abandons the pipelined run and degrades to the out-of-core driver
-  // instead of tripping the guard (DESIGN.md Section 12).
-  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
-                          guard != nullptr &&
-                          guard->budget().memory_budget_bytes > 0;
-  bool degrade = false;
-  Status trip;
-
-  // Guard barrier for the pipelined loop: phases interleave per set, so
-  // every barrier (each 1024 sets, sets being the deterministic unit
-  // here) charges the inverted-index growth and runs all three phase
-  // checkpoints plus the breaker. Stats at a barrier cover whole sets
-  // only, so a deterministic trip reports deterministic partials. The
-  // breaker compares candidates to *verified* pairs, so it only runs
-  // when verification does.
-  auto barrier = [&]() -> Status {
-    guard->ChargeMemory(
-        (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
-    charged_sigs = result.stats.signatures_r;
-    if (auto_spill &&
-        guard->memory_charged() > guard->budget().memory_budget_bytes) {
-      degrade = true;  // checkpoint skipped: the guard must not latch
-      return Status::OK();
-    }
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
-    if (!options.verify) return Status::OK();
-    return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
-                               result.stats.results);
-  };
-
-  for (SetId id = 0; id < input.size(); ++id) {
-    if (guard != nullptr && id % 1024 == 0) {
-      trip = barrier();
-      if (!trip.ok() || degrade) break;
-    }
-    {
-      auto scope = telem.Time(&result.stats.siggen_seconds);
-      GenerateSorted(scheme, input.set(id), &sigs);
-      result.stats.signatures_r += sigs.size();
-    }
-    {
-      auto scope = telem.Time(&result.stats.candpair_seconds);
-      probe_candidates.clear();
-      for (Signature sig : sigs) {
-        auto it = index.find(sig);
-        if (it == index.end()) continue;
-        result.stats.signature_collisions += it->second.size();
-        probe_candidates.insert(probe_candidates.end(), it->second.begin(),
-                                it->second.end());
-      }
-      std::sort(probe_candidates.begin(), probe_candidates.end());
-      probe_candidates.erase(
-          std::unique(probe_candidates.begin(), probe_candidates.end()),
-          probe_candidates.end());
-      result.stats.candidates += probe_candidates.size();
-    }
-    if (options.verify) {
-      auto scope = telem.Time(&result.stats.postfilter_seconds);
-      auto set_id = input.set(id);
-      for (SetId partner : probe_candidates) {
-        auto set_p = input.set(partner);
-        if (BitmapPrunes(use_bitmap ? &bitmap : nullptr, &bitmap, predicate,
-                         partner, id, set_p.size(), set_id.size(),
-                         &result.stats.bitmap_filter_checked,
-                         &result.stats.bitmap_filter_pruned)) {
-          ++result.stats.false_positives;
-        } else if (predicate.Evaluate(set_p, set_id)) {
-          result.pairs.emplace_back(partner, id);
-          ++result.stats.results;
-        } else {
-          ++result.stats.false_positives;
-        }
-      }
-    }
-    {
-      auto scope = telem.Time(&result.stats.siggen_seconds);
-      for (Signature sig : sigs) index[sig].push_back(id);
-    }
-  }
-  if (guard != nullptr && trip.ok() && !degrade) trip = barrier();
-  if (degrade) {
-    // Hand every byte this run charged back before delegating — the
-    // spilled driver accounts its own footprint from zero.
-    guard->ReleaseMemory(charged_sigs * sizeof(Posting) +
-                         (use_bitmap ? bitmap.size_bytes() : 0));
-    return spill::SpilledSelfJoin(input, scheme, predicate, options,
-                                  ExecutionMode::kPipelinedSelfJoin,
-                                  /*forced=*/false);
-  }
-  result.stats.signatures_s = result.stats.signatures_r;
-  if (guard != nullptr && !trip.ok()) {
-    result.pairs.clear();
-    result.status = std::move(trip);
-    FinishJoin(telem, result, guard, options.explain, isect0);
-    return result;
-  }
-  std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard, options.explain, isect0);
-  return result;
-}
-
-// Block-synchronous parallel pipelined driver. Sets are processed in
-// blocks of 256 * threads: each block generates signatures, probes the
-// (read-only during the block) inverted index plus a sorted block-local
-// posting list for intra-block partners with smaller id, verifies, and
-// only then appends the block to the index. Every probe still sees
-// exactly the sets with smaller id — via the index for earlier blocks
-// and the block posting list for its own — so candidates, collisions
-// and output match the serial pipelined driver pair for pair. Peak
-// memory is per-block instead of per-probe, the price of parallelism.
-JoinResult PipelinedSelfJoinParallel(const SetCollection& input,
-                                     const SignatureScheme& scheme,
-                                     const Predicate& predicate,
-                                     const JoinOptions& options,
-                                     ThreadPool& pool) {
-  JoinResult result;
-  // Root span + accounting attributes only — no stable phase spans (see
-  // PipelinedSelfJoinSerial: the two pipelined executions must render
-  // identically in the deterministic export). Per-block detail goes into
-  // kRuntime spans and a runtime histogram.
-  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
-  telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
-  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
-  size_t chunks = pool.size();
-  ExecutionGuard* guard = options.guard;
-  if (guard != nullptr) guard->BindMetrics(options.metrics);
-  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
-  obs::Histogram* block_micros =
-      options.metrics != nullptr
-          ? &options.metrics->histogram("join.pipeline.block_micros")
-          : nullptr;
-
-  // Bitmap pre-filter rows, sharded across the pool (must match the
-  // serial driver's table bit for bit — BuildRange rows are per-set
-  // independent, so it does).
-  kernels::BitmapTable bitmap;
-  const bool use_bitmap = options.verify && options.bitmap_bits != 0;
-  if (use_bitmap) {
-    auto scope = telem.Time(&result.stats.postfilter_seconds);
-    bitmap = BuildBitmap(input, options.bitmap_bits, pool);
-    if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
-  }
-
-  std::unordered_map<Signature, std::vector<SetId>> index;
-  if (options.table_reserve > 0) index.reserve(options.table_reserve);
-  const size_t block = 256 * chunks;
-  std::vector<std::vector<Signature>> block_sigs;
-  std::vector<std::vector<SetId>> block_partners;
-  std::vector<Posting> block_postings;
-  uint64_t charged_sigs = 0;
-  // Same auto-degradation contract as the serial pipelined driver. The
-  // degradation *point* is a barrier, so it is deterministic per thread
-  // count (like the budget trip points here); the spilled join it
-  // delegates to is byte-identical for every thread count regardless.
-  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
-                          guard != nullptr &&
-                          guard->budget().memory_budget_bytes > 0;
-  bool degrade = false;
-  Status trip;
-
-  // Same barrier protocol as the serial pipelined driver, at block
-  // granularity (the block being this driver's deterministic unit; note
-  // the block size — unlike the signature driver's verify super-chunks —
-  // scales with the thread count, so budget trip *points* here are
-  // deterministic per thread count, not across thread counts).
-  auto barrier = [&]() -> Status {
-    guard->ChargeMemory(
-        (result.stats.signatures_r - charged_sigs) * sizeof(Posting));
-    charged_sigs = result.stats.signatures_r;
-    if (auto_spill &&
-        guard->memory_charged() > guard->budget().memory_budget_bytes) {
-      degrade = true;  // checkpoint skipped: the guard must not latch
-      return Status::OK();
-    }
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kSigGen));
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kCandGen));
-    SSJOIN_RETURN_NOT_OK(guard->Checkpoint(JoinPhase::kVerify));
-    if (!options.verify) return Status::OK();
-    return guard->CheckBreaker(JoinPhase::kVerify, result.stats.candidates,
-                               result.stats.results);
-  };
-
-  for (size_t b0 = 0; b0 < input.size(); b0 += block) {
-    if (guard != nullptr) {
-      trip = barrier();
-      if (!trip.ok() || degrade) break;
-    }
-    size_t b1 = std::min(static_cast<size_t>(input.size()), b0 + block);
-    size_t n = b1 - b0;
-    auto block_sample = telem.Sample("block", block_micros);
-    block_sigs.assign(n, {});
-    {
-      auto scope = telem.Time(&result.stats.siggen_seconds);
-      std::vector<uint64_t> counts(chunks, 0);
-      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
-        uint64_t count = 0;
-        for (size_t i = begin; i < end; ++i) {
-          GenerateSorted(scheme, input.set(static_cast<SetId>(b0 + i)),
-                         &block_sigs[i]);
-          count += block_sigs[i].size();
-        }
-        counts[c] = count;
-      });
-      for (uint64_t count : counts) result.stats.signatures_r += count;
-    }
-    block_partners.assign(n, {});
-    {
-      auto scope = telem.Time(&result.stats.candpair_seconds);
-      block_postings.clear();
-      for (size_t i = 0; i < n; ++i) {
-        for (Signature sig : block_sigs[i]) {
-          block_postings.emplace_back(sig, static_cast<SetId>(b0 + i));
-        }
-      }
-      std::sort(block_postings.begin(), block_postings.end());
-      std::vector<uint64_t> collisions(chunks, 0);
-      std::vector<uint64_t> candidates(chunks, 0);
-      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
-        uint64_t hits = 0, kept = 0;
-        for (size_t i = begin; i < end; ++i) {
-          SetId id = static_cast<SetId>(b0 + i);
-          std::vector<SetId>& partners = block_partners[i];
-          for (Signature sig : block_sigs[i]) {
-            auto it = index.find(sig);
-            if (it != index.end()) {
-              hits += it->second.size();
-              partners.insert(partners.end(), it->second.begin(),
-                              it->second.end());
-            }
-            for (auto p = std::lower_bound(block_postings.begin(),
-                                           block_postings.end(),
-                                           Posting(sig, 0));
-                 p != block_postings.end() && p->first == sig &&
-                 p->second < id;
-                 ++p) {
-              partners.push_back(p->second);
-              ++hits;
-            }
-          }
-          std::sort(partners.begin(), partners.end());
-          partners.erase(std::unique(partners.begin(), partners.end()),
-                         partners.end());
-          kept += partners.size();
-        }
-        collisions[c] = hits;
-        candidates[c] = kept;
-      });
-      for (size_t c = 0; c < chunks; ++c) {
-        result.stats.signature_collisions += collisions[c];
-        result.stats.candidates += candidates[c];
-      }
-    }
-    if (options.verify) {
-      auto scope = telem.Time(&result.stats.postfilter_seconds);
-      std::vector<std::vector<SetPair>> pairs(chunks);
-      std::vector<uint64_t> results(chunks, 0);
-      std::vector<uint64_t> false_positives(chunks, 0);
-      std::vector<uint64_t> bitmap_checked(chunks, 0);
-      std::vector<uint64_t> bitmap_pruned(chunks, 0);
-      const kernels::BitmapTable* bm = use_bitmap ? &bitmap : nullptr;
-      ParallelFor(pool, n, [&](size_t begin, size_t end, size_t c) {
-        std::vector<SetPair>& mine = pairs[c];
-        uint64_t hits = 0, misses = 0;
-        uint64_t checked = 0, pruned = 0;
-        for (size_t i = begin; i < end; ++i) {
-          SetId id = static_cast<SetId>(b0 + i);
-          auto set_id = input.set(id);
-          for (SetId partner : block_partners[i]) {
-            auto set_p = input.set(partner);
-            if (BitmapPrunes(bm, bm, predicate, partner, id, set_p.size(),
-                             set_id.size(), &checked, &pruned)) {
-              ++misses;
-            } else if (predicate.Evaluate(set_p, set_id)) {
-              mine.emplace_back(partner, id);
-              ++hits;
-            } else {
-              ++misses;
-            }
-          }
-        }
-        results[c] = hits;
-        false_positives[c] = misses;
-        bitmap_checked[c] = checked;
-        bitmap_pruned[c] = pruned;
-      });
-      for (size_t c = 0; c < chunks; ++c) {
-        result.pairs.insert(result.pairs.end(), pairs[c].begin(),
-                            pairs[c].end());
-        result.stats.results += results[c];
-        result.stats.false_positives += false_positives[c];
-        result.stats.bitmap_filter_checked += bitmap_checked[c];
-        result.stats.bitmap_filter_pruned += bitmap_pruned[c];
-      }
-    }
-    {
-      auto scope = telem.Time(&result.stats.siggen_seconds);
-      for (size_t i = 0; i < n; ++i) {
-        for (Signature sig : block_sigs[i]) {
-          index[sig].push_back(static_cast<SetId>(b0 + i));
-        }
-      }
-    }
-  }
-  if (guard != nullptr && trip.ok() && !degrade) trip = barrier();
-  if (degrade) {
-    guard->ReleaseMemory(charged_sigs * sizeof(Posting) +
-                         (use_bitmap ? bitmap.size_bytes() : 0));
-    return spill::SpilledSelfJoin(input, scheme, predicate, options,
-                                  ExecutionMode::kPipelinedSelfJoin,
-                                  /*forced=*/false);
-  }
-  result.stats.signatures_s = result.stats.signatures_r;
-  if (guard != nullptr && !trip.ok()) {
-    result.pairs.clear();
-    result.status = std::move(trip);
-    FinishJoin(telem, result, guard, options.explain, isect0);
-    return result;
-  }
-  std::sort(result.pairs.begin(), result.pairs.end());
-  FinishJoin(telem, result, guard, options.explain, isect0);
-  return result;
-}
-
-}  // namespace
 
 std::string JoinStats::ToString() const {
   std::ostringstream os;
@@ -1050,260 +44,126 @@ std::string JoinStats::ToString() const {
 
 namespace {
 
-// The sorted self-join driver (the old SignatureSelfJoin body plus
-// telemetry). Phase seconds accumulate in place through the telemetry
-// scopes, so the early trip returns need no timing fix-up.
-JoinResult SortedSelfJoinImpl(const SetCollection& input,
-                              const SignatureScheme& scheme,
-                              const Predicate& predicate,
-                              const JoinOptions& options) {
+// The sorted driver, covering self- and binary joins (`right == nullptr`
+// selects self). Runs SigGen -> CandidateGen -> verify tail.
+JoinResult RunSortedJoin(const SetCollection& left, const SetCollection* right,
+                         const SignatureScheme& scheme,
+                         const Predicate& predicate,
+                         const JoinOptions& options) {
   JoinResult result;
   obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
-  telem.Attr("mode", ExecutionModeName(ExecutionMode::kSelfJoin));
-  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
+  if (right != nullptr) {
+    telem.Attr("mode", ExecutionModeName(ExecutionMode::kBinaryJoin));
+    telem.Attr("input_sets_r", static_cast<uint64_t>(left.size()));
+    telem.Attr("input_sets_s", static_cast<uint64_t>(right->size()));
+  } else {
+    telem.Attr("mode", ExecutionModeName(ExecutionMode::kSelfJoin));
+    telem.Attr("input_sets", static_cast<uint64_t>(left.size()));
+  }
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   pool.BindMetrics(options.metrics);
-  size_t shards = pool.size();
   ExecutionGuard* guard = options.guard;
   if (guard != nullptr) guard->BindMetrics(options.metrics);
-  // Auto-degradation arm point: with SpillPolicy::kAuto and a memory
-  // budget, a signature table that would blow the budget reruns
-  // out-of-core instead of tripping the guard (DESIGN.md Section 12).
-  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
-                          guard != nullptr &&
-                          guard->budget().memory_budget_bytes > 0;
   kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
 
-  auto trip_return = [&](Status st) {
-    result.pairs.clear();
-    result.status = std::move(st);
-    FinishJoin(telem, result, guard, options.explain, isect0);
-    return std::move(result);
-  };
-
-  if (guard != nullptr) {
-    Status st = guard->Checkpoint(JoinPhase::kSigGen);
-    if (!st.ok()) return trip_return(std::move(st));
-  }
-
-  SignatureTable table;
-  {
-    auto scope =
-        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
-    table = GenerateAll(input, scheme, pool, guard);
-  }
-  if (guard != nullptr && guard->tripped()) {
-    // Stopped mid-SigGen: the table is incomplete, commit nothing.
-    return trip_return(guard->trip_status());
-  }
-  result.stats.signatures_r = table.total();
-  result.stats.signatures_s = table.total();
-  telem.PhaseAttr("signatures", table.total());
-  if (auto_spill && guard->memory_charged() + TableBytes(table) >
-                        guard->budget().memory_budget_bytes) {
-    // The table would trip the budget at the checkpoint below: degrade
-    // before charging. TableBytes is thread-count-independent, so the
-    // decision is deterministic; the guard never latches. The spilled
-    // driver re-generates signatures streaming, so the table is dropped
-    // here rather than carried across.
-    table = SignatureTable();
-    return spill::SpilledSelfJoin(input, scheme, predicate, options,
+  pipeline::ExecContext ctx;
+  ctx.left = &left;
+  ctx.right = right;
+  ctx.scheme = &scheme;
+  ctx.predicate = &predicate;
+  ctx.mode = right != nullptr ? ExecutionMode::kBinaryJoin
+                              : ExecutionMode::kSelfJoin;
+  ctx.options = &options;
+  ctx.pool = &pool;
+  ctx.guard = guard;
+  ctx.telem = &telem;
+  ctx.result = &result;
+  pipeline::Plan plan(&ctx);
+  pipeline::BuildSortedPlan(&plan, &ctx);
+  Status st = plan.Run();
+  if (ctx.degrade) {
+    // CandidateGen decided (before charging anything) that the signature
+    // tables would blow the memory budget: rerun out-of-core. The spill
+    // driver opens its own telemetry root nested under this one and
+    // accounts its footprint from zero.
+    if (right != nullptr) {
+      return spill::SpilledBinaryJoin(left, *right, scheme, predicate,
+                                      options, /*forced=*/false);
+    }
+    return spill::SpilledSelfJoin(left, scheme, predicate, options,
                                   ExecutionMode::kSelfJoin,
                                   /*forced=*/false);
   }
-  if (guard != nullptr) {
-    guard->ChargeMemory(TableBytes(table));
-    Status st = guard->Checkpoint(JoinPhase::kCandGen);
-    if (!st.ok()) return trip_return(std::move(st));
-  }
-
-  std::vector<uint64_t> candidates;
-  {
-    auto scope =
-        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
-    std::vector<std::vector<Posting>> buckets =
-        BucketPostings(table, pool, guard);
-    size_t reserve = options.table_reserve / shards;
-    std::function<bool()> stop = StopFn(guard, JoinPhase::kCandGen);
-    candidates = GenerateCandidates(
-        pool,
-        [&](size_t shard) {
-          return SelfJoinShard(ShardPostings(buckets, shards, shard),
-                               reserve, stop);
-        },
-        stop, &result.stats, &telem);
-  }
-  if (guard != nullptr && guard->tripped()) {
-    // Stopped mid-CandGen: its counters are partial garbage, drop them.
-    result.stats.signature_collisions = 0;
-    result.stats.candidates = 0;
-    return trip_return(guard->trip_status());
-  }
-  telem.PhaseAttr("candidates", result.stats.candidates);
-  if (guard != nullptr) {
-    guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
-  }
-
-  if (!options.verify) {
-    FinishJoin(telem, result, guard, options.explain, isect0);
-    return result;
-  }
-
-  Status post_status;
-  {
-    auto scope = telem.Phase(obs::kPhasePostFilter,
-                             &result.stats.postfilter_seconds);
-    kernels::BitmapTable bitmap;
-    const kernels::BitmapTable* bm = nullptr;
-    if (options.bitmap_bits != 0) {
-      bitmap = BuildBitmap(input, options.bitmap_bits, pool);
-      if (guard != nullptr) guard->ChargeMemory(bitmap.size_bytes());
-      bm = &bitmap;
-    }
-    post_status = PostFilter(input, input, candidates, predicate, pool,
-                             guard, &telem, bm, bm, &result);
-  }
-  if (!post_status.ok()) return trip_return(std::move(post_status));
-
-  FinishJoin(telem, result, guard, options.explain, isect0);
-  return result;
-}
-
-// The sorted binary-join driver (the old SignatureJoin body plus
-// telemetry).
-JoinResult SortedBinaryJoinImpl(const SetCollection& r,
-                                const SetCollection& s,
-                                const SignatureScheme& scheme,
-                                const Predicate& predicate,
-                                const JoinOptions& options) {
-  JoinResult result;
-  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
-  telem.Attr("mode", ExecutionModeName(ExecutionMode::kBinaryJoin));
-  telem.Attr("input_sets_r", static_cast<uint64_t>(r.size()));
-  telem.Attr("input_sets_s", static_cast<uint64_t>(s.size()));
-  ThreadPool pool(ResolveThreadCount(options.num_threads));
-  pool.BindMetrics(options.metrics);
-  size_t shards = pool.size();
-  ExecutionGuard* guard = options.guard;
-  if (guard != nullptr) guard->BindMetrics(options.metrics);
-  // Same auto-degradation arm point as SortedSelfJoinImpl, over the sum
-  // of both signature tables.
-  const bool auto_spill = options.spill.policy == SpillPolicy::kAuto &&
-                          guard != nullptr &&
-                          guard->budget().memory_budget_bytes > 0;
-  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
-
-  auto trip_return = [&](Status st) {
+  if (!st.ok()) {
     result.pairs.clear();
     result.status = std::move(st);
-    FinishJoin(telem, result, guard, options.explain, isect0);
-    return std::move(result);
-  };
-
-  if (guard != nullptr) {
-    Status st = guard->Checkpoint(JoinPhase::kSigGen);
-    if (!st.ok()) return trip_return(std::move(st));
-  }
-
-  SignatureTable table_r, table_s;
-  {
-    auto scope =
-        telem.Phase(obs::kPhaseSigGen, &result.stats.siggen_seconds);
-    table_r = GenerateAll(r, scheme, pool, guard);
-    if (guard == nullptr || !guard->tripped()) {
-      table_s = GenerateAll(s, scheme, pool, guard);
-    }
-  }
-  if (guard != nullptr && guard->tripped()) {
-    return trip_return(guard->trip_status());
-  }
-  result.stats.signatures_r = table_r.total();
-  result.stats.signatures_s = table_s.total();
-  telem.PhaseAttr("signatures", table_r.total() + table_s.total());
-  if (auto_spill &&
-      guard->memory_charged() + TableBytes(table_r) + TableBytes(table_s) >
-          guard->budget().memory_budget_bytes) {
-    table_r = SignatureTable();
-    table_s = SignatureTable();
-    return spill::SpilledBinaryJoin(r, s, scheme, predicate, options,
-                                    /*forced=*/false);
-  }
-  if (guard != nullptr) {
-    guard->ChargeMemory(TableBytes(table_r) + TableBytes(table_s));
-    Status st = guard->Checkpoint(JoinPhase::kCandGen);
-    if (!st.ok()) return trip_return(std::move(st));
-  }
-
-  std::vector<uint64_t> candidates;
-  {
-    auto scope =
-        telem.Phase(obs::kPhaseCandPair, &result.stats.candpair_seconds);
-    std::vector<std::vector<Posting>> buckets_r =
-        BucketPostings(table_r, pool, guard);
-    std::vector<std::vector<Posting>> buckets_s =
-        BucketPostings(table_s, pool, guard);
-    size_t reserve = options.table_reserve / shards;
-    std::function<bool()> stop = StopFn(guard, JoinPhase::kCandGen);
-    candidates = GenerateCandidates(
-        pool,
-        [&](size_t shard) {
-          return BinaryJoinShard(ShardPostings(buckets_r, shards, shard),
-                                 ShardPostings(buckets_s, shards, shard),
-                                 reserve, stop);
-        },
-        stop, &result.stats, &telem);
-  }
-  if (guard != nullptr && guard->tripped()) {
-    result.stats.signature_collisions = 0;
-    result.stats.candidates = 0;
-    return trip_return(guard->trip_status());
-  }
-  telem.PhaseAttr("candidates", result.stats.candidates);
-  if (guard != nullptr) {
-    guard->ChargeMemory(candidates.size() * sizeof(uint64_t));
-  }
-
-  if (!options.verify) {
-    FinishJoin(telem, result, guard, options.explain, isect0);
+    detail::FinishJoin(telem, result, guard, options.explain, isect0);
     return result;
   }
-
-  Status post_status;
-  {
-    auto scope = telem.Phase(obs::kPhasePostFilter,
-                             &result.stats.postfilter_seconds);
-    kernels::BitmapTable bitmap_r, bitmap_s;
-    const kernels::BitmapTable* bm_r = nullptr;
-    const kernels::BitmapTable* bm_s = nullptr;
-    if (options.bitmap_bits != 0) {
-      bitmap_r = BuildBitmap(r, options.bitmap_bits, pool);
-      bitmap_s = BuildBitmap(s, options.bitmap_bits, pool);
-      if (guard != nullptr) {
-        guard->ChargeMemory(bitmap_r.size_bytes() + bitmap_s.size_bytes());
-      }
-      bm_r = &bitmap_r;
-      bm_s = &bitmap_s;
-    }
-    post_status = PostFilter(r, s, candidates, predicate, pool, guard,
-                             &telem, bm_r, bm_s, &result);
-  }
-  if (!post_status.ok()) return trip_return(std::move(post_status));
-
-  FinishJoin(telem, result, guard, options.explain, isect0);
+  detail::FinishJoin(telem, result, guard, options.explain, isect0);
   return result;
 }
 
-JoinResult PipelinedSelfJoinImpl(const SetCollection& input,
-                                 const SignatureScheme& scheme,
-                                 const Predicate& predicate,
-                                 const JoinOptions& options) {
+// The pipelined self-join driver: PipelinedScan -> verify tail. The
+// pipelined executions record no stable phase spans — the serial and
+// block-parallel scans differ in loop structure, and the deterministic
+// export must not see that — so only the root span carries accounting.
+JoinResult RunPipelinedJoin(const SetCollection& input,
+                            const SignatureScheme& scheme,
+                            const Predicate& predicate,
+                            const JoinOptions& options) {
+  JoinResult result;
+  obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
+  telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
+  telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
   size_t threads = ResolveThreadCount(options.num_threads);
-  if (threads == 1) {
-    return PipelinedSelfJoinSerial(input, scheme, predicate, options);
-  }
   ThreadPool pool(threads);
-  pool.BindMetrics(options.metrics);
-  return PipelinedSelfJoinParallel(input, scheme, predicate, options, pool);
+  // The serial scan variant predates pool-level instrumentation and its
+  // runtime telemetry shape is part of the compatibility surface: only
+  // the parallel variant binds the pool's metrics.
+  if (threads > 1) pool.BindMetrics(options.metrics);
+  ExecutionGuard* guard = options.guard;
+  if (guard != nullptr) guard->BindMetrics(options.metrics);
+  kernels::IntersectCounts isect0 = kernels::IntersectDispatchCounts();
+
+  pipeline::ExecContext ctx;
+  ctx.left = &input;
+  ctx.right = nullptr;
+  ctx.scheme = &scheme;
+  ctx.predicate = &predicate;
+  ctx.mode = ExecutionMode::kPipelinedSelfJoin;
+  ctx.options = &options;
+  ctx.pool = &pool;
+  ctx.guard = guard;
+  ctx.telem = &telem;
+  ctx.result = &result;
+  pipeline::Plan plan(&ctx);
+  pipeline::BuildPipelinedPlan(&plan, &ctx);
+  Status st = plan.Run();
+  if (ctx.degrade) {
+    // Hand every byte this run charged (inverted index + bitmap) back
+    // before delegating — the spilled driver accounts its own footprint
+    // from zero.
+    guard->ReleaseMemory(ctx.degrade_release_bytes);
+    return spill::SpilledSelfJoin(input, scheme, predicate, options,
+                                  ExecutionMode::kPipelinedSelfJoin,
+                                  /*forced=*/false);
+  }
+  result.stats.signatures_s = result.stats.signatures_r;
+  if (!st.ok()) {
+    result.pairs.clear();
+    result.status = std::move(st);
+    detail::FinishJoin(telem, result, guard, options.explain, isect0);
+    return result;
+  }
+  detail::FinishJoin(telem, result, guard, options.explain, isect0);
+  return result;
+}
+
+JoinResult InvalidResult(Status st) {
+  JoinResult result;
+  result.status = std::move(st);
+  return result;
 }
 
 }  // namespace
@@ -1320,24 +180,87 @@ std::string_view ExecutionModeName(ExecutionMode mode) {
   return "unknown";
 }
 
-JoinResult Join(const JoinRequest& request) {
-  auto invalid = [](std::string message) {
-    JoinResult result;
-    result.status = Status::InvalidArgument(std::move(message));
-    return result;
-  };
-  if (request.left == nullptr) {
-    return invalid("JoinRequest::left is required");
-  }
-  if (request.scheme == nullptr) {
-    return invalid("JoinRequest::scheme is required");
-  }
-  if (request.predicate == nullptr) {
-    return invalid("JoinRequest::predicate is required");
-  }
-  if (!kernels::IsValidBitmapBits(request.options.bitmap_bits)) {
-    return invalid(
+Status ValidateJoinOptions(const JoinOptions& options) {
+  if (!kernels::IsValidBitmapBits(options.bitmap_bits)) {
+    return Status::InvalidArgument(
         "JoinOptions::bitmap_bits must be 0 (off), 64, 128, or 256");
+  }
+  if (options.num_threads > kMaxJoinThreads) {
+    return Status::InvalidArgument(
+        "JoinOptions::num_threads must be at most 4096 (0 = one per core)");
+  }
+  if (options.spill.partitions > kMaxSpillPartitions) {
+    return Status::InvalidArgument(
+        "SpillOptions::partitions must be at most 4096 (0 = default)");
+  }
+  if (options.spill.max_retries > kMaxSpillRetries) {
+    return Status::InvalidArgument(
+        "SpillOptions::max_retries must be at most 16");
+  }
+  return Status::OK();
+}
+
+Status JoinRequest::Validate() const {
+  if (left == nullptr) {
+    return Status::InvalidArgument("JoinRequest::left is required");
+  }
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("JoinRequest::scheme is required");
+  }
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("JoinRequest::predicate is required");
+  }
+  SSJOIN_RETURN_NOT_OK(ValidateJoinOptions(options));
+  switch (mode) {
+    case ExecutionMode::kSelfJoin:
+    case ExecutionMode::kPipelinedSelfJoin:
+      if (right != nullptr && right != left) {
+        return Status::InvalidArgument(
+            "self-join modes take a single input; JoinRequest::right must "
+            "be null or alias left");
+      }
+      return Status::OK();
+    case ExecutionMode::kBinaryJoin:
+      if (right == nullptr) {
+        return Status::InvalidArgument(
+            "ExecutionMode::kBinaryJoin requires JoinRequest::right");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown ExecutionMode");
+}
+
+JoinRequest SelfJoinRequest(const SetCollection& input,
+                            const SignatureScheme& scheme,
+                            const Predicate& predicate, JoinOptions options) {
+  JoinRequest request;
+  request.left = &input;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kSelfJoin;
+  request.options = std::move(options);
+  return request;
+}
+
+JoinRequest BinaryJoinRequest(const SetCollection& r, const SetCollection& s,
+                              const SignatureScheme& scheme,
+                              const Predicate& predicate,
+                              JoinOptions options) {
+  JoinRequest request;
+  request.left = &r;
+  request.right = &s;
+  request.scheme = &scheme;
+  request.predicate = &predicate;
+  request.mode = ExecutionMode::kBinaryJoin;
+  request.options = std::move(options);
+  return request;
+}
+
+JoinResult Join(const JoinRequest& request) {
+  if (Status st = request.Validate(); !st.ok()) {
+    // Invalid requests return before any observability attaches: the
+    // explain header is only stamped for requests that will execute.
+    return InvalidResult(std::move(st));
   }
   // EXPLAIN header: the chosen driver and the stable input-size params.
   // Thread count is deliberately absent — the report's stable fields
@@ -1353,18 +276,13 @@ JoinResult Join(const JoinRequest& request) {
     }
   }
   // Resolve SpillPolicy::kDefault (the SSJOIN_SPILL env hook) once here,
-  // so the impls and the spill driver only ever see explicit policies.
+  // so the drivers and the spill layer only ever see explicit policies.
   JoinOptions options = request.options;
   options.spill.policy = spill::ResolvePolicy(request.options.spill.policy);
   const bool forced = options.spill.policy == SpillPolicy::kForced;
   switch (request.mode) {
     case ExecutionMode::kSelfJoin:
     case ExecutionMode::kPipelinedSelfJoin:
-      if (request.right != nullptr && request.right != request.left) {
-        return invalid(
-            "self-join modes take a single input; JoinRequest::right must "
-            "be null or alias left");
-      }
       if (forced) {
         // Both self-join modes share one output contract, so forcing the
         // spill path is valid for either; `mode` is kept for telemetry.
@@ -1373,26 +291,22 @@ JoinResult Join(const JoinRequest& request) {
                                       request.mode, /*forced=*/true);
       }
       if (request.mode == ExecutionMode::kSelfJoin) {
-        return SortedSelfJoinImpl(*request.left, *request.scheme,
-                                  *request.predicate, options);
+        return RunSortedJoin(*request.left, /*right=*/nullptr,
+                             *request.scheme, *request.predicate, options);
       }
-      return PipelinedSelfJoinImpl(*request.left, *request.scheme,
-                                   *request.predicate, options);
+      return RunPipelinedJoin(*request.left, *request.scheme,
+                              *request.predicate, options);
     case ExecutionMode::kBinaryJoin:
-      if (request.right == nullptr) {
-        return invalid(
-            "ExecutionMode::kBinaryJoin requires JoinRequest::right");
-      }
       if (forced) {
         return spill::SpilledBinaryJoin(*request.left, *request.right,
                                         *request.scheme, *request.predicate,
                                         options, /*forced=*/true);
       }
-      return SortedBinaryJoinImpl(*request.left, *request.right,
-                                  *request.scheme, *request.predicate,
-                                  options);
+      return RunSortedJoin(*request.left, request.right, *request.scheme,
+                           *request.predicate, options);
   }
-  return invalid("unknown ExecutionMode");
+  // Validate() already rejected unknown modes; kept for enum hygiene.
+  return InvalidResult(Status::InvalidArgument("unknown ExecutionMode"));
 }
 
 JoinResult SignatureSelfJoin(const SetCollection& input,

@@ -148,6 +148,19 @@ struct JoinOptions {
   SpillOptions spill;
 };
 
+/// Upper bounds enforced by ValidateJoinOptions(). Generous by design:
+/// they exist to reject nonsense (a million threads, a billion spill
+/// files) before it allocates, not to tune anything.
+inline constexpr size_t kMaxJoinThreads = 4096;
+inline constexpr uint32_t kMaxSpillPartitions = 4096;
+inline constexpr uint32_t kMaxSpillRetries = 16;
+
+/// Validates the option combinations every execution path relies on —
+/// bitmap width, thread-count and spill caps — in one place. Join()
+/// calls this through JoinRequest::Validate(); call it directly to
+/// pre-flight options built from configuration or user input.
+Status ValidateJoinOptions(const JoinOptions& options);
+
 /// Evaluation measures of one join execution (paper Section 3.2).
 struct JoinStats {
   // Phase wall-clock seconds (the stacked bars of Figures 12/18/19).
@@ -251,7 +264,26 @@ struct JoinRequest {
   ExecutionMode mode = ExecutionMode::kSelfJoin;
   /// Execution knobs, guardrails, and observability sinks.
   JoinOptions options;
+
+  /// The exact validation Join() performs before dispatching, as a
+  /// callable pre-flight: OK when Join() would execute this request,
+  /// otherwise the same InvalidArgument status (same message) Join()
+  /// would return. Checks run in a fixed order — left, scheme,
+  /// predicate, ValidateJoinOptions(), then the mode/right shape.
+  [[nodiscard]] Status Validate() const;
 };
+
+/// Builders for the common request shapes. They only fill the struct —
+/// call Join() (or Validate()) on the result; invalid combinations are
+/// reported there, not here.
+JoinRequest SelfJoinRequest(const SetCollection& input,
+                            const SignatureScheme& scheme,
+                            const Predicate& predicate,
+                            JoinOptions options = {});
+JoinRequest BinaryJoinRequest(const SetCollection& r, const SetCollection& s,
+                              const SignatureScheme& scheme,
+                              const Predicate& predicate,
+                              JoinOptions options = {});
 
 /// The unified driver facade: validates `request` and dispatches to the
 /// execution mode. Every join in the library funnels through here — the
@@ -261,25 +293,44 @@ struct JoinRequest {
 /// InvalidArgument and whose pairs/stats are empty.
 JoinResult Join(const JoinRequest& request);
 
+// The legacy per-mode entry points below are deprecated: new code builds
+// a JoinRequest (SelfJoinRequest / BinaryJoinRequest) and calls Join().
+// Defining SSJOIN_ALLOW_LEGACY_API before including this header keeps
+// them callable without warnings — the escape hatch for out-of-tree
+// callers mid-migration (in-tree, only the legacy-API canary test uses
+// it).
+#if defined(SSJOIN_ALLOW_LEGACY_API)
+#define SSJOIN_DEPRECATED_API
+#else
+#define SSJOIN_DEPRECATED_API                                       \
+  [[deprecated(                                                     \
+      "build a JoinRequest and call Join(); define "                \
+      "SSJOIN_ALLOW_LEGACY_API to silence this during migration")]]
+#endif
+
 /// Binary SSJoin between collections R and S (Figure 2).
-/// Compatibility wrapper over Join() with ExecutionMode::kBinaryJoin;
-/// prefer the JoinRequest facade in new code.
+/// Deprecated compatibility wrapper over Join() with
+/// ExecutionMode::kBinaryJoin; use BinaryJoinRequest + Join().
+SSJOIN_DEPRECATED_API
 JoinResult SignatureJoin(const SetCollection& r, const SetCollection& s,
                          const SignatureScheme& scheme,
                          const Predicate& predicate,
                          const JoinOptions& options = {});
 
 /// Self-SSJoin over one collection; output pairs have first < second.
-/// Compatibility wrapper over Join() with ExecutionMode::kSelfJoin;
-/// prefer the JoinRequest facade in new code.
+/// Deprecated compatibility wrapper over Join() with
+/// ExecutionMode::kSelfJoin; use SelfJoinRequest + Join().
+SSJOIN_DEPRECATED_API
 JoinResult SignatureSelfJoin(const SetCollection& input,
                              const SignatureScheme& scheme,
                              const Predicate& predicate,
                              const JoinOptions& options = {});
 
 /// Pipelined self-SSJoin (see ExecutionMode::kPipelinedSelfJoin).
-/// Compatibility wrapper over Join() with that mode; prefer the
-/// JoinRequest facade in new code.
+/// Deprecated compatibility wrapper over Join() with that mode; use
+/// SelfJoinRequest, set mode = ExecutionMode::kPipelinedSelfJoin, and
+/// call Join().
+SSJOIN_DEPRECATED_API
 JoinResult PipelinedSelfJoin(const SetCollection& input,
                              const SignatureScheme& scheme,
                              const Predicate& predicate,

@@ -148,6 +148,14 @@ std::string ExplainJsonl(const ExplainReport& report) {
     AppendKeyString(&out, "value", value);
     out += "}\n";
   }
+  for (const PlanOp& op : report.plan) {
+    out += "{\"type\":\"plan_op\",\"op\":";
+    AppendJsonString(&out, op.op);
+    if (!op.detail.empty()) AppendKeyString(&out, "detail", op.detail);
+    AppendKeyUint(&out, "rows_in", op.rows_in);
+    AppendKeyUint(&out, "rows_out", op.rows_out);
+    out += "}\n";
+  }
   const AdvisorTrace& advisor = report.advisor;
   if (!advisor.method.empty() || !advisor.candidates.empty()) {
     out += "{\"type\":\"advisor\",\"method\":";
@@ -203,6 +211,20 @@ std::string ExplainText(const ExplainReport& report,
     out += "  parameters:\n";
     for (const auto& [key, value] : report.params) {
       out += "    " + key + " = " + value + "\n";
+    }
+  }
+  if (!report.plan.empty()) {
+    out += "  plan (executed operator chain, source first):\n";
+    for (size_t i = 0; i < report.plan.size(); ++i) {
+      const PlanOp& op = report.plan[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    %s%s%s%s%s  rows_in=%llu rows_out=%llu\n",
+                    std::string(2 * i, ' ').c_str(), i == 0 ? "" : "-> ",
+                    op.op.c_str(), op.detail.empty() ? "" : " ",
+                    op.detail.c_str(),
+                    static_cast<unsigned long long>(op.rows_in),
+                    static_cast<unsigned long long>(op.rows_out));
+      out += buf;
     }
   }
   const AdvisorTrace& advisor = report.advisor;

@@ -103,6 +103,18 @@ struct DriftEntry {
   double Ratio() const;
 };
 
+/// One operator of the executed pipeline plan, recorded by the operator
+/// base class when it closes (src/core/pipeline/operator.h). `rows_in` /
+/// `rows_out` are the deterministic row counts that flowed through the
+/// operator (signatures, candidates, pairs — never batch counts, which
+/// would vary with scheduling).
+struct PlanOp {
+  std::string op;      // operator name, e.g. "SigGen", "Verify"
+  std::string detail;  // variant note, e.g. "sorted" / "deferred bitmap"
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+};
+
 /// The assembled report. Plain data: copyable, no sinks, no locking —
 /// attach one ExplainReport per join sequence from one thread.
 struct ExplainReport {
@@ -113,6 +125,10 @@ struct ExplainReport {
   /// key in place.
   std::vector<std::pair<std::string, std::string>> params;
   AdvisorTrace advisor;
+  /// The executed operator chain, source first. Replaced (not appended)
+  /// by each join so an accumulated report shows the last plan; empty
+  /// when the join ran without an explain report attached mid-plan.
+  std::vector<PlanOp> plan;
   /// Drift table, in first-recorded order.
   std::vector<DriftEntry> drift;
   /// TripReasonName() of the guard trip that stopped the (last) join;

@@ -33,6 +33,24 @@ JoinTelemetry::PhaseScope JoinTelemetry::Time(double* seconds) {
   return PhaseScope(this, seconds, kNoSpan);
 }
 
+void JoinTelemetry::PhaseBegin(std::string_view name, double* seconds) {
+  manual_seconds_ = seconds;
+  manual_span_ = kNoSpan;
+  if (tracer_ != nullptr && !name.empty()) {
+    manual_span_ = tracer_->StartSpan(name, root_, Stability::kStable);
+    phase_span_ = manual_span_;
+  }
+  manual_watch_.Restart();
+}
+
+void JoinTelemetry::PhaseEnd() {
+  if (manual_seconds_ == nullptr) return;
+  *manual_seconds_ += manual_watch_.ElapsedSeconds();
+  if (manual_span_ != kNoSpan) tracer_->EndSpan(manual_span_);
+  manual_span_ = kNoSpan;
+  manual_seconds_ = nullptr;
+}
+
 void JoinTelemetry::PhaseAttr(std::string_view key, uint64_t value) {
   if (tracer_ != nullptr && phase_span_ != kNoSpan) {
     tracer_->SetAttr(phase_span_, key, value);

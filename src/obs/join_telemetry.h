@@ -96,6 +96,21 @@ class JoinTelemetry {
   /// The most recent Phase() span (kNoSpan before the first).
   SpanId phase_span() const { return phase_span_; }
 
+  /// Manual counterpart to Phase() for phases that cannot live inside
+  /// one lexical scope (an operator whose phase spans several
+  /// NextBatch() pulls). PhaseBegin opens the kStable span and starts
+  /// the clock; PhaseEnd closes the span and adds the elapsed seconds
+  /// to the double captured at PhaseBegin. At most one manual phase may
+  /// be open per JoinTelemetry; PhaseEnd with none open is a no-op, and
+  /// both calls are control-thread-only like Phase(). Pass an empty
+  /// name for the timer-only variant (mirrors Time(): no span even when
+  /// tracing).
+  void PhaseBegin(std::string_view name, double* seconds);
+  void PhaseEnd();
+
+  /// True between PhaseBegin() and the matching PhaseEnd().
+  bool manual_phase_open() const { return manual_seconds_ != nullptr; }
+
   /// Sets an attribute on the most recent phase span (no-op untraced).
   void PhaseAttr(std::string_view key, uint64_t value);
 
@@ -143,6 +158,9 @@ class JoinTelemetry {
   MetricsRegistry* metrics_;
   SpanId root_ = kNoSpan;
   SpanId phase_span_ = kNoSpan;
+  SpanId manual_span_ = kNoSpan;
+  double* manual_seconds_ = nullptr;
+  Stopwatch manual_watch_;
 };
 
 }  // namespace ssjoin::obs

@@ -139,7 +139,7 @@ TEST(LshSchemeTest, ObservedRecallMatchesConfigured) {
   auto scheme = LshScheme::Create(params);
   ASSERT_TRUE(scheme.ok());
   JaccardPredicate predicate(0.8);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   ASSERT_GE(expected.size(), static_cast<size_t>(kBase));
 
@@ -179,7 +179,7 @@ TEST(WeightedLshSchemeTest, RecallOnWeightedJaccard) {
   auto scheme = WeightedLshScheme::Create(params, weights);
   ASSERT_TRUE(scheme.ok());
   WeightedJaccardPredicate predicate(0.8, weights);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   ASSERT_GT(expected.size(), 0u);
   std::vector<SetPair> missed;

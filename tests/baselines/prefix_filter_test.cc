@@ -86,7 +86,7 @@ TEST_P(PrefixFilterExactnessTest, ExactWithAndWithoutSizeFilter) {
     params.size_filter = size_filter;
     auto scheme = PrefixFilterScheme::Create(predicate, input, params);
     ASSERT_TRUE(scheme.ok());
-    JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
     EXPECT_EQ(result.pairs, expected)
         << "gamma=" << gamma << " size_filter=" << size_filter;
   }
@@ -106,9 +106,9 @@ TEST(PrefixFilterTest, SizeFilterReducesCollisions) {
       PrefixFilterScheme::Create(predicate, input, without);
   ASSERT_TRUE(scheme_with.ok());
   ASSERT_TRUE(scheme_without.ok());
-  JoinResult r_with = SignatureSelfJoin(input, *scheme_with, *predicate);
+  JoinResult r_with = Join(SelfJoinRequest(input, *scheme_with, *predicate));
   JoinResult r_without =
-      SignatureSelfJoin(input, *scheme_without, *predicate);
+      Join(SelfJoinRequest(input, *scheme_without, *predicate));
   EXPECT_EQ(r_with.pairs, r_without.pairs);
   EXPECT_LE(r_with.stats.candidates, r_without.stats.candidates);
 }
@@ -118,7 +118,7 @@ TEST(PrefixFilterTest, HammingPredicateSupported) {
   auto predicate = std::make_shared<HammingPredicate>(2);
   auto scheme = PrefixFilterScheme::Create(predicate, input);
   ASSERT_TRUE(scheme.ok());
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   // Positive-overlap pairs only: with min set size 3 and k=2, any
   // joinable pair overlaps (|r|+|s|-2 >= 4 > 2 = max Hd-allowed misses).
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
@@ -164,7 +164,7 @@ TEST(WeightedPrefixFilterTest, ExactForWeightedJaccard) {
                                                        input, min_ws,
                                                        params);
       ASSERT_TRUE(scheme.ok());
-      JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+      JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
       EXPECT_EQ(result.pairs, expected)
           << "gamma=" << gamma << " size_filter=" << size_filter;
     }

@@ -54,7 +54,7 @@ void RunChosen(const SetCollection& input, const PartEnumChoice& choice,
   HammingPredicate predicate(k);
   JoinOptions options;
   options.explain = report;
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate, options);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate, options));
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
 }
 

@@ -28,6 +28,16 @@
 namespace ssjoin {
 namespace {
 
+// Join()-facade shorthand for the pipelined self-join mode.
+JoinResult RunPipelined(const SetCollection& input,
+                        const SignatureScheme& scheme,
+                        const Predicate& predicate,
+                        const JoinOptions& options = {}) {
+  JoinRequest request = SelfJoinRequest(input, scheme, predicate, options);
+  request.mode = ExecutionMode::kPipelinedSelfJoin;
+  return Join(request);
+}
+
 using enum JoinPhase;
 using TripReason = ExecutionGuard::TripReason;
 
@@ -183,7 +193,7 @@ TEST_F(ExecutionGuardTest, InjectedTripEveryPhaseSortedSelfJoin) {
     ExecutionGuard guard(Generous());
     JoinOptions options;
     options.guard = &guard;
-    JoinResult result = SignatureSelfJoin(input, scheme, predicate, options);
+    JoinResult result = Join(SelfJoinRequest(input, scheme, predicate, options));
     EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded)
         << JoinPhaseName(phase);
     EXPECT_TRUE(result.pairs.empty()) << JoinPhaseName(phase);
@@ -216,7 +226,7 @@ TEST_F(ExecutionGuardTest, InjectedTripBinaryJoin) {
     ExecutionGuard guard(Generous());
     JoinOptions options;
     options.guard = &guard;
-    JoinResult result = SignatureJoin(r, s, scheme, predicate, options);
+    JoinResult result = Join(BinaryJoinRequest(r, s, scheme, predicate, options));
     EXPECT_EQ(result.status.code(), StatusCode::kCancelled)
         << JoinPhaseName(phase);
     EXPECT_TRUE(result.pairs.empty());
@@ -234,7 +244,7 @@ TEST_F(ExecutionGuardTest, InjectedTripPipelinedSelfJoin) {
     ExecutionGuard guard(Generous());
     JoinOptions options;
     options.guard = &guard;
-    JoinResult result = PipelinedSelfJoin(input, scheme, predicate, options);
+    JoinResult result = RunPipelined(input, scheme, predicate, options);
     EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted)
         << JoinPhaseName(phase);
     EXPECT_TRUE(result.pairs.empty());
@@ -261,8 +271,8 @@ TEST_F(ExecutionGuardTest, InjectedTripDeterministicAcrossThreadCounts) {
       options.num_threads = threads;
       options.guard = &guard;
       JoinResult result =
-          pipelined ? PipelinedSelfJoin(input, scheme, predicate, options)
-                    : SignatureSelfJoin(input, scheme, predicate, options);
+          pipelined ? RunPipelined(input, scheme, predicate, options)
+                    : Join(SelfJoinRequest(input, scheme, predicate, options));
       fault::Clear();
       EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
       EXPECT_EQ(guard.trip_phase(), phase);
@@ -296,8 +306,8 @@ TEST_F(ExecutionGuardTest, UntrippedGuardByteIdenticalToUnguarded) {
     JoinOptions guarded = plain;
     guarded.guard = &guard;
 
-    JoinResult a = SignatureSelfJoin(input, *scheme, predicate, plain);
-    JoinResult b = SignatureSelfJoin(input, *scheme, predicate, guarded);
+    JoinResult a = Join(SelfJoinRequest(input, *scheme, predicate, plain));
+    JoinResult b = Join(SelfJoinRequest(input, *scheme, predicate, guarded));
     ASSERT_TRUE(b.status.ok());
     EXPECT_EQ(a.pairs, b.pairs) << "sorted t=" << threads;
     ExpectSameStats(a.stats, b.stats, "sorted");
@@ -305,8 +315,8 @@ TEST_F(ExecutionGuardTest, UntrippedGuardByteIdenticalToUnguarded) {
 
     ExecutionGuard guard2(Generous());
     guarded.guard = &guard2;
-    JoinResult c = PipelinedSelfJoin(input, *scheme, predicate, plain);
-    JoinResult d = PipelinedSelfJoin(input, *scheme, predicate, guarded);
+    JoinResult c = RunPipelined(input, *scheme, predicate, plain);
+    JoinResult d = RunPipelined(input, *scheme, predicate, guarded);
     ASSERT_TRUE(d.status.ok());
     EXPECT_EQ(c.pairs, d.pairs) << "pipelined t=" << threads;
     ExpectSameStats(c.stats, d.stats, "pipelined");
@@ -314,8 +324,8 @@ TEST_F(ExecutionGuardTest, UntrippedGuardByteIdenticalToUnguarded) {
 
     ExecutionGuard guard3(Generous());
     guarded.guard = &guard3;
-    JoinResult e = SignatureJoin(input, input, *scheme, predicate, plain);
-    JoinResult f = SignatureJoin(input, input, *scheme, predicate, guarded);
+    JoinResult e = Join(BinaryJoinRequest(input, input, *scheme, predicate, plain));
+    JoinResult f = Join(BinaryJoinRequest(input, input, *scheme, predicate, guarded));
     ASSERT_TRUE(f.status.ok());
     EXPECT_EQ(e.pairs, f.pairs) << "binary t=" << threads;
     ExpectSameStats(e.stats, f.stats, "binary");
@@ -331,7 +341,7 @@ TEST_F(ExecutionGuardTest, RealMemoryBudgetTrip) {
   ExecutionGuard guard(budget);
   JoinOptions options;
   options.guard = &guard;
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate, options);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate, options));
   EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(guard.trip_reason(), TripReason::kMemory);
   // The signature table is the first charged allocation; the trip lands
@@ -353,7 +363,7 @@ TEST_F(ExecutionGuardTest, RealDeadlineTrip) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   JoinOptions options;
   options.guard = &guard;
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate, options);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate, options));
   EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(guard.trip_reason(), TripReason::kDeadline);
   EXPECT_TRUE(result.pairs.empty());
@@ -370,7 +380,7 @@ TEST_F(ExecutionGuardTest, CancellationFromAnotherThread) {
   options.guard = &guard;
   JoinResult result;
   std::thread worker([&] {
-    result = SignatureSelfJoin(input, scheme, predicate, options);
+    result = Join(SelfJoinRequest(input, scheme, predicate, options));
   });
   scheme.WaitUntilStarted();  // join is provably mid-SigGen
   token.RequestCancel();
@@ -397,7 +407,7 @@ TEST_F(ExecutionGuardTest, BreakerTripsOnCandidateExplosion) {
   ExecutionGuard guard(budget);
   JoinOptions options;
   options.guard = &guard;
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate, options);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate, options));
   EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(guard.trip_reason(), TripReason::kCandidateExplosion);
   EXPECT_EQ(guard.trip_phase(), kVerify);
@@ -405,7 +415,7 @@ TEST_F(ExecutionGuardTest, BreakerTripsOnCandidateExplosion) {
   EXPECT_GT(result.stats.candidates, 0u);
 
   // Same workload, breaker off: the join completes (with zero results).
-  JoinResult plain = SignatureSelfJoin(input, scheme, predicate, {});
+  JoinResult plain = Join(SelfJoinRequest(input, scheme, predicate, {}));
   EXPECT_TRUE(plain.status.ok());
   EXPECT_EQ(plain.stats.results, 0u);
   EXPECT_EQ(plain.stats.candidates, 19900u);
@@ -492,7 +502,7 @@ TEST_F(ExecutionGuardTest, AdvisorRetryRecoversFromExplosion) {
   auto scheme = PartEnumJaccardScheme::Create(sane);
   ASSERT_TRUE(scheme.ok());
   JaccardPredicate predicate(0.9);
-  JoinResult reference = SignatureSelfJoin(input, *scheme, predicate, {});
+  JoinResult reference = Join(SelfJoinRequest(input, *scheme, predicate, {}));
   EXPECT_EQ(result->join.pairs, reference.pairs);
 }
 

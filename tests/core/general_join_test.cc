@@ -48,7 +48,7 @@ TEST(GeneralJoinTest, Section6MaxFractionExample) {
   auto scheme = GeneralPartEnumScheme::Create(predicate, params);
   ASSERT_TRUE(scheme.ok());
 
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, *predicate);
   EXPECT_EQ(result.pairs, expected);
   EXPECT_GT(result.pairs.size(), 0u);
@@ -63,7 +63,7 @@ TEST(GeneralJoinTest, MaxFractionAcrossThresholds) {
     params.max_set_size = input.max_set_size();
     auto scheme = GeneralPartEnumScheme::Create(predicate, params);
     ASSERT_TRUE(scheme.ok());
-    JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
     EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate))
         << "gamma=" << gamma;
   }
@@ -78,7 +78,7 @@ TEST(GeneralJoinTest, JaccardThroughGeneralMachinery) {
   params.max_set_size = input.max_set_size();
   auto scheme = GeneralPartEnumScheme::Create(predicate, params);
   ASSERT_TRUE(scheme.ok());
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
 }
 
@@ -89,7 +89,7 @@ TEST(GeneralJoinTest, HammingThroughGeneralMachinery) {
   params.max_set_size = input.max_set_size();
   auto scheme = GeneralPartEnumScheme::Create(predicate, params);
   ASSERT_TRUE(scheme.ok());
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
 }
 
@@ -104,7 +104,7 @@ TEST(GeneralJoinTest, ConjunctivePredicate) {
   params.max_set_size = input.max_set_size();
   auto scheme = GeneralPartEnumScheme::Create(predicate, params);
   ASSERT_TRUE(scheme.ok());
-  JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate));
   EXPECT_GT(result.pairs.size(), 0u);
 }

@@ -472,11 +472,11 @@ TEST(BitmapFilterJoin, ParallelMatchesSerialWithFilter) {
   JaccardPredicate predicate(0.8);
   JoinOptions serial;
   serial.bitmap_bits = 128;
-  JoinResult one = SignatureSelfJoin(input, scheme, predicate, serial);
+  JoinResult one = Join(SelfJoinRequest(input, scheme, predicate, serial));
   ASSERT_TRUE(one.status.ok());
   JoinOptions parallel = serial;
   parallel.num_threads = 4;
-  JoinResult four = SignatureSelfJoin(input, scheme, predicate, parallel);
+  JoinResult four = Join(SelfJoinRequest(input, scheme, predicate, parallel));
   ASSERT_TRUE(four.status.ok());
   EXPECT_EQ(one.pairs, four.pairs);
   ExpectLegacyStatsEqual(one.stats, four.stats);
@@ -514,12 +514,12 @@ TEST(BitmapFilterJoin, BinaryJoinIdenticalWithFilter) {
   JaccardPredicate predicate(0.75);
   JoinOptions off;
   off.bitmap_bits = 0;
-  JoinResult baseline = SignatureJoin(r, s, scheme, predicate, off);
+  JoinResult baseline = Join(BinaryJoinRequest(r, s, scheme, predicate, off));
   ASSERT_TRUE(baseline.status.ok());
   EXPECT_GT(baseline.stats.results, 0u);
   JoinOptions on;
   on.bitmap_bits = 128;
-  JoinResult filtered = SignatureJoin(r, s, scheme, predicate, on);
+  JoinResult filtered = Join(BinaryJoinRequest(r, s, scheme, predicate, on));
   ASSERT_TRUE(filtered.status.ok());
   EXPECT_EQ(filtered.pairs, baseline.pairs);
   ExpectLegacyStatsEqual(filtered.stats, baseline.stats);
@@ -537,7 +537,7 @@ TEST(SiggenKernels, PartEnumJoinUnchangedByBatching) {
   auto scheme = PartEnumScheme::Create(params);
   ASSERT_TRUE(scheme.ok());
   HammingPredicate predicate(4);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   ASSERT_TRUE(result.status.ok());
   // The duplicated sets (JoinWorkload appends 40 clones) are Hd 0 from
   // their originals, so PartEnum must find at least those 40 pairs.

@@ -1,0 +1,81 @@
+// Canary for the deprecated per-mode entry points. This translation
+// unit is the one in-tree user of SSJOIN_ALLOW_LEGACY_API: it proves
+// the escape hatch actually silences the [[deprecated]] markers (this
+// file builds with -Werror in CI) and that the wrappers still forward
+// to Join() unchanged — same pairs, same stats.
+
+#define SSJOIN_ALLOW_LEGACY_API
+#include "core/ssjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/identity_scheme.h"
+#include "core/predicate.h"
+
+namespace ssjoin {
+namespace {
+
+SetCollection Sets() {
+  return SetCollection::FromVectors(
+      {{1, 2, 3}, {2, 3, 4}, {1, 2, 3, 4}, {7, 8, 9}, {8, 9, 10}});
+}
+
+void ExpectSameOutcome(const JoinResult& a, const JoinResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.stats.signatures_r, b.stats.signatures_r);
+  EXPECT_EQ(a.stats.signatures_s, b.stats.signatures_s);
+  EXPECT_EQ(a.stats.signature_collisions, b.stats.signature_collisions);
+  EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+  EXPECT_EQ(a.stats.results, b.stats.results);
+  EXPECT_EQ(a.stats.false_positives, b.stats.false_positives);
+}
+
+TEST(LegacyApiCanaryTest, SignatureSelfJoinForwardsToJoin) {
+  SetCollection input = Sets();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.5);
+  JoinResult legacy = SignatureSelfJoin(input, scheme, predicate);
+  JoinResult facade = Join(SelfJoinRequest(input, scheme, predicate));
+  ASSERT_TRUE(legacy.status.ok()) << legacy.status.ToString();
+  ExpectSameOutcome(legacy, facade);
+}
+
+TEST(LegacyApiCanaryTest, SignatureJoinForwardsToJoin) {
+  SetCollection r = Sets();
+  SetCollection s = Sets();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.5);
+  JoinResult legacy = SignatureJoin(r, s, scheme, predicate);
+  JoinResult facade = Join(BinaryJoinRequest(r, s, scheme, predicate));
+  ASSERT_TRUE(legacy.status.ok()) << legacy.status.ToString();
+  ExpectSameOutcome(legacy, facade);
+}
+
+TEST(LegacyApiCanaryTest, PipelinedSelfJoinForwardsToJoin) {
+  SetCollection input = Sets();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.5);
+  JoinResult legacy = PipelinedSelfJoin(input, scheme, predicate);
+  JoinRequest request = SelfJoinRequest(input, scheme, predicate);
+  request.mode = ExecutionMode::kPipelinedSelfJoin;
+  JoinResult facade = Join(request);
+  ASSERT_TRUE(legacy.status.ok()) << legacy.status.ToString();
+  ExpectSameOutcome(legacy, facade);
+}
+
+TEST(LegacyApiCanaryTest, WrappersForwardOptions) {
+  SetCollection input = Sets();
+  IdentityScheme scheme;
+  JaccardPredicate predicate(0.5);
+  JoinOptions options;
+  options.bitmap_bits = 128;
+  options.num_threads = 2;
+  JoinResult legacy = SignatureSelfJoin(input, scheme, predicate, options);
+  JoinResult facade = Join(SelfJoinRequest(input, scheme, predicate, options));
+  ASSERT_TRUE(legacy.status.ok()) << legacy.status.ToString();
+  ExpectSameOutcome(legacy, facade);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -42,7 +42,7 @@ TEST(NarrowedSchemeTest, PreservesExactness) {
 
   for (int bits : {32, 16}) {
     NarrowedScheme narrowed(base, bits);
-    JoinResult result = SignatureSelfJoin(input, narrowed, predicate);
+    JoinResult result = Join(SelfJoinRequest(input, narrowed, predicate));
     EXPECT_EQ(result.pairs, expected) << "bits=" << bits;
   }
 }
@@ -64,9 +64,9 @@ TEST(NarrowedSchemeTest, VeryNarrowWidthsInflateCandidates) {
   double gamma = 0.85;
   JaccardPredicate predicate(gamma);
   auto base = BaseScheme(input, gamma);
-  JoinResult wide = SignatureSelfJoin(input, *base, predicate);
+  JoinResult wide = Join(SelfJoinRequest(input, *base, predicate));
   NarrowedScheme tiny(base, 8);
-  JoinResult narrow = SignatureSelfJoin(input, tiny, predicate);
+  JoinResult narrow = Join(SelfJoinRequest(input, tiny, predicate));
   EXPECT_GT(narrow.stats.candidates, wide.stats.candidates);
   EXPECT_EQ(narrow.stats.results, wide.stats.results);
 }

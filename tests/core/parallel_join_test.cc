@@ -29,6 +29,16 @@
 namespace ssjoin {
 namespace {
 
+// Join()-facade shorthand for the pipelined self-join mode.
+JoinResult RunPipelined(const SetCollection& input,
+                        const SignatureScheme& scheme,
+                        const Predicate& predicate,
+                        const JoinOptions& options = {}) {
+  JoinRequest request = SelfJoinRequest(input, scheme, predicate, options);
+  request.mode = ExecutionMode::kPipelinedSelfJoin;
+  return Join(request);
+}
+
 std::vector<size_t> ThreadGrid() {
   size_t hw = std::thread::hardware_concurrency();
   std::vector<size_t> grid = {2, 4};
@@ -55,21 +65,21 @@ void ExpectSelfJoinInvariant(const SetCollection& input,
                              const Predicate& predicate, const char* label) {
   JoinOptions serial;
   serial.num_threads = 1;
-  JoinResult reference = SignatureSelfJoin(input, scheme, predicate, serial);
+  JoinResult reference = Join(SelfJoinRequest(input, scheme, predicate, serial));
   JoinResult reference_pipelined =
-      PipelinedSelfJoin(input, scheme, predicate, serial);
+      RunPipelined(input, scheme, predicate, serial);
   EXPECT_EQ(reference.pairs, reference_pipelined.pairs) << label;
   ExpectSameStats(reference.stats, reference_pipelined.stats, label, 1);
   for (size_t threads : ThreadGrid()) {
     JoinOptions options;
     options.num_threads = threads;
-    JoinResult parallel = SignatureSelfJoin(input, scheme, predicate,
-                                            options);
+    JoinResult parallel = Join(SelfJoinRequest(input, scheme, predicate,
+                                            options));
     EXPECT_EQ(reference.pairs, parallel.pairs) << label << " t=" << threads;
     ExpectSameStats(reference.stats, parallel.stats, label, threads);
 
-    JoinResult pipelined = PipelinedSelfJoin(input, scheme, predicate,
-                                             options);
+    JoinResult pipelined = RunPipelined(input, scheme, predicate,
+                                        options);
     EXPECT_EQ(reference.pairs, pipelined.pairs)
         << label << " pipelined t=" << threads;
     ExpectSameStats(reference.stats, pipelined.stats, label, threads);
@@ -83,11 +93,11 @@ void ExpectBinaryJoinInvariant(const SetCollection& r,
                                const char* label) {
   JoinOptions serial;
   serial.num_threads = 1;
-  JoinResult reference = SignatureJoin(r, s, scheme, predicate, serial);
+  JoinResult reference = Join(BinaryJoinRequest(r, s, scheme, predicate, serial));
   for (size_t threads : ThreadGrid()) {
     JoinOptions options;
     options.num_threads = threads;
-    JoinResult parallel = SignatureJoin(r, s, scheme, predicate, options);
+    JoinResult parallel = Join(BinaryJoinRequest(r, s, scheme, predicate, options));
     EXPECT_EQ(reference.pairs, parallel.pairs) << label << " t=" << threads;
     ExpectSameStats(reference.stats, parallel.stats, label, threads);
   }
@@ -205,8 +215,8 @@ TEST(ParallelJoinTest, EmptyCollection) {
   for (size_t threads : ThreadGrid()) {
     JoinOptions options;
     options.num_threads = threads;
-    JoinResult result = SignatureSelfJoin(empty, scheme, predicate,
-                                          options);
+    JoinResult result = Join(SelfJoinRequest(empty, scheme, predicate,
+                                          options));
     EXPECT_TRUE(result.pairs.empty());
     EXPECT_EQ(result.stats.F2(), 0u);
   }
@@ -253,8 +263,8 @@ TEST(ParallelJoinTest, ZeroMeansHardwareConcurrency) {
   serial.num_threads = 1;
   JoinOptions hardware;
   hardware.num_threads = 0;
-  JoinResult a = SignatureSelfJoin(input, *scheme, predicate, serial);
-  JoinResult b = SignatureSelfJoin(input, *scheme, predicate, hardware);
+  JoinResult a = Join(SelfJoinRequest(input, *scheme, predicate, serial));
+  JoinResult b = Join(SelfJoinRequest(input, *scheme, predicate, hardware));
   EXPECT_EQ(a.pairs, b.pairs);
   ExpectSameStats(a.stats, b.stats, "hw/self", 0);
 }

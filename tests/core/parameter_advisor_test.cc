@@ -70,7 +70,7 @@ TEST(AdvisorTest, EstimateSchemeF2TracksExact) {
   double estimate = EstimateSchemeF2(input, *scheme, 0, options);
 
   HammingPredicate predicate(6);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   EXPECT_NEAR(estimate, static_cast<double>(result.stats.F2()),
               estimate * 1e-9);
 }

@@ -136,7 +136,7 @@ TEST_P(JaccardExactnessTest, MatchesNestedLoopOnMixedSizes) {
   ASSERT_TRUE(scheme.ok());
 
   JaccardPredicate predicate(gamma);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   EXPECT_EQ(result.pairs, expected) << "gamma=" << gamma;
   EXPECT_GT(result.pairs.size(), 0u) << "vacuous test";
@@ -164,7 +164,7 @@ TEST(PartEnumJaccardSchemeTest, ExactOnEquisizedSyntheticData) {
   ASSERT_TRUE(scheme.ok());
 
   JaccardPredicate predicate(0.8);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   EXPECT_EQ(result.pairs, expected);
   EXPECT_GT(result.pairs.size(), 10u);

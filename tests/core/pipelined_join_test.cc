@@ -15,11 +15,21 @@
 namespace ssjoin {
 namespace {
 
+// Join()-facade shorthand for the pipelined self-join mode.
+JoinResult RunPipelined(const SetCollection& input,
+                        const SignatureScheme& scheme,
+                        const Predicate& predicate,
+                        const JoinOptions& options = {}) {
+  JoinRequest request = SelfJoinRequest(input, scheme, predicate, options);
+  request.mode = ExecutionMode::kPipelinedSelfJoin;
+  return Join(request);
+}
+
 void ExpectEquivalent(const SetCollection& input,
                       const SignatureScheme& scheme,
                       const Predicate& predicate, const char* label) {
-  JoinResult sorted = SignatureSelfJoin(input, scheme, predicate);
-  JoinResult pipelined = PipelinedSelfJoin(input, scheme, predicate);
+  JoinResult sorted = Join(SelfJoinRequest(input, scheme, predicate));
+  JoinResult pipelined = RunPipelined(input, scheme, predicate);
   EXPECT_EQ(sorted.pairs, pipelined.pairs) << label;
   EXPECT_EQ(sorted.stats.signatures_r, pipelined.stats.signatures_r)
       << label;
@@ -80,7 +90,7 @@ TEST(PipelinedJoinTest, EmptyInput) {
   SetCollection empty;
   IdentityScheme scheme;
   JaccardPredicate predicate(0.9);
-  JoinResult result = PipelinedSelfJoin(empty, scheme, predicate);
+  JoinResult result = RunPipelined(empty, scheme, predicate);
   EXPECT_TRUE(result.pairs.empty());
   EXPECT_EQ(result.stats.F2(), 0u);
 }
@@ -92,7 +102,7 @@ TEST(PipelinedJoinTest, DuplicateHeavyWorkload) {
   SetCollection input = SetCollection::FromVectors(sets);
   IdentityScheme scheme;
   JaccardPredicate predicate(1.0);
-  JoinResult result = PipelinedSelfJoin(input, scheme, predicate);
+  JoinResult result = RunPipelined(input, scheme, predicate);
   // C(50,2) + C(10,2) identical pairs.
   EXPECT_EQ(result.pairs.size(), 50u * 49 / 2 + 10u * 9 / 2);
   ExpectEquivalent(input, scheme, predicate, "duplicate-heavy");

@@ -25,7 +25,7 @@ TEST(DriverTest, SelfJoinWithIdentityScheme) {
   SetCollection input = SmallCollection();
   IdentityScheme scheme;
   JaccardPredicate predicate(0.75);
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate));
   // Expected: (0,1) jaccard 1; (0,2) and (1,2) jaccard 3/5 = 0.6 < 0.75.
   EXPECT_EQ(result.pairs, (std::vector<SetPair>{{0, 1}}));
   EXPECT_EQ(result.stats.results, 1u);
@@ -36,7 +36,7 @@ TEST(DriverTest, StatsAccounting) {
   SetCollection input = SmallCollection();
   IdentityScheme scheme;
   JaccardPredicate predicate(0.75);
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate));
   // Identity: signatures = total elements.
   EXPECT_EQ(result.stats.signatures_r, input.total_elements());
   EXPECT_EQ(result.stats.signatures_s, input.total_elements());
@@ -59,7 +59,7 @@ TEST(DriverTest, BinaryJoin) {
       SetCollection::FromVectors({{1, 2, 3}, {4, 5, 7}, {8, 9}});
   IdentityScheme scheme;
   JaccardPredicate predicate(0.5);
-  JoinResult result = SignatureJoin(r, s, scheme, predicate);
+  JoinResult result = Join(BinaryJoinRequest(r, s, scheme, predicate));
   // (0,0): identical. (1,1): overlap 2, union 4 => 0.5.
   EXPECT_EQ(result.pairs, (std::vector<SetPair>{{0, 0}, {1, 1}}));
   std::vector<SetPair> expected = NestedLoopJoin(r, s, predicate);
@@ -79,7 +79,7 @@ TEST(DriverTest, BinaryJoinMatchesBruteForceRandom) {
   SetCollection s = SetCollection::FromVectors(sv);
   IdentityScheme scheme;
   JaccardPredicate predicate(0.6);
-  JoinResult result = SignatureJoin(r, s, scheme, predicate);
+  JoinResult result = Join(BinaryJoinRequest(r, s, scheme, predicate));
   EXPECT_EQ(result.pairs, NestedLoopJoin(r, s, predicate));
   EXPECT_GT(result.pairs.size(), 0u);
 }
@@ -88,11 +88,11 @@ TEST(DriverTest, EmptyInputs) {
   SetCollection empty;
   IdentityScheme scheme;
   JaccardPredicate predicate(0.8);
-  JoinResult self = SignatureSelfJoin(empty, scheme, predicate);
+  JoinResult self = Join(SelfJoinRequest(empty, scheme, predicate));
   EXPECT_TRUE(self.pairs.empty());
   EXPECT_EQ(self.stats.F2(), 0u);
-  JoinResult binary = SignatureJoin(empty, SmallCollection(), scheme,
-                                    predicate);
+  JoinResult binary = Join(BinaryJoinRequest(empty, SmallCollection(), scheme,
+                                    predicate));
   EXPECT_TRUE(binary.pairs.empty());
 }
 
@@ -102,7 +102,7 @@ TEST(DriverTest, HammingSelfJoinWithPartEnum) {
   auto scheme = PartEnumScheme::Create(params);
   ASSERT_TRUE(scheme.ok());
   HammingPredicate predicate(2);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   // (0,1) Hd 0; (0,2),(1,2),(0,4),(1,4),(2,4) all Hd 2.
   EXPECT_EQ(expected.size(), 6u);
@@ -113,7 +113,7 @@ TEST(DriverTest, OutputIsSortedAndDeduplicated) {
   SetCollection input = SmallCollection();
   IdentityScheme scheme;  // many shared signatures per pair
   JaccardPredicate predicate(0.4);
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate));
   for (size_t i = 1; i < result.pairs.size(); ++i) {
     EXPECT_LT(result.pairs[i - 1], result.pairs[i]);
   }
@@ -131,7 +131,7 @@ TEST(DriverTest, PhaseTimesAreRecorded) {
   SetCollection input = SetCollection::FromVectors(sets);
   IdentityScheme scheme;
   JaccardPredicate predicate(0.9);
-  JoinResult result = SignatureSelfJoin(input, scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, scheme, predicate));
   EXPECT_GE(result.stats.siggen_seconds, 0.0);
   EXPECT_GE(result.stats.candpair_seconds, 0.0);
   EXPECT_GE(result.stats.postfilter_seconds, 0.0);

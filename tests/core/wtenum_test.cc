@@ -121,7 +121,7 @@ TEST(WtEnumTest, OverlapModeExactOnRandomData) {
     ASSERT_TRUE(scheme->Validate(input).ok());
 
     WeightedOverlapPredicate predicate(threshold, weights);
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
     std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
     EXPECT_EQ(result.pairs, expected) << "T=" << threshold;
     EXPECT_FALSE(scheme->overflowed());
@@ -162,7 +162,7 @@ TEST_P(WtEnumJaccardTest, ExactOnRandomData) {
   ASSERT_TRUE(scheme->Validate(input).ok());
 
   WeightedJaccardPredicate predicate(gamma, weights);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   std::vector<SetPair> expected = NestedLoopSelfJoin(input, predicate);
   EXPECT_EQ(result.pairs, expected) << "gamma=" << gamma;
   EXPECT_GT(result.pairs.size(), 0u) << "vacuous test";

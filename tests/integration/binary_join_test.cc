@@ -56,13 +56,13 @@ TEST_P(BinaryJoinTest, AllSchemesExact) {
     params.max_set_size = std::max(r.max_set_size(), s.max_set_size());
     auto scheme = PartEnumJaccardScheme::Create(params);
     ASSERT_TRUE(scheme.ok());
-    EXPECT_EQ(SignatureJoin(r, s, *scheme, *predicate).pairs, expected)
+    EXPECT_EQ(Join(BinaryJoinRequest(r, s, *scheme, *predicate)).pairs, expected)
         << "PEN gamma=" << gamma;
   }
   {
     auto scheme = PrefixFilterScheme::Create(predicate, r, s);
     ASSERT_TRUE(scheme.ok());
-    EXPECT_EQ(SignatureJoin(r, s, *scheme, *predicate).pairs, expected)
+    EXPECT_EQ(Join(BinaryJoinRequest(r, s, *scheme, *predicate)).pairs, expected)
         << "PF gamma=" << gamma;
   }
   {

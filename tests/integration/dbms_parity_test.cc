@@ -31,7 +31,7 @@ TEST(DbmsParityTest, JaccardJoinSameAnswerAsDriver) {
     ASSERT_TRUE(scheme.ok());
     JaccardPredicate predicate(gamma);
 
-    JoinResult driver = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult driver = Join(SelfJoinRequest(input, *scheme, predicate));
     auto dbms = relational::DbmsSelfJoin(input, *scheme, predicate);
     ASSERT_TRUE(dbms.ok());
     EXPECT_EQ(driver.pairs, dbms->pairs) << "gamma=" << gamma;

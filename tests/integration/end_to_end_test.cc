@@ -63,7 +63,7 @@ TEST(EndToEndTest, FigureOneStateExpansionScenario) {
   auto scheme = PartEnumJaccardScheme::Create(params);
   ASSERT_TRUE(scheme.ok());
   JaccardPredicate predicate(0.5);
-  JoinResult result = SignatureJoin(r, s, *scheme, predicate);
+  JoinResult result = Join(BinaryJoinRequest(r, s, *scheme, predicate));
 
   std::map<std::string, std::string> matches;
   for (const SetPair& p : result.pairs) {
@@ -103,7 +103,7 @@ TEST(EndToEndTest, AdvisorTunedJoinIsStillExact) {
   auto scheme = PartEnumJaccardScheme::Create(params);
   ASSERT_TRUE(scheme.ok());
   JaccardPredicate predicate(gamma);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate));
 }
 
@@ -131,7 +131,7 @@ TEST(EndToEndTest, WeightedPipelineOnBibliographicData) {
       WtEnumScheme::CreateJaccard(weights, weights, 0.8, min_ws, params);
   ASSERT_TRUE(scheme.ok());
   WeightedJaccardPredicate predicate(0.8, weights);
-  JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
   EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate));
   EXPECT_GT(result.pairs.size(), 0u);
 }

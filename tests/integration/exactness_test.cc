@@ -72,14 +72,14 @@ TEST_P(ExactnessTest, AllExactAlgorithmsAgree) {
     pen_params.max_set_size = workload.input.max_set_size();
     auto pen = PartEnumJaccardScheme::Create(pen_params);
     ASSERT_TRUE(pen.ok());
-    EXPECT_EQ(SignatureSelfJoin(workload.input, *pen, *predicate).pairs,
+    EXPECT_EQ(Join(SelfJoinRequest(workload.input, *pen, *predicate)).pairs,
               expected)
         << "PEN on " << workload.name << " gamma=" << gamma;
 
     // Prefix filter with size filtering.
     auto pf = PrefixFilterScheme::Create(predicate, workload.input);
     ASSERT_TRUE(pf.ok());
-    EXPECT_EQ(SignatureSelfJoin(workload.input, *pf, *predicate).pairs,
+    EXPECT_EQ(Join(SelfJoinRequest(workload.input, *pf, *predicate)).pairs,
               expected)
         << "PF on " << workload.name << " gamma=" << gamma;
 
@@ -88,7 +88,7 @@ TEST_P(ExactnessTest, AllExactAlgorithmsAgree) {
     gen_params.max_set_size = workload.input.max_set_size();
     auto gen = GeneralPartEnumScheme::Create(predicate, gen_params);
     ASSERT_TRUE(gen.ok());
-    EXPECT_EQ(SignatureSelfJoin(workload.input, *gen, *predicate).pairs,
+    EXPECT_EQ(Join(SelfJoinRequest(workload.input, *gen, *predicate)).pairs,
               expected)
         << "GPEN on " << workload.name << " gamma=" << gamma;
 

@@ -50,7 +50,7 @@ TEST(FuzzTest, JaccardPartEnumRandomGammasAndSeeds) {
     auto scheme = PartEnumJaccardScheme::Create(params);
     ASSERT_TRUE(scheme.ok());
     JaccardPredicate predicate(gamma);
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
     EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate))
         << "round " << round << " gamma=" << gamma;
   }
@@ -69,7 +69,7 @@ TEST(FuzzTest, HammingPartEnumRandomShapes) {
     ASSERT_TRUE(scheme.ok());
     SetCollection input = RandomWorkload(rng, 70, 40, 150, 20);
     HammingPredicate predicate(k);
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
     EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, predicate))
         << "round " << round << " k=" << k << " n1=" << params.n1
         << " n2=" << params.n2;
@@ -102,7 +102,7 @@ TEST(FuzzTest, RandomConjunctivePredicatesThroughGeneralJoin) {
     params.seed = rng.Next64();
     auto scheme = GeneralPartEnumScheme::Create(predicate, params);
     ASSERT_TRUE(scheme.ok());
-    JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
     EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate))
         << "round " << round;
   }
@@ -116,7 +116,7 @@ TEST(FuzzTest, PrefixFilterRandomGammas) {
     auto predicate = std::make_shared<JaccardPredicate>(gamma);
     auto scheme = PrefixFilterScheme::Create(predicate, input);
     ASSERT_TRUE(scheme.ok());
-    JoinResult result = SignatureSelfJoin(input, *scheme, *predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, *predicate));
     EXPECT_EQ(result.pairs, NestedLoopSelfJoin(input, *predicate))
         << "round " << round << " gamma=" << gamma;
   }
@@ -143,7 +143,7 @@ TEST(FuzzTest, BoundaryGammasExactlyRepresentableRatios) {
     params.max_set_size = input.max_set_size();
     auto scheme = PartEnumJaccardScheme::Create(params);
     ASSERT_TRUE(scheme.ok());
-    JoinResult result = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult result = Join(SelfJoinRequest(input, *scheme, predicate));
     EXPECT_EQ(result.pairs, (std::vector<SetPair>{{0, 1}})) << "m=" << m;
   }
 }

@@ -183,7 +183,7 @@ TEST(ObsDeterminismTest, GuardTripSurfacesEverywhere) {
   EXPECT_TRUE(attr_found);
 }
 
-TEST(JoinFacadeTest, MatchesLegacyWrappers) {
+TEST(JoinFacadeTest, BuildersMatchExplicitRequests) {
   SetCollection input = Workload(300, 56);
   SetCollection other = Workload(250, 57);
   auto scheme = MakeScheme(input, 0.85);
@@ -196,7 +196,7 @@ TEST(JoinFacadeTest, MatchesLegacyWrappers) {
     request.scheme = &*scheme;
     request.predicate = &predicate;
     JoinResult facade = Join(request);
-    JoinResult legacy = SignatureSelfJoin(input, *scheme, predicate);
+    JoinResult legacy = Join(SelfJoinRequest(input, *scheme, predicate));
     EXPECT_EQ(facade.pairs, legacy.pairs);
     EXPECT_EQ(facade.stats.candidates, legacy.stats.candidates);
     EXPECT_EQ(facade.stats.results, legacy.stats.results);
@@ -209,7 +209,7 @@ TEST(JoinFacadeTest, MatchesLegacyWrappers) {
     request.predicate = &predicate;
     request.mode = ExecutionMode::kBinaryJoin;
     JoinResult facade = Join(request);
-    JoinResult legacy = SignatureJoin(input, other, *scheme, predicate);
+    JoinResult legacy = Join(BinaryJoinRequest(input, other, *scheme, predicate));
     EXPECT_EQ(facade.pairs, legacy.pairs);
     EXPECT_EQ(facade.stats.results, legacy.stats.results);
   }
@@ -220,7 +220,9 @@ TEST(JoinFacadeTest, MatchesLegacyWrappers) {
     request.predicate = &predicate;
     request.mode = ExecutionMode::kPipelinedSelfJoin;
     JoinResult facade = Join(request);
-    JoinResult legacy = PipelinedSelfJoin(input, *scheme, predicate);
+    JoinRequest built = SelfJoinRequest(input, *scheme, predicate);
+    built.mode = ExecutionMode::kPipelinedSelfJoin;
+    JoinResult legacy = Join(built);
     EXPECT_EQ(facade.pairs, legacy.pairs);
     EXPECT_EQ(facade.stats.results, legacy.stats.results);
   }
@@ -288,7 +290,7 @@ TEST(JoinVerifyOptionTest, VerifyFalseSkipsPostFilter) {
   ASSERT_TRUE(scheme.ok());
   JaccardPredicate predicate(0.85);
 
-  JoinResult full = SignatureSelfJoin(input, *scheme, predicate);
+  JoinResult full = Join(SelfJoinRequest(input, *scheme, predicate));
   ASSERT_GT(full.stats.candidates, 0u);
   ASSERT_GT(full.stats.results, 0u);
 
