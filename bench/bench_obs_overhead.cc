@@ -21,7 +21,9 @@
 #include "bench_common.h"
 #include "bench_schemes.h"
 #include "core/predicate.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -132,6 +134,113 @@ bool WriteJson(const std::string& path, size_t input_size, size_t threads,
   return true;
 }
 
+// The PR-10 runtime stack: the B side attaches a MetricsRegistry (which
+// also arms the per-operator pipeline.<op>.* instruments inside
+// Plan::Run), a Logger writing to a discarded tmpfile, and a 50 ms
+// progress heartbeat running for the whole join. Same discipline as
+// MeasureDriver: untimed warmup supplies the reference, legs alternate,
+// best-of-reps, outputs byte-compared.
+template <typename JoinFn>
+DriverRow MeasureRuntime(const char* driver, const JoinFn& join) {
+  DriverRow row;
+  row.driver = driver;
+  row.null_sink_seconds = 1e300;
+  row.instrumented_seconds = 1e300;
+  JoinResult reference = join(nullptr);
+  row.stats = reference.stats;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int leg = 0; leg < 2; ++leg) {
+      bool instrumented = (rep + leg) % 2 == 1;
+      JoinResult run;
+      double seconds = 0;
+      if (instrumented) {
+        std::FILE* sink = std::tmpfile();
+        if (sink == nullptr) {
+          std::fprintf(stderr, "error: tmpfile failed\n");
+          std::exit(1);
+        }
+        {
+          obs::MetricsRegistry metrics;
+          obs::Logger logger(sink);
+          logger.BindMetrics(&metrics);
+          obs::ProgressReporter progress(&logger, &metrics, nullptr,
+                                         /*interval_ms=*/50);
+          progress.Start();
+          Stopwatch watch;
+          run = join(&metrics);
+          seconds = watch.ElapsedSeconds();
+          progress.Stop();
+          row.spans = progress.beats();
+        }
+        std::fclose(sink);  // ssjoin-lint: allow(no-unchecked-io)
+      } else {
+        Stopwatch watch;
+        run = join(nullptr);
+        seconds = watch.ElapsedSeconds();
+      }
+      double& best = instrumented ? row.instrumented_seconds
+                                  : row.null_sink_seconds;
+      best = std::min(best, seconds);
+
+      if (!run.status.ok()) {
+        std::fprintf(stderr, "error: join failed during %s: %s\n", driver,
+                     run.status.ToString().c_str());
+        std::exit(1);
+      }
+      row.identical = run.pairs == reference.pairs &&
+                      run.stats.candidates == reference.stats.candidates &&
+                      run.stats.results == reference.stats.results;
+      if (!row.identical) {
+        std::fprintf(stderr,
+                     "error: %s %s output differs from the reference run\n",
+                     instrumented ? "instrumented" : "null-sink", driver);
+        std::exit(1);
+      }
+    }
+  }
+  return row;
+}
+
+bool WriteRuntimeJson(const std::string& path, size_t input_size,
+                      size_t threads,
+                      const std::vector<DriverRow>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"obs_runtime\",\n"
+               "  \"workload\": \"synthetic_equisized\",\n"
+               "  \"input_size\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"heartbeat_interval_ms\": 50,\n"
+               "  \"drivers\": [\n",
+               input_size, threads, kReps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DriverRow& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"driver\": \"%s\", \"null_sink_seconds\": %.6f, "
+        "\"runtime_seconds\": %.6f, \"overhead_fraction\": %.4f, "
+        "\"heartbeats\": %llu, \"candidates\": %llu, "
+        "\"results\": %llu, \"output_identical\": %s}%s\n",
+        r.driver, r.null_sink_seconds, r.instrumented_seconds, r.Overhead(),
+        static_cast<unsigned long long>(r.spans),
+        static_cast<unsigned long long>(r.stats.candidates),
+        static_cast<unsigned long long>(r.stats.results),
+        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (std::fclose(out) != 0) {
+    std::fprintf(stderr, "error: write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,5 +304,56 @@ int main(int argc, char** argv) {
       flags.json_out.empty() ? "BENCH_obs_overhead.json" : flags.json_out;
   if (!WriteJson(json, input.size(), threads, rows)) return 1;
   std::printf("wrote %s\n", json.c_str());
+
+  // Second A/B: the full runtime stack (metrics + per-operator pipeline
+  // instruments + structured log + 50 ms heartbeat) against the null
+  // sink — the "<2% with a live heartbeat" acceptance number.
+  auto sorted_m = [&](obs::MetricsRegistry* metrics) {
+    JoinRequest request;
+    request.left = &input;
+    request.scheme = made->scheme.get();
+    request.predicate = &predicate;
+    request.mode = ExecutionMode::kSelfJoin;
+    request.options = base;
+    request.options.metrics = metrics;
+    return Join(request);
+  };
+  auto pipelined_m = [&](obs::MetricsRegistry* metrics) {
+    JoinRequest request;
+    request.left = &input;
+    request.scheme = made->scheme.get();
+    request.predicate = &predicate;
+    request.mode = ExecutionMode::kPipelinedSelfJoin;
+    request.options = base;
+    request.options.metrics = metrics;
+    return Join(request);
+  };
+
+  std::printf("--- Runtime observability overhead (metrics + per-op "
+              "instruments + log + 50ms heartbeat) ---\n");
+  std::printf("%-12s %14s %14s %10s %8s %10s\n", "driver", "null_sink_s",
+              "runtime_s", "overhead", "beats", "identical");
+  std::vector<DriverRow> runtime_rows;
+  runtime_rows.push_back(MeasureRuntime("sorted", sorted_m));
+  runtime_rows.push_back(MeasureRuntime("pipelined", pipelined_m));
+  for (const DriverRow& r : runtime_rows) {
+    std::printf("%-12s %14.3f %14.3f %9.2f%% %8llu %10s\n", r.driver,
+                r.null_sink_seconds, r.instrumented_seconds,
+                100 * r.Overhead(),
+                static_cast<unsigned long long>(r.spans),
+                r.identical ? "yes" : "NO");
+  }
+  std::string runtime_json = "BENCH_obs_runtime.json";
+  if (!flags.json_out.empty()) {
+    // Derive a sibling name so --json-out runs keep both artifacts.
+    size_t dot = flags.json_out.rfind(".json");
+    runtime_json = dot == std::string::npos
+                       ? flags.json_out + "_runtime"
+                       : flags.json_out.substr(0, dot) + "_runtime.json";
+  }
+  if (!WriteRuntimeJson(runtime_json, input.size(), threads, runtime_rows)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", runtime_json.c_str());
   return 0;
 }

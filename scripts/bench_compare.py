@@ -42,7 +42,11 @@ INFORMATIONAL = {"join.results", "join.runs"}
 # policy changes, all of which are legitimate design changes. Track it
 # warn-only so a format bump does not read as a perf regression, while
 # the deterministic work counters of the same report still gate hard.
-INFORMATIONAL_PREFIXES = ("join.spill.",)
+# Per-operator pipeline counters (pipeline.<op>.*) are warn-only for the
+# same reason: inserting/splitting an operator or re-tagging a chain
+# legitimately moves per-operator row attribution without changing the
+# join's work (the join.* totals still gate that).
+INFORMATIONAL_PREFIXES = ("join.spill.", "pipeline.")
 
 
 def is_informational(counter):

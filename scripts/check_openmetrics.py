@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Validates an OpenMetrics text exposition produced by the ssjoin CLI
+(--metrics-format=openmetrics) or obs::WriteOpenMetrics.
+
+Checks the subset of the OpenMetrics spec the exporter promises:
+
+  * every sample belongs to a family declared by a preceding # TYPE line,
+    and each family has exactly one # TYPE and one # HELP line;
+  * metric names are `ssjoin_`-prefixed and [a-zA-Z_][a-zA-Z0-9_]*;
+  * counter samples use the `_total` suffix with a non-negative integer
+    value; gauges use the bare family name;
+  * histograms expose `_bucket{le="..."}` series with non-decreasing
+    cumulative counts, a terminal le="+Inf" bucket, and `_sum`/`_count`
+    samples where the +Inf bucket equals `_count`;
+  * the document ends with exactly one `# EOF` line.
+
+Exit code 0 when the file validates, 1 with per-line diagnostics when it
+does not. `--self-test` validates the checker itself against embedded
+good and bad documents.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>\S+)$")
+LE_RE = re.compile(r'^le="(?P<le>[^"]*)"$')
+KINDS = ("counter", "gauge", "histogram")
+
+
+def check_text(text):
+    """Returns a list of 'line N: message' problem strings (empty = OK)."""
+    problems = []
+    families = {}  # name -> {kind, helped, buckets, has_sum, has_count, inf}
+    eof_seen = False
+    lines = text.split("\n")
+    if not lines or lines[-1] != "":
+        problems.append("line %d: missing trailing newline" % len(lines))
+    else:
+        lines = lines[:-1]
+
+    def family_for_sample(name):
+        """Resolve a sample line to its declared family and series kind."""
+        for suffix, series in (("_total", "counter"), ("_bucket", "bucket"),
+                               ("_sum", "sum"), ("_count", "count")):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in families:
+                return base, series
+        if name in families:
+            return name, "bare"
+        return None, None
+
+    for lineno, line in enumerate(lines, start=1):
+        if eof_seen:
+            problems.append("line %d: content after # EOF" % lineno)
+            break
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in KINDS:
+                problems.append("line %d: malformed TYPE line" % lineno)
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name) or not name.startswith("ssjoin_"):
+                problems.append(
+                    "line %d: bad family name %r" % (lineno, name))
+            if name in families:
+                problems.append(
+                    "line %d: duplicate TYPE for %s" % (lineno, name))
+            families[name] = {"kind": parts[3], "helped": False,
+                              "buckets": [], "has_sum": False,
+                              "has_count": False, "count": None,
+                              "samples": 0}
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append("line %d: malformed HELP line" % lineno)
+                continue
+            name = parts[2]
+            if name not in families:
+                problems.append(
+                    "line %d: HELP before TYPE for %s" % (lineno, name))
+            elif families[name]["helped"]:
+                problems.append(
+                    "line %d: duplicate HELP for %s" % (lineno, name))
+            else:
+                families[name]["helped"] = True
+            continue
+        if line.startswith("#"):
+            problems.append("line %d: unknown comment %r" % (lineno, line))
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append("line %d: malformed sample %r" % (lineno, line))
+            continue
+        name, labels, value = m.group("name", "labels", "value")
+        base, series = family_for_sample(name)
+        if base is None:
+            problems.append(
+                "line %d: sample %s has no TYPE declaration" % (lineno, name))
+            continue
+        fam = families[base]
+        fam["samples"] += 1
+        kind = fam["kind"]
+        try:
+            numeric = float(value)
+        except ValueError:
+            problems.append("line %d: non-numeric value %r" % (lineno, value))
+            continue
+        if kind == "counter":
+            if series != "counter":
+                problems.append(
+                    "line %d: counter %s must use the _total suffix"
+                    % (lineno, base))
+            elif numeric < 0 or numeric != int(numeric):
+                problems.append(
+                    "line %d: counter value %r not a non-negative integer"
+                    % (lineno, value))
+        elif kind == "gauge":
+            if series != "bare":
+                problems.append(
+                    "line %d: gauge %s must use the bare name"
+                    % (lineno, base))
+        elif kind == "histogram":
+            if series == "bucket":
+                le = LE_RE.match(labels or "")
+                if not le:
+                    problems.append(
+                        "line %d: histogram bucket needs an le label"
+                        % lineno)
+                    continue
+                bound = le.group("le")
+                fam["buckets"].append((bound, numeric, lineno))
+            elif series == "sum":
+                fam["has_sum"] = True
+            elif series == "count":
+                fam["has_count"] = True
+                fam["count"] = numeric
+            else:
+                problems.append(
+                    "line %d: unexpected histogram sample %s"
+                    % (lineno, name))
+
+    if not eof_seen:
+        problems.append("line %d: missing terminal # EOF" % (len(lines) + 1))
+
+    for name, fam in families.items():
+        if not fam["helped"]:
+            problems.append("family %s: missing HELP" % name)
+        if fam["samples"] == 0:
+            problems.append("family %s: declared but has no samples" % name)
+        if fam["kind"] != "histogram":
+            continue
+        buckets = fam["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            problems.append(
+                "family %s: histogram must end with an le=\"+Inf\" bucket"
+                % name)
+        prev = -1.0
+        for bound, cumulative, lineno in buckets:
+            if cumulative < prev:
+                problems.append(
+                    "line %d: bucket counts not cumulative in %s"
+                    % (lineno, name))
+            prev = cumulative
+        if not fam["has_sum"] or not fam["has_count"]:
+            problems.append(
+                "family %s: histogram needs _sum and _count" % name)
+        elif buckets and buckets[-1][0] == "+Inf" \
+                and fam["count"] != buckets[-1][1]:
+            problems.append(
+                "family %s: +Inf bucket != _count" % name)
+    return problems
+
+
+GOOD_DOC = """\
+# TYPE ssjoin_join_results counter
+# HELP ssjoin_join_results join.results (stable)
+ssjoin_join_results_total 42
+# TYPE ssjoin_join_prune_rate gauge
+# HELP ssjoin_join_prune_rate join.prune_rate (stable)
+ssjoin_join_prune_rate 0.25
+# TYPE ssjoin_join_shard_micros histogram
+# HELP ssjoin_join_shard_micros join.shard.micros (runtime)
+ssjoin_join_shard_micros_bucket{le="1"} 2
+ssjoin_join_shard_micros_bucket{le="3"} 3
+ssjoin_join_shard_micros_bucket{le="+Inf"} 5
+ssjoin_join_shard_micros_sum 5104
+ssjoin_join_shard_micros_count 5
+# EOF
+"""
+
+# (document, fragment a diagnostic must contain)
+BAD_DOCS = [
+    ("ssjoin_orphan_total 1\n# EOF\n", "no TYPE declaration"),
+    ("# TYPE ssjoin_x counter\n# HELP ssjoin_x x\nssjoin_x 1\n# EOF\n",
+     "_total suffix"),
+    ("# TYPE ssjoin_x counter\n# HELP ssjoin_x x\nssjoin_x_total -1\n"
+     "# EOF\n", "non-negative integer"),
+    ("# TYPE ssjoin_x counter\nssjoin_x_total 1\n# EOF\n", "missing HELP"),
+    ("# TYPE ssjoin_x counter\n# HELP ssjoin_x x\nssjoin_x_total 1\n",
+     "missing terminal # EOF"),
+    ("# TYPE ssjoin_x counter\n# HELP ssjoin_x x\nssjoin_x_total 1\n"
+     "# EOF\nssjoin_y_total 1\n", "content after # EOF"),
+    ("# TYPE ssjoin_h histogram\n# HELP ssjoin_h h\n"
+     "ssjoin_h_bucket{le=\"1\"} 5\nssjoin_h_bucket{le=\"+Inf\"} 2\n"
+     "ssjoin_h_sum 9\nssjoin_h_count 2\n# EOF\n", "not cumulative"),
+    ("# TYPE ssjoin_h histogram\n# HELP ssjoin_h h\n"
+     "ssjoin_h_bucket{le=\"1\"} 2\nssjoin_h_sum 9\nssjoin_h_count 2\n"
+     "# EOF\n", "+Inf"),
+    ("# TYPE bad_prefix counter\n# HELP bad_prefix x\n"
+     "bad_prefix_total 1\n# EOF\n", "bad family name"),
+]
+
+
+def self_test():
+    good_problems = check_text(GOOD_DOC)
+    if good_problems:
+        print("self-test FAILED: good document rejected:")
+        for problem in good_problems:
+            print("  " + problem)
+        return 1
+    failures = 0
+    for i, (doc, expect) in enumerate(BAD_DOCS):
+        problems = check_text(doc)
+        if not any(expect in p for p in problems):
+            print("self-test FAILED: bad doc %d: expected a diagnostic "
+                  "containing %r, got %r" % (i, expect, problems))
+            failures += 1
+    if failures:
+        return 1
+    print("check_openmetrics self-test OK: good doc accepted, %d bad docs "
+          "rejected" % len(BAD_DOCS))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate an OpenMetrics exposition file.")
+    parser.add_argument("path", nargs="?", help="file to validate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the checker against embedded docs")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.path:
+        parser.error("path is required without --self-test")
+    with open(args.path, "r", encoding="utf-8") as f:
+        problems = check_text(f.read())
+    if problems:
+        for problem in problems:
+            print("%s: %s" % (args.path, problem))
+        return 1
+    print("%s: OpenMetrics format OK" % args.path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

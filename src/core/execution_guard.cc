@@ -242,6 +242,7 @@ ExecutionGuard::PollTimingLimits(JoinPhase phase) {
 }
 
 Status ExecutionGuard::Checkpoint(JoinPhase phase) {
+  current_phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
   if (tripped()) return trip_status();
   if (auto forced = fault::ConsumeCheckpoint(phase)) {
     TripReason reason = TripReason::kNone;
@@ -307,6 +308,13 @@ Status ExecutionGuard::CheckBreaker(JoinPhase phase, uint64_t candidates,
 }
 
 bool ExecutionGuard::ShouldStop(JoinPhase phase) {
+  // Publish the phase for the progress heartbeat, but only on change:
+  // an unconditional store from every worker poll would ping-pong the
+  // cache line, while a same-value load stays shared.
+  if (current_phase_.load(std::memory_order_relaxed) !=
+      static_cast<int>(phase)) {
+    current_phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+  }
   if (stop_.load(std::memory_order_acquire)) return true;
   if (token_.CancelRequested()) {
     // The latched Status is surfaced by the driver via trip_status();

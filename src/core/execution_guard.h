@@ -169,6 +169,16 @@ class ExecutionGuard {
   /// Seconds since construction / last Reset().
   double ElapsedSeconds() const;
 
+  /// Phase of the most recent Checkpoint/ShouldStop call — a live "where
+  /// is the join right now" reading for the progress heartbeat
+  /// (obs/progress.h). Best-effort by nature (relaxed, may lag a racing
+  /// phase transition by one poll); not part of the determinism
+  /// contract.
+  JoinPhase current_phase() const {
+    return static_cast<JoinPhase>(
+        current_phase_.load(std::memory_order_relaxed));
+  }
+
   bool tripped() const { return stop_.load(std::memory_order_acquire); }
   /// The latched trip Status (OK if the guard never tripped).
   Status trip_status() const SSJOIN_EXCLUDES(mutex_);
@@ -218,6 +228,7 @@ class ExecutionGuard {
       start_;  // ssjoin-lint: allow(guarded-by-required)
 
   std::atomic<bool> stop_{false};
+  std::atomic<int> current_phase_{0};
   std::atomic<size_t> memory_bytes_{0};
   std::atomic<size_t> memory_high_water_{0};
   std::atomic<size_t> disk_bytes_{0};

@@ -12,7 +12,8 @@ namespace ssjoin::pipeline {
 BitmapFilterOperator::BitmapFilterOperator(ExecContext* ctx, bool eager)
     : Operator(ctx, "BitmapFilter",
                std::to_string(ctx->options->bitmap_bits) + "-bit " +
-                   (eager ? "eager" : "deferred")),
+                   (eager ? "eager" : "deferred"),
+               obs::names::kOpBitmapFilter),
       eager_(eager) {}
 
 Status BitmapFilterOperator::Open() {
@@ -87,7 +88,7 @@ void BitmapFilterOperator::FilterChunk(CandidateChunk* chunk) {
 }
 
 Status BitmapFilterOperator::NextBatch(Batch* out) {
-  SSJOIN_RETURN_NOT_OK(input_->NextBatch(out));
+  SSJOIN_RETURN_NOT_OK(input_->Pull(out));
   if (!eager_ && !ctx_->degrade) {
     SSJOIN_RETURN_NOT_OK(EnsureReady());
   }

@@ -140,7 +140,7 @@ Status CandidateGenOperator::Produce(Batch* sigs) {
 Status CandidateGenOperator::NextBatch(Batch* out) {
   if (!produced_) {
     produced_ = true;
-    SSJOIN_RETURN_NOT_OK(input_->NextBatch(out));
+    SSJOIN_RETURN_NOT_OK(input_->Pull(out));
     Status st = Produce(out);
     out->signatures_l = nullptr;  // consumed; signatures never flow on
     out->signatures_r = nullptr;

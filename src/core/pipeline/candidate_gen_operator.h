@@ -27,7 +27,8 @@ namespace ssjoin::pipeline {
 class CandidateGenOperator : public Operator {
  public:
   explicit CandidateGenOperator(ExecContext* ctx)
-      : Operator(ctx, "CandidateGen", "sorted shards") {}
+      : Operator(ctx, "CandidateGen", "sorted shards",
+                 obs::names::kOpCandGen) {}
 
   Status NextBatch(Batch* out) override;
   void Close() override;

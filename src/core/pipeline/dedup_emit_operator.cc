@@ -5,7 +5,7 @@
 namespace ssjoin::pipeline {
 
 Status DedupEmitOperator::NextBatch(Batch* out) {
-  SSJOIN_RETURN_NOT_OK(input_->NextBatch(out));
+  SSJOIN_RETURN_NOT_OK(input_->Pull(out));
   if (out->kind != Batch::Kind::kCandidates) {
     if (sort_on_end_ && !ctx_->degrade) {
       std::sort(ctx_->result->pairs.begin(), ctx_->result->pairs.end());

@@ -17,7 +17,8 @@ namespace ssjoin::pipeline {
 class DedupEmitOperator : public Operator {
  public:
   DedupEmitOperator(ExecContext* ctx, bool sort_on_end)
-      : Operator(ctx, "DedupEmit", sort_on_end ? "sort" : "append"),
+      : Operator(ctx, "DedupEmit", sort_on_end ? "sort" : "append",
+                 obs::names::kOpDedupEmit),
         sort_on_end_(sort_on_end) {}
 
   Status NextBatch(Batch* out) override;

@@ -15,6 +15,14 @@
 //     counts must be derived from deterministic stats (signatures,
 //     candidates, results) — never batch counts, which vary with
 //     scheduling.
+//   * Per-operator runtime metrics (DESIGN.md Section 14): when the run
+//     has a MetricsRegistry, Plan::Run() binds each operator's
+//     obs::OpInstrument and the pull loop goes through Pull(), which
+//     wraps NextBatch() with pipeline.<tag>.{batches,rows_in,rows_out,
+//     ns} accounting and a kRuntime span per operator. Without a
+//     registry Pull() is a single branch (null-sink contract). Close()
+//     also feeds the final rows_out into EXPLAIN's drift table as the
+//     operator's actual.
 //   * Lifecycle: Plan::Run() opens source-first, pulls the sink to
 //     exhaustion or error, and closes every operator on every exit path
 //     (Close must be safe after a failed or skipped Open).
@@ -33,20 +41,18 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline/chunk.h"
 #include "core/ssjoin.h"
+#include "obs/join_telemetry.h"
 #include "util/status.h"
 
 namespace ssjoin {
 class ExecutionGuard;
 class ThreadPool;
 }  // namespace ssjoin
-
-namespace ssjoin::obs {
-class JoinTelemetry;
-}  // namespace ssjoin::obs
 
 namespace ssjoin::pipeline {
 
@@ -98,17 +104,37 @@ class Operator {
   virtual Status NextBatch(Batch* out) = 0;
 
   /// Tears down and records this operator's PlanOp into the explain
-  /// report. Runs on every exit path, including after a failed Open or
-  /// an aborted pull loop. Subclasses MUST override (the
-  /// operator-contract lint rule) and end with Operator::Close().
+  /// report, flushes the instrument (final row totals, span close), and
+  /// records the operator's rows_out as an EXPLAIN drift actual. Runs on
+  /// every exit path, including after a failed Open or an aborted pull
+  /// loop. Subclasses MUST override (the operator-contract lint rule)
+  /// and end with Operator::Close().
   virtual void Close();
+
+  /// Instrumented pull: callers (the downstream operator and Plan::Run)
+  /// use this, never NextBatch directly. Uninstrumented it is one
+  /// branch + tail call; instrumented it accounts the pull into the
+  /// pipeline.<tag>.* counters with self-time attribution.
+  Status Pull(Batch* out);
+
+  /// Binds the per-operator instrument to the run's telemetry (called
+  /// once by Plan::Run before Open when a MetricsRegistry is attached;
+  /// `lane` is the operator's chain position).
+  void BindInstrument(obs::JoinTelemetry* telemetry, uint32_t lane) {
+    inst_.Bind(telemetry, tag_, lane);
+  }
 
   void set_input(Operator* input) { input_ = input; }
   const std::string& name() const { return name_; }
 
  protected:
-  Operator(ExecContext* ctx, std::string name, std::string detail)
-      : ctx_(ctx), name_(std::move(name)), detail_(std::move(detail)) {}
+  /// `tag` is the operator's stable metric tag (a names::kOp* constant
+  /// from obs/stability.h); empty means "not instrumented" (test-only
+  /// operators).
+  Operator(ExecContext* ctx, std::string name, std::string detail,
+           std::string_view tag = {})
+      : ctx_(ctx), name_(std::move(name)), detail_(std::move(detail)),
+        tag_(tag) {}
 
   ExecContext* ctx_;
   Operator* input_ = nullptr;
@@ -120,6 +146,8 @@ class Operator {
  private:
   std::string name_;
   std::string detail_;
+  std::string_view tag_;  // static-storage names:: constant (or empty)
+  obs::OpInstrument inst_;
 };
 
 /// A linear operator chain, source first. Owns its operators.

@@ -44,7 +44,8 @@ namespace ssjoin::pipeline {
 class PipelinedScanOperator : public Operator {
  public:
   explicit PipelinedScanOperator(ExecContext* ctx)
-      : Operator(ctx, "PipelinedScan", "inverted index") {}
+      : Operator(ctx, "PipelinedScan", "inverted index",
+                 obs::names::kOpPipelinedScan) {}
 
   Status Open() override;
   Status NextBatch(Batch* out) override;

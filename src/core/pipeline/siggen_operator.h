@@ -19,7 +19,7 @@ namespace ssjoin::pipeline {
 class SigGenOperator : public Operator {
  public:
   explicit SigGenOperator(ExecContext* ctx)
-      : Operator(ctx, "SigGen", "csr") {}
+      : Operator(ctx, "SigGen", "csr", obs::names::kOpSigGen) {}
 
   Status NextBatch(Batch* out) override;
   void Close() override;

@@ -7,6 +7,7 @@
 #include "core/spill/spill_internal.h"
 #include "core/spill/spill_join.h"
 #include "obs/join_telemetry.h"
+#include "obs/log.h"
 
 namespace ssjoin::pipeline {
 
@@ -59,6 +60,10 @@ Status SpillPartitionOperator::Produce() {
       return st;
     }
     ++retries;
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "spill_retry",
+                  {{"attempt", retries},
+                   {"partitions", static_cast<uint64_t>(partitions)},
+                   {"error", st.ToString()}});
     // Fewer, larger partitions: the common spill failure modes are
     // per-file (descriptor limits, quota on file count), so halving is
     // the retry that changes the attempt instead of repeating it.

@@ -21,7 +21,8 @@ namespace ssjoin::pipeline {
 class SpillPartitionOperator : public Operator {
  public:
   explicit SpillPartitionOperator(ExecContext* ctx)
-      : Operator(ctx, "SpillPartition", "partitioned") {}
+      : Operator(ctx, "SpillPartition", "partitioned",
+                 obs::names::kOpSpillPartition) {}
 
   Status NextBatch(Batch* out) override;
   void Close() override;

@@ -98,7 +98,7 @@ Status VerifyOperator::VerifyChunk(CandidateChunk* chunk) {
 }
 
 Status VerifyOperator::NextBatch(Batch* out) {
-  SSJOIN_RETURN_NOT_OK(input_->NextBatch(out));
+  SSJOIN_RETURN_NOT_OK(input_->Pull(out));
   if (chunked_ && !ctx_->degrade && !ctx_->postfilter_phase_open) {
     // Bitmap off: no BitmapFilterOperator preceded this operator, so
     // the PostFilter phase opens here (the sorted/spilled drivers open

@@ -39,7 +39,8 @@ class VerifyOperator : public Operator {
   /// `chunked` selects the sorted/spilled super-chunk protocol; false
   /// is the pipelined inline discipline.
   VerifyOperator(ExecContext* ctx, bool chunked)
-      : Operator(ctx, "Verify", chunked ? "chunked" : "inline"),
+      : Operator(ctx, "Verify", chunked ? "chunked" : "inline",
+                 obs::names::kOpVerify),
         chunked_(chunked) {}
 
   Status NextBatch(Batch* out) override;

@@ -17,6 +17,7 @@
 #include "core/spill/spill_internal.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
+#include "obs/log.h"
 #include "util/hashing.h"
 #include "util/status.h"
 #include "util/temp_dir.h"
@@ -290,6 +291,12 @@ JoinResult SpilledJoin(const SetCollection& left, const SetCollection* right,
     telem.Attr("input_sets", static_cast<uint64_t>(left.size()));
   }
   telem.Attr("spill", forced ? "forced" : "auto");
+  obs::LogEvent(options.log, obs::LogLevel::kDebug, "join_start",
+                {{"mode", ExecutionModeName(mode)},
+                 {"spill", forced ? "forced" : "auto"},
+                 {"input_sets",
+                  static_cast<uint64_t>(
+                      left.size() + (right != nullptr ? right->size() : 0))}});
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   pool.BindMetrics(options.metrics);
   ExecutionGuard* guard = options.guard;
@@ -322,10 +329,17 @@ JoinResult SpilledJoin(const SetCollection& left, const SetCollection* right,
     result.pairs.clear();
     result.status = std::move(st);
     detail::FinishJoin(telem, result, guard, options.explain, isect0);
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "join_abort",
+                  {{"error", result.status.ToString()}});
     return result;
   }
 
   detail::FinishJoin(telem, result, guard, options.explain, isect0);
+  obs::LogEvent(options.log, obs::LogLevel::kInfo, "join_finish",
+                {{"results", result.stats.results},
+                 {"candidates", result.stats.candidates},
+                 {"spill_partitions", result.stats.spill_partitions},
+                 {"spill_retries", result.stats.spill_retries}});
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "core/spill/spill_join.h"
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
+#include "obs/log.h"
 #include "util/thread_pool.h"
 
 // The execution engine lives in core/pipeline: every mode is an operator
@@ -60,6 +61,14 @@ JoinResult RunSortedJoin(const SetCollection& left, const SetCollection* right,
     telem.Attr("mode", ExecutionModeName(ExecutionMode::kSelfJoin));
     telem.Attr("input_sets", static_cast<uint64_t>(left.size()));
   }
+  obs::LogEvent(
+      options.log, obs::LogLevel::kDebug, "join_start",
+      {{"mode", ExecutionModeName(right != nullptr
+                                      ? ExecutionMode::kBinaryJoin
+                                      : ExecutionMode::kSelfJoin)},
+       {"input_sets", static_cast<uint64_t>(
+                          left.size() + (right != nullptr ? right->size()
+                                                          : 0))}});
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   pool.BindMetrics(options.metrics);
   ExecutionGuard* guard = options.guard;
@@ -86,6 +95,8 @@ JoinResult RunSortedJoin(const SetCollection& left, const SetCollection* right,
     // tables would blow the memory budget: rerun out-of-core. The spill
     // driver opens its own telemetry root nested under this one and
     // accounts its footprint from zero.
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "spill_degrade",
+                  {{"mode", ExecutionModeName(ctx.mode)}});
     if (right != nullptr) {
       return spill::SpilledBinaryJoin(left, *right, scheme, predicate,
                                       options, /*forced=*/false);
@@ -98,9 +109,14 @@ JoinResult RunSortedJoin(const SetCollection& left, const SetCollection* right,
     result.pairs.clear();
     result.status = std::move(st);
     detail::FinishJoin(telem, result, guard, options.explain, isect0);
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "join_abort",
+                  {{"error", result.status.ToString()}});
     return result;
   }
   detail::FinishJoin(telem, result, guard, options.explain, isect0);
+  obs::LogEvent(options.log, obs::LogLevel::kInfo, "join_finish",
+                {{"results", result.stats.results},
+                 {"candidates", result.stats.candidates}});
   return result;
 }
 
@@ -116,6 +132,10 @@ JoinResult RunPipelinedJoin(const SetCollection& input,
   obs::JoinTelemetry telem(options.tracer, options.metrics, "join");
   telem.Attr("mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin));
   telem.Attr("input_sets", static_cast<uint64_t>(input.size()));
+  obs::LogEvent(
+      options.log, obs::LogLevel::kDebug, "join_start",
+      {{"mode", ExecutionModeName(ExecutionMode::kPipelinedSelfJoin)},
+       {"input_sets", static_cast<uint64_t>(input.size())}});
   size_t threads = ResolveThreadCount(options.num_threads);
   ThreadPool pool(threads);
   // The serial scan variant predates pool-level instrumentation and its
@@ -144,6 +164,8 @@ JoinResult RunPipelinedJoin(const SetCollection& input,
     // Hand every byte this run charged (inverted index + bitmap) back
     // before delegating — the spilled driver accounts its own footprint
     // from zero.
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "spill_degrade",
+                  {{"mode", ExecutionModeName(ctx.mode)}});
     guard->ReleaseMemory(ctx.degrade_release_bytes);
     return spill::SpilledSelfJoin(input, scheme, predicate, options,
                                   ExecutionMode::kPipelinedSelfJoin,
@@ -154,9 +176,14 @@ JoinResult RunPipelinedJoin(const SetCollection& input,
     result.pairs.clear();
     result.status = std::move(st);
     detail::FinishJoin(telem, result, guard, options.explain, isect0);
+    obs::LogEvent(options.log, obs::LogLevel::kWarn, "join_abort",
+                  {{"error", result.status.ToString()}});
     return result;
   }
   detail::FinishJoin(telem, result, guard, options.explain, isect0);
+  obs::LogEvent(options.log, obs::LogLevel::kInfo, "join_finish",
+                {{"results", result.stats.results},
+                 {"candidates", result.stats.candidates}});
   return result;
 }
 

@@ -41,6 +41,7 @@ namespace ssjoin::obs {
 class Tracer;
 class MetricsRegistry;
 struct ExplainReport;
+class Logger;
 }  // namespace ssjoin::obs
 
 namespace ssjoin {
@@ -140,6 +141,11 @@ struct JoinOptions {
   /// owned; not thread-safe (one report per join sequence); nullptr =
   /// no explain (zero cost, same null-sink contract as the sinks above).
   obs::ExplainReport* explain = nullptr;
+  /// Optional structured log sink (obs/log.h, DESIGN.md Section 14).
+  /// When set, the drivers emit join_start/join_finish/join_abort and
+  /// spill lifecycle events through it. Not owned; thread-safe; nullptr
+  /// = no logging (one pointer compare per event — null-sink contract).
+  obs::Logger* log = nullptr;
   /// Graceful degradation under memory pressure: spill candidate
   /// generation to disk instead of tripping the guard (DESIGN.md
   /// Section 12). The spilled join produces byte-identical pairs and

@@ -1,5 +1,9 @@
 #include "obs/join_telemetry.h"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
+
 namespace ssjoin::obs {
 
 JoinTelemetry::JoinTelemetry(Tracer* tracer, MetricsRegistry* metrics,
@@ -107,6 +111,77 @@ void JoinTelemetry::AddCount(std::string_view name, uint64_t delta,
 void JoinTelemetry::SetGauge(std::string_view name, double value,
                              Stability stability) {
   if (metrics_ != nullptr) metrics_->gauge(name, stability).Set(value);
+}
+
+void OpInstrument::Bind(JoinTelemetry* telemetry, std::string_view tag,
+                        uint32_t lane) {
+  if (telemetry == nullptr || telemetry->metrics() == nullptr ||
+      tag.empty()) {
+    return;
+  }
+  MetricsRegistry* metrics = telemetry->metrics();
+  std::string base(names::kPipelinePrefix);
+  base += tag;
+  // Row totals are functions of the input and plan — stable. Batch
+  // granularity and self-time vary with thread count and the wall
+  // clock — runtime (see obs/stability.h).
+  batches_ = &metrics->counter(base + std::string(names::kPipelineSuffixBatches),
+                               Stability::kRuntime);
+  rows_in_ = &metrics->counter(base + std::string(names::kPipelineSuffixRowsIn),
+                               Stability::kStable);
+  rows_out_ =
+      &metrics->counter(base + std::string(names::kPipelineSuffixRowsOut),
+                        Stability::kStable);
+  self_ns_ = &metrics->counter(base + std::string(names::kPipelineSuffixNs),
+                               Stability::kRuntime);
+  inclusive_ns_ = 0;
+  published_rows_in_ = 0;
+  published_rows_out_ = 0;
+  tracer_ = telemetry->tracer();
+  if (tracer_ != nullptr) {
+    span_ = tracer_->StartSpan(tag, telemetry->root(), Stability::kRuntime,
+                               lane);
+  }
+}
+
+int64_t OpInstrument::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void OpInstrument::RecordPull(int64_t start_ns, uint64_t nested_ns,
+                              bool produced, uint64_t rows_in,
+                              uint64_t rows_out) {
+  const uint64_t elapsed =
+      static_cast<uint64_t>(std::max<int64_t>(0, NowNs() - start_ns));
+  inclusive_ns_ += elapsed;
+  self_ns_->Add(elapsed >= nested_ns ? elapsed - nested_ns : 0);
+  if (produced) batches_->Add();
+  if (rows_in > published_rows_in_) {
+    rows_in_->Add(rows_in - published_rows_in_);
+    published_rows_in_ = rows_in;
+  }
+  if (rows_out > published_rows_out_) {
+    rows_out_->Add(rows_out - published_rows_out_);
+    published_rows_out_ = rows_out;
+  }
+}
+
+void OpInstrument::FinishCounts(uint64_t rows_in, uint64_t rows_out) {
+  if (!enabled()) return;
+  if (rows_in > published_rows_in_) {
+    rows_in_->Add(rows_in - published_rows_in_);
+    published_rows_in_ = rows_in;
+  }
+  if (rows_out > published_rows_out_) {
+    rows_out_->Add(rows_out - published_rows_out_);
+    published_rows_out_ = rows_out;
+  }
+  if (tracer_ != nullptr && span_ != kNoSpan) {
+    tracer_->EndSpan(span_);
+    span_ = kNoSpan;
+  }
 }
 
 }  // namespace ssjoin::obs

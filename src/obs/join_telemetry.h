@@ -163,4 +163,73 @@ class JoinTelemetry {
   Stopwatch manual_watch_;
 };
 
+/// Per-operator pipeline instrumentation (DESIGN.md Section 14). One
+/// OpInstrument lives in each pipeline Operator; Plan::Run binds it when
+/// the run has a MetricsRegistry. Bound, it owns four counters named
+/// "pipeline.<tag>." + {batches, rows_in, rows_out, ns} — row totals are
+/// kStable (functions of input and plan, exactly equal at any thread
+/// count / spill mode), batch counts and self-time are kRuntime (batch
+/// granularity is thread-count-dependent, ns is wall clock) — plus one
+/// kRuntime span per operator when tracing. Unbound it is the null sink:
+/// enabled() is one branch, and Operator::Pull falls straight through to
+/// NextBatch with no clock read and no allocation.
+///
+/// The clock reads live here, in the obs layer, so src/core stays clean
+/// under the `no-raw-timing` lint: core calls the opaque NowNs()/
+/// RecordPull() seams. Self-time attribution: Pull passes the elapsed
+/// time of the nested input Pull (via inclusive_ns()) and RecordPull
+/// charges only the difference, so operator times sum to the chain's
+/// wall time instead of multiply counting.
+///
+/// Thread-confinement: like JoinTelemetry's phase state, an OpInstrument
+/// is control-thread-confined — the Volcano pull loop is single-threaded
+/// (parallelism lives inside operators), so the members need no lock.
+/// The counters it publishes to are atomic, which is what the heartbeat
+/// thread reads.
+class OpInstrument {
+ public:
+  OpInstrument() = default;
+  OpInstrument(const OpInstrument&) = delete;
+  OpInstrument& operator=(const OpInstrument&) = delete;
+
+  /// Binds to the run's sinks: registers the four pipeline.<tag>.*
+  /// counters in telemetry->metrics() (no-op when null) and opens the
+  /// operator's kRuntime span under the root when tracing. `lane` is
+  /// the operator's position in the chain (distinct trace lanes).
+  void Bind(JoinTelemetry* telemetry, std::string_view tag, uint32_t lane);
+
+  bool enabled() const { return batches_ != nullptr; }
+
+  /// Monotonic nanoseconds; only meaningful for differences. Callers
+  /// must guard with enabled() — the null sink never reads a clock.
+  int64_t NowNs() const;
+
+  /// Accounts one Pull: `start_ns` from NowNs() before NextBatch,
+  /// `nested_ns` the inclusive time the input operator consumed inside
+  /// this pull, `produced` whether a data batch came out. Publishes the
+  /// row totals as deltas against the last published values, so the
+  /// heartbeat sees live counts mid-join.
+  void RecordPull(int64_t start_ns, uint64_t nested_ns, bool produced,
+                  uint64_t rows_in, uint64_t rows_out);
+
+  /// Total time spent inside this operator's Pull calls (including its
+  /// inputs) — the parent's nested_ns.
+  uint64_t inclusive_ns() const { return inclusive_ns_; }
+
+  /// Flushes the final row totals and closes the operator span. Called
+  /// from Operator::Close on every exit path; idempotent.
+  void FinishCounts(uint64_t rows_in, uint64_t rows_out);
+
+ private:
+  Counter* batches_ = nullptr;
+  Counter* rows_in_ = nullptr;
+  Counter* rows_out_ = nullptr;
+  Counter* self_ns_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  SpanId span_ = kNoSpan;
+  uint64_t inclusive_ns_ = 0;
+  uint64_t published_rows_in_ = 0;
+  uint64_t published_rows_out_ = 0;
+};
+
 }  // namespace ssjoin::obs

@@ -13,15 +13,16 @@ void Histogram::Record(uint64_t value) {
   buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
-namespace {
-
-// Inclusive upper bound of power-of-two bucket i: bucket 0 holds exactly
-// 0, bucket i >= 1 holds [2^(i-1), 2^i), bucket 64 tops out at
-// UINT64_MAX (2^64 - 1 does not fit a shift).
-uint64_t BucketUpperBound(uint32_t bucket) {
+uint64_t HistogramBucketUpperBound(uint32_t bucket) {
   if (bucket == 0) return 0;
   if (bucket >= 64) return UINT64_MAX;
   return (uint64_t{1} << bucket) - 1;
+}
+
+namespace {
+
+uint64_t BucketUpperBound(uint32_t bucket) {
+  return HistogramBucketUpperBound(bucket);
 }
 
 uint64_t QuantileFromBuckets(

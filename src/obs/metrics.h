@@ -93,6 +93,12 @@ struct MetricRecord {
   std::vector<std::pair<uint32_t, uint64_t>> histogram_buckets;
 };
 
+/// Inclusive upper bound of power-of-two bucket i: bucket 0 holds
+/// exactly 0, bucket i >= 1 holds [2^(i-1), 2^i), bucket 64 tops out at
+/// UINT64_MAX. Shared by the quantile estimator below and the
+/// OpenMetrics `le` bucket labels (obs/openmetrics.cc).
+uint64_t HistogramBucketUpperBound(uint32_t bucket);
+
 /// Quantile estimate from a power-of-two histogram: the inclusive upper
 /// bound of the bucket holding the rank-ceil(q * count) smallest
 /// recorded value (so bucket 0 reports 0 and bucket i >= 1 reports

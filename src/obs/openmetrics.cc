@@ -1,0 +1,117 @@
+#include "obs/openmetrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/json_util.h"
+
+namespace ssjoin::obs {
+
+namespace {
+
+std::string_view StabilityWord(Stability stability) {
+  return stability == Stability::kStable ? "stable" : "runtime";
+}
+
+std::string_view KindWord(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+/// "join.spill.bytes_written" -> "ssjoin_join_spill_bytes_written".
+std::string ExposedName(const std::string& name) {
+  std::string out = "ssjoin_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  uint64_t value) {
+  *out += name;
+  *out += ' ';
+  json::AppendUint(out, value);
+  *out += '\n';
+}
+
+void AppendHistogram(std::string* out, const std::string& exposed,
+                     const MetricRecord& record) {
+  // OpenMetrics buckets are cumulative; the snapshot's are per-bucket.
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : record.histogram_buckets) {
+    cumulative += n;
+    *out += exposed;
+    *out += "_bucket{le=\"";
+    json::AppendUint(out, HistogramBucketUpperBound(bucket));
+    *out += "\"} ";
+    json::AppendUint(out, cumulative);
+    *out += '\n';
+  }
+  *out += exposed;
+  *out += "_bucket{le=\"+Inf\"} ";
+  json::AppendUint(out, cumulative);
+  *out += '\n';
+  AppendSample(out, exposed + "_sum", record.histogram_sum);
+  AppendSample(out, exposed + "_count", record.histogram_count);
+}
+
+}  // namespace
+
+std::string OpenMetricsText(const std::vector<MetricRecord>& records) {
+  std::string out;
+  out.reserve(64 + records.size() * 96);
+  for (const MetricRecord& record : records) {
+    const std::string exposed = ExposedName(record.name);
+    out += "# TYPE ";
+    out += exposed;
+    out += ' ';
+    out += KindWord(record.kind);
+    out += '\n';
+    out += "# HELP ";
+    out += exposed;
+    out += ' ';
+    out += record.name;
+    out += " (";
+    out += StabilityWord(record.stability);
+    out += ")\n";
+    switch (record.kind) {
+      case MetricKind::kCounter:
+        AppendSample(&out, exposed + "_total", record.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += exposed;
+        out += ' ';
+        json::AppendDouble(&out, record.gauge_value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram:
+        AppendHistogram(&out, exposed, record);
+        break;
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string OpenMetricsText(const MetricsRegistry& metrics) {
+  return OpenMetricsText(metrics.Snapshot());
+}
+
+Status WriteOpenMetrics(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  return WriteTextFile(path, OpenMetricsText(metrics));
+}
+
+}  // namespace ssjoin::obs

@@ -1,0 +1,51 @@
+// OpenMetrics text exposition of MetricsRegistry snapshots
+// (DESIGN.md Section 14).
+//
+// Renders counters, gauges, and histograms in the OpenMetrics 1.0 text
+// format so a Prometheus-compatible scraper (or the future ssjoin
+// server's /metrics endpoint, ROADMAP item 1) consumes run telemetry
+// without new plumbing. The rendering is deterministic for a fixed
+// snapshot: names come out of Snapshot() sorted, numbers use the repo's
+// canonical formatting, and nothing wall-clock is added — determinism of
+// the *values* is still governed by each metric's Stability class.
+//
+// Mapping from the internal model:
+//
+//   * Metric names are prefixed "ssjoin_" and sanitized (every character
+//     outside [a-zA-Z0-9_] becomes '_'), so "join.spill.bytes_written"
+//     exposes as "ssjoin_join_spill_bytes_written".
+//   * Counter  -> `# TYPE ... counter` with a `_total` sample.
+//   * Gauge    -> `# TYPE ... gauge` with a bare sample.
+//   * Histogram-> `# TYPE ... histogram`: cumulative `_bucket{le="..."}`
+//     samples at the power-of-two bucket upper bounds
+//     (HistogramBucketUpperBound), a closing `le="+Inf"` bucket, then
+//     `_sum` and `_count`.
+//   * The `# HELP` line carries the original dotted name and the
+//     stability class, and the exposition ends with `# EOF`.
+//
+// scripts/check_openmetrics.py validates this grammar from ctest; the
+// golden test (tests/obs/openmetrics_test.cc) pins the exact bytes.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ssjoin::obs {
+
+/// Renders a snapshot (as produced by MetricsRegistry::Snapshot(),
+/// name-sorted) as OpenMetrics text, terminated by "# EOF\n".
+std::string OpenMetricsText(const std::vector<MetricRecord>& records);
+
+/// Convenience over a live registry.
+std::string OpenMetricsText(const MetricsRegistry& metrics);
+
+/// Writes the exposition for `metrics` to `path` (the CLI's
+/// --metrics-format=openmetrics sink).
+Status WriteOpenMetrics(const MetricsRegistry& metrics,
+                        const std::string& path);
+
+}  // namespace ssjoin::obs

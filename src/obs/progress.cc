@@ -1,0 +1,160 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/execution_guard.h"
+#include "obs/metrics.h"
+#include "obs/stability.h"
+
+namespace ssjoin::obs {
+
+namespace {
+
+// Process-wide signal forwarding target. An atomic pointer so both the
+// installer and the (async-signal-context) notifier are lock-free.
+std::atomic<ProgressReporter*> g_signal_target{nullptr};
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(Logger* logger, MetricsRegistry* metrics,
+                                   const ExecutionGuard* guard,
+                                   int64_t interval_ms)
+    : logger_(logger),
+      metrics_(metrics),
+      guard_(guard),
+      interval_ms_(interval_ms) {
+  if (logger_ != nullptr && metrics_ != nullptr) {
+    beats_counter_ =
+        &metrics_->counter(names::kProgressBeats, Stability::kRuntime);
+    dumps_counter_ =
+        &metrics_->counter(names::kProgressDumps, Stability::kRuntime);
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  // Never leave a dangling signal target behind.
+  ProgressReporter* self = this;
+  g_signal_target.compare_exchange_strong(self, nullptr,
+                                          std::memory_order_relaxed);
+  Stop();
+}
+
+void ProgressReporter::Start() {
+  if (logger_ == nullptr || interval_ms_ <= 0) return;
+  util::MutexLock lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  // Joined in Stop() (see the thread_ member comment for why this is a
+  // raw thread and not a pool job).
+  thread_ = std::thread([this] { HeartbeatLoop(); });  // ssjoin-lint: allow(no-unjoined-thread)
+  running_ = true;
+}
+
+void ProgressReporter::Stop() {
+  std::thread to_join;  // ssjoin-lint: allow(no-unjoined-thread)
+  {
+    util::MutexLock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    wake_.NotifyAll();
+    to_join = std::move(thread_);
+    running_ = false;
+  }
+  to_join.join();
+}
+
+void ProgressReporter::DumpNow() { Beat(/*requested=*/true); }
+
+void ProgressReporter::HeartbeatLoop() {
+  // Sleep in short slices so a RequestDump() (e.g. SIGUSR1) is serviced
+  // within ~100ms even for long intervals, and count slices instead of
+  // reading a clock — the logger stamps each record anyway, and beat
+  // cadence is runtime-only data.
+  const int64_t interval_us = interval_ms_ * 1000;
+  const int64_t slice_us = std::min<int64_t>(interval_us, 100 * 1000);
+  const int64_t slices_per_beat =
+      std::max<int64_t>(1, interval_us / slice_us);
+  int64_t slice = 0;
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      if (stop_requested_) return;
+      (void)wake_.WaitFor(lock, slice_us);
+      if (stop_requested_) return;
+    }
+    if (dump_requested_.exchange(0, std::memory_order_relaxed) != 0) {
+      Beat(/*requested=*/true);
+    }
+    if (++slice >= slices_per_beat) {
+      slice = 0;
+      Beat(/*requested=*/false);
+    }
+  }
+}
+
+void ProgressReporter::Beat(bool requested) {
+  if (logger_ == nullptr) return;
+  const uint64_t beat = beats_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (beats_counter_ != nullptr) beats_counter_->Add();
+  if (requested && dumps_counter_ != nullptr) dumps_counter_->Add();
+
+  std::vector<LogField> fields;
+  fields.emplace_back("beat", beat);
+  fields.emplace_back("requested", requested);
+  if (guard_ != nullptr) {
+    fields.emplace_back("guard.phase",
+                        JoinPhaseName(guard_->current_phase()));
+    fields.emplace_back("guard.elapsed_s", guard_->ElapsedSeconds());
+    fields.emplace_back("guard.memory_bytes",
+                        static_cast<uint64_t>(guard_->memory_charged()));
+    fields.emplace_back(
+        "guard.memory_high_water",
+        static_cast<uint64_t>(guard_->memory_high_water()));
+    fields.emplace_back("guard.disk_bytes",
+                        static_cast<uint64_t>(guard_->disk_charged()));
+    fields.emplace_back("guard.disk_high_water",
+                        static_cast<uint64_t>(guard_->disk_high_water()));
+    fields.emplace_back("guard.tripped", guard_->tripped());
+  }
+
+  std::vector<MetricRecord> snapshot;
+  std::vector<std::string> histogram_keys;  // backing for ".count" keys
+  if (metrics_ != nullptr) {
+    snapshot = metrics_->Snapshot();
+    // Reserve up front: LogField borrows the key string_views, so the
+    // backing vector must never reallocate once referenced.
+    histogram_keys.reserve(snapshot.size());
+    for (const MetricRecord& record : snapshot) {
+      switch (record.kind) {
+        case MetricKind::kCounter:
+          fields.emplace_back(std::string_view(record.name),
+                              record.counter_value);
+          break;
+        case MetricKind::kGauge:
+          fields.emplace_back(std::string_view(record.name),
+                              record.gauge_value);
+          break;
+        case MetricKind::kHistogram:
+          histogram_keys.push_back(record.name + ".count");
+          fields.emplace_back(std::string_view(histogram_keys.back()),
+                              record.histogram_count);
+          break;
+      }
+    }
+  }
+  logger_->Log(LogLevel::kInfo, names::kLogEventProgress, fields.data(),
+               fields.size());
+}
+
+void ProgressReporter::InstallSignalTarget(ProgressReporter* reporter) {
+  g_signal_target.store(reporter, std::memory_order_relaxed);
+}
+
+void ProgressReporter::NotifySignalTarget() {
+  ProgressReporter* target = g_signal_target.load(std::memory_order_relaxed);
+  if (target != nullptr) target->RequestDump();
+}
+
+}  // namespace ssjoin::obs

@@ -1,0 +1,121 @@
+// Progress heartbeat: periodic JSONL snapshots of a live run
+// (DESIGN.md Section 14).
+//
+// A ProgressReporter owns one background thread that every
+// `interval_ms` emits a "progress" log record through a Logger: the
+// current values of every metric in a MetricsRegistry (counters and
+// gauges by value, histograms by count) plus, when an ExecutionGuard is
+// attached, the live budget readings — elapsed seconds, current phase,
+// memory/disk charge and high-water marks, and the trip flag. Long
+// out-of-core joins become observable while they run instead of only
+// post-mortem.
+//
+// Contracts:
+//
+//   * Purely an observer: beats read atomics (registry snapshot, guard
+//     accessors) and never touch join state, so a heartbeat cannot
+//     perturb results (the determinism contract is untouched — progress
+//     records go to the log stream, never to the deterministic JSONL
+//     exports).
+//   * Stop() (and the destructor) joins the thread — no detached
+//     threads, per the concurrency discipline (DESIGN.md Section 10).
+//     Stop is prompt: the sleeper wakes on notify, not on timeout.
+//   * DumpNow() takes a beat synchronously on the calling thread, at
+//     any time between construction and destruction — including while
+//     the background thread runs.
+//   * RequestDump() is async-signal-safe (one relaxed atomic store): it
+//     schedules an extra beat on the background thread. The CLI hooks
+//     it to SIGUSR1 via InstallSignalTarget().
+//
+// A reporter built with a null logger is inert: Start()/DumpNow() are
+// no-ops, preserving the null-sink contract.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "obs/log.h"
+#include "util/thread_annotations.h"
+
+namespace ssjoin {
+class ExecutionGuard;
+}  // namespace ssjoin
+
+namespace ssjoin::obs {
+
+class MetricsRegistry;
+class Counter;
+
+class ProgressReporter {
+ public:
+  /// None of the pointers are owned; all may be null (`logger` null
+  /// makes the reporter inert, `metrics`/`guard` null just omit their
+  /// fields). `interval_ms` <= 0 disables the background thread but
+  /// DumpNow() still works.
+  ProgressReporter(Logger* logger, MetricsRegistry* metrics,
+                   const ExecutionGuard* guard, int64_t interval_ms);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Launches the heartbeat thread (no-op when inert, already running,
+  /// or interval_ms <= 0). Idempotent.
+  void Start() SSJOIN_EXCLUDES(mutex_);
+
+  /// Stops and joins the heartbeat thread. Idempotent; called by the
+  /// destructor. Safe on every exit path — error, guard trip, success.
+  void Stop() SSJOIN_EXCLUDES(mutex_);
+
+  /// Emits one progress record synchronously on the calling thread.
+  /// Thread-safe against the background thread and other callers.
+  void DumpNow();
+
+  /// Schedules an extra beat on the background thread. Async-signal-safe
+  /// (single relaxed atomic store; the beat itself happens on the
+  /// heartbeat thread, which wakes within one sleep slice).
+  void RequestDump() { dump_requested_.store(1, std::memory_order_relaxed); }
+
+  /// Beats emitted so far (background + DumpNow).
+  uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+
+  /// Registers `reporter` (or clears with nullptr) as the process-wide
+  /// signal target; NotifySignalTarget() then forwards to its
+  /// RequestDump(). Both functions are async-signal-safe; the CLI's
+  /// SIGUSR1 handler is just `NotifySignalTarget()`.
+  static void InstallSignalTarget(ProgressReporter* reporter);
+  static void NotifySignalTarget();
+
+ private:
+  void HeartbeatLoop() SSJOIN_EXCLUDES(mutex_);
+  void Beat(bool requested);
+
+  Logger* const logger_;                   // null => inert
+  MetricsRegistry* const metrics_;         // may be null
+  const ExecutionGuard* const guard_;      // may be null
+  const int64_t interval_ms_;
+
+  // Written by RequestDump (possibly from a signal handler), consumed by
+  // the heartbeat thread; lock-free by design.
+  std::atomic<int> dump_requested_{0};  // ssjoin-lint: allow(guarded-by-required)
+  std::atomic<uint64_t> beats_{0};      // ssjoin-lint: allow(guarded-by-required)
+  // Registered once before Start() from the owning thread; the beat
+  // path only reads them (Counter is internally atomic).
+  Counter* beats_counter_ = nullptr;  // ssjoin-lint: allow(guarded-by-required)
+  Counter* dumps_counter_ = nullptr;  // ssjoin-lint: allow(guarded-by-required)
+
+  util::Mutex mutex_;
+  util::CondVar wake_;
+  bool stop_requested_ SSJOIN_GUARDED_BY(mutex_) = false;
+  bool running_ SSJOIN_GUARDED_BY(mutex_) = false;
+  // A raw std::thread rather than util::ThreadPool on purpose: the pool
+  // is a fork-join primitive, while the heartbeat is one long-lived
+  // thread whose lifetime Stop()/~ProgressReporter manage explicitly —
+  // the handle is only touched from Start()/Stop() under mutex_ (join
+  // happens after releasing it, once running_ says the thread exists).
+  std::thread thread_ SSJOIN_GUARDED_BY(mutex_);  // ssjoin-lint: allow(no-unjoined-thread)
+};
+
+}  // namespace ssjoin::obs

@@ -141,6 +141,54 @@ inline constexpr std::string_view kThreadpoolForkjoins =
     "threadpool.forkjoins";
 inline constexpr std::string_view kThreadpoolSize = "threadpool.size";
 
+// Per-operator pipeline metrics (core/pipeline + obs/join_telemetry's
+// OpInstrument). Dynamic family: "pipeline." + <op tag> + suffix, e.g.
+// "pipeline.verify.rows_out". The prefix is the registered name; the
+// lint accepts the prefix literal at the construction site. Row totals
+// (.rows_in/.rows_out) are functions of the input and plan, hence
+// kStable and exactly equal at any thread count / spill mode; batch
+// counts and self-time (.batches/.ns) depend on batch granularity and
+// the wall clock, hence kRuntime.
+inline constexpr std::string_view kPipelinePrefix = "pipeline.";
+inline constexpr std::string_view kPipelineSuffixBatches = ".batches";
+inline constexpr std::string_view kPipelineSuffixRowsIn = ".rows_in";
+inline constexpr std::string_view kPipelineSuffixRowsOut = ".rows_out";
+inline constexpr std::string_view kPipelineSuffixNs = ".ns";
+// Operator metric tags (the <op> component). Tags are stable lowercase
+// identifiers, distinct from the human-facing operator names that the
+// EXPLAIN plan prints.
+inline constexpr std::string_view kOpSigGen = "siggen";
+inline constexpr std::string_view kOpCandGen = "candgen";
+inline constexpr std::string_view kOpPipelinedScan = "pipelined_scan";
+inline constexpr std::string_view kOpBitmapFilter = "bitmap_filter";
+inline constexpr std::string_view kOpVerify = "verify";
+inline constexpr std::string_view kOpDedupEmit = "dedup_emit";
+inline constexpr std::string_view kOpSpillPartition = "spill_partition";
+
+// Structured-log accounting (obs/log.h). Line counts depend on pacing
+// and interleaving — kRuntime only.
+inline constexpr std::string_view kLogLinesDebug = "log.lines.debug";
+inline constexpr std::string_view kLogLinesInfo = "log.lines.info";
+inline constexpr std::string_view kLogLinesWarn = "log.lines.warn";
+inline constexpr std::string_view kLogLinesError = "log.lines.error";
+inline constexpr std::string_view kLogWriteErrors = "log.write_errors";
+
+// Progress heartbeat (obs/progress.h): beats taken by the background
+// thread and synchronous DumpNow()/signal dumps. Wall-clock paced —
+// kRuntime only.
+inline constexpr std::string_view kProgressBeats = "progress.beats";
+inline constexpr std::string_view kProgressDumps = "progress.dumps";
+
+// Structured-log event names (obs/log.h Log()/LogEvent() call sites —
+// the telemetry-registry lint checks these like span/metric names).
+inline constexpr std::string_view kLogEventJoinStart = "join_start";
+inline constexpr std::string_view kLogEventJoinFinish = "join_finish";
+inline constexpr std::string_view kLogEventJoinAbort = "join_abort";
+inline constexpr std::string_view kLogEventSpillDegrade = "spill_degrade";
+inline constexpr std::string_view kLogEventSpillRetry = "spill_retry";
+inline constexpr std::string_view kLogEventApproxAlgo = "approximate_algo";
+inline constexpr std::string_view kLogEventProgress = "progress";
+
 // Explain-quantity names (drift accounting, obs/explain.h). The join.*
 // quantities above double as drift names; kJoinF2 is explain-only: the
 // Section 3.2 intermediate-result size the advisor predicts.

@@ -39,7 +39,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 // clang implements the capability attributes; gcc does not. __has_attribute
@@ -158,6 +160,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait: returns false on timeout, true when notified. Same
+  /// capability story as Wait(); used by the progress heartbeat for an
+  /// interruptible sleep (obs/progress.cc).
+  bool WaitFor(MutexLock& lock, int64_t micros) {
+    return cv_.wait_for(lock.lock_, std::chrono::microseconds(micros)) ==
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

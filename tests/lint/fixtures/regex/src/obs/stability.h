@@ -5,4 +5,5 @@
 namespace fixture::names {
 inline constexpr const char* kFixtureCount = "join.fixture.count";
 inline constexpr const char* kFixturePhase = "join.fixture.phase";
+inline constexpr const char* kFixtureLogEvent = "fixture_event";
 }  // namespace fixture::names

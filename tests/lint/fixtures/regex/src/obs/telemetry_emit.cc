@@ -11,4 +11,10 @@ void Emit(Telemetry& telemetry, Registry& metrics) {
   telemetry.AddCount(names::kFixtureCount, 2);  // constant: not flagged
 }
 
+void EmitLogs(Logger* log) {
+  // The event name is the first literal after the level argument.
+  log->Log(LogLevel::kInfo, "fixture_event");  // registered: not flagged
+  LogEvent(log, LogLevel::kWarn, "fixture_surprise", {{"k", 1}});  // expect(telemetry-registry)
+}
+
 }  // namespace fixture

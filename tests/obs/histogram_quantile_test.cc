@@ -1,0 +1,103 @@
+// HistogramQuantile edge cases (obs/metrics.h): the power-of-two bucket
+// estimator must behave at the boundaries — empty histogram, q = 0.0,
+// q = 1.0, q outside [0, 1], NaN, a single sample — and the public
+// HistogramBucketUpperBound must match the bucketing rule exporters
+// depend on (bucket 0 holds only 0; bucket i >= 1 holds [2^(i-1), 2^i);
+// bucket >= 64 is unbounded).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace ssjoin::obs {
+namespace {
+
+TEST(HistogramBucketUpperBoundTest, MatchesBucketingRule) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);   // exactly the value 0
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);   // [1, 1]
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);   // [2, 3]
+  EXPECT_EQ(HistogramBucketUpperBound(3), 7u);   // [4, 7]
+  EXPECT_EQ(HistogramBucketUpperBound(10), 1023u);
+  EXPECT_EQ(HistogramBucketUpperBound(63),
+            (uint64_t{1} << 63) - 1);
+  // The last bucket (and anything past it) is unbounded.
+  EXPECT_EQ(HistogramBucketUpperBound(64),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(HistogramBucketUpperBound(65),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZeroForEveryQ) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  EXPECT_EQ(HistogramQuantile(h, 0.0), 0u);
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 0u);
+  EXPECT_EQ(HistogramQuantile(h, 1.0), 0u);
+  EXPECT_EQ(HistogramQuantile(h, 2.0), 0u);
+}
+
+TEST(HistogramQuantileTest, SingleSampleReportsItsBucketAtEveryQ) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  h.Record(5);  // bucket 3: upper bound 7
+  EXPECT_EQ(HistogramQuantile(h, 0.0), 7u);  // clamped up to rank 1
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 7u);
+  EXPECT_EQ(HistogramQuantile(h, 1.0), 7u);
+}
+
+TEST(HistogramQuantileTest, BoundaryQsPickMinAndMaxBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  // 9 zeros in bucket 0, one 1000 in bucket 10 (upper bound 1023).
+  for (int i = 0; i < 9; ++i) h.Record(0);
+  h.Record(1000);
+  // q = 0 clamps to the smallest rank — the minimum bucket.
+  EXPECT_EQ(HistogramQuantile(h, 0.0), 0u);
+  // Rank ceil(0.9 * 10) = 9 still lands in bucket 0...
+  EXPECT_EQ(HistogramQuantile(h, 0.9), 0u);
+  // ...and q = 1.0 is the maximum recorded bucket.
+  EXPECT_EQ(HistogramQuantile(h, 1.0), 1023u);
+}
+
+TEST(HistogramQuantileTest, OutOfRangeAndNanQsAreClamped) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  h.Record(1);     // bucket 1, upper bound 1
+  h.Record(1000);  // bucket 10, upper bound 1023
+  // Above 1 clamps to the max; below 0 and NaN clamp to the min rank.
+  EXPECT_EQ(HistogramQuantile(h, 2.0), 1023u);
+  EXPECT_EQ(HistogramQuantile(h, -1.0), 1u);
+  EXPECT_EQ(HistogramQuantile(h, std::numeric_limits<double>::quiet_NaN()),
+            1u);
+}
+
+TEST(HistogramQuantileTest, SnapshotRecordAgreesWithLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  for (uint64_t v : {0u, 3u, 3u, 100u, 5000u}) h.Record(v);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    uint64_t live = HistogramQuantile(h, q);
+    uint64_t from_snapshot = 0;
+    for (const MetricRecord& record : registry.Snapshot()) {
+      if (record.name == "test.latency") {
+        from_snapshot = HistogramQuantile(record, q);
+      }
+    }
+    EXPECT_EQ(live, from_snapshot) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, NonHistogramRecordReportsZero) {
+  MetricRecord record;
+  record.name = "test.counter";
+  record.kind = MetricKind::kCounter;
+  record.counter_value = 42;
+  EXPECT_EQ(HistogramQuantile(record, 0.5), 0u);
+  EXPECT_EQ(HistogramQuantile(record, 1.0), 0u);
+}
+
+}  // namespace
+}  // namespace ssjoin::obs

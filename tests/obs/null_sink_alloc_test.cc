@@ -12,6 +12,7 @@
 
 #include "obs/explain.h"
 #include "obs/join_telemetry.h"
+#include "obs/log.h"
 
 namespace {
 
@@ -116,6 +117,47 @@ TEST(NullSinkAllocTest, ExplainSeamsNeverAllocate) {
   AttachAdvisorTrace(nullptr, trace);
   EXPECT_EQ(guard.count(), 0u)
       << "null-sink explain seams must not touch the heap";
+}
+
+TEST(NullSinkAllocTest, NullLoggerSeamNeverAllocates) {
+  // The drivers call obs::LogEvent on every join start/finish/abort; an
+  // unconfigured JoinOptions::log must cost one null compare. The field
+  // initializer list lives on the stack — building it must not touch the
+  // heap either.
+  AllocationGuard guard;
+  LogEvent(nullptr, LogLevel::kInfo, "join_start",
+           {{"mode", "self"}, {"input_sets", uint64_t{42}}});
+  LogEvent(nullptr, LogLevel::kWarn, "join_abort",
+           {{"error", "deadline"}, {"ratio", 0.5}, {"tripped", true}});
+  EXPECT_EQ(guard.count(), 0u)
+      << "null-sink LogEvent must not touch the heap";
+}
+
+TEST(NullSinkAllocTest, UnboundOpInstrumentNeverAllocates) {
+  // Operator::Pull guards on enabled() — the unbound instrument path is
+  // the one every un-metered join takes for every batch.
+  OpInstrument inst;
+  AllocationGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    if (inst.enabled()) {
+      ADD_FAILURE() << "default instrument must be disabled";
+    }
+  }
+  inst.FinishCounts(100, 50);  // no-op unbound, on every Close path
+  EXPECT_EQ(inst.inclusive_ns(), 0u);
+  EXPECT_EQ(guard.count(), 0u)
+      << "unbound OpInstrument must not touch the heap";
+}
+
+TEST(NullSinkAllocTest, OpInstrumentBindToNullSinksIsFreeAndStaysOff) {
+  JoinTelemetry telem(nullptr, nullptr, "join");
+  OpInstrument inst;
+  AllocationGuard guard;
+  inst.Bind(&telem, "siggen", 0);  // no registry: must stay disabled
+  EXPECT_FALSE(inst.enabled());
+  inst.Bind(nullptr, "siggen", 0);
+  EXPECT_FALSE(inst.enabled());
+  EXPECT_EQ(guard.count(), 0u);
 }
 
 TEST(NullSinkAllocTest, CounterHotPathDoesNotAllocate) {

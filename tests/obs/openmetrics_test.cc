@@ -1,0 +1,117 @@
+// OpenMetrics exposition contract (obs/openmetrics.h): name
+// sanitization, counter/gauge/histogram rendering, the terminal # EOF,
+// and a byte-exact golden for a representative registry. The golden
+// lives at tests/obs/goldens/openmetrics.golden (path injected by the
+// build as SSJOIN_OPENMETRICS_GOLDEN_FILE); scripts/check_openmetrics.py
+// independently validates the same file's format from the Python side.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "util/temp_dir.h"
+
+namespace ssjoin::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  if (std::fclose(f) != 0) ADD_FAILURE() << "fclose " << path;
+  return out;
+}
+
+// The representative registry the golden pins: one stable counter, one
+// runtime counter with dots-and-dashes in the name, one gauge, one
+// histogram spanning several buckets.
+void FillRegistry(MetricsRegistry* metrics) {
+  metrics->counter("join.results").Add(42);
+  metrics->counter("pipeline.siggen.batches", Stability::kRuntime).Add(7);
+  metrics->gauge("join.bitmap_prune_rate").Set(0.25);
+  Histogram& h = metrics->histogram("join.shard.micros");
+  h.Record(0);
+  h.Record(1);
+  h.Record(3);
+  h.Record(100);
+  h.Record(5000);
+}
+
+TEST(OpenMetricsTest, RendersEveryKindAndTerminates) {
+  MetricsRegistry metrics;
+  FillRegistry(&metrics);
+  std::string text = OpenMetricsText(metrics);
+
+  // Names are prefixed and sanitized (dots become underscores).
+  EXPECT_NE(text.find("# TYPE ssjoin_join_results counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_results_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ssjoin_pipeline_siggen_batches counter\n"),
+            std::string::npos);
+  // HELP carries the original name and the stability class.
+  EXPECT_NE(text.find("# HELP ssjoin_join_results join.results (stable)\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP ssjoin_pipeline_siggen_batches "
+                "pipeline.siggen.batches (runtime)\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_bitmap_prune_rate 0.25\n"),
+            std::string::npos);
+
+  // Histogram: cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("# TYPE ssjoin_join_shard_micros histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_sum 5104\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssjoin_join_shard_micros_count 5\n"),
+            std::string::npos);
+
+  // The exposition ends with exactly one EOF marker, as the last line.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_EQ(text.find("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsTest, EmptyRegistryIsJustEof) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(OpenMetricsText(metrics), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, MatchesCommittedGolden) {
+  MetricsRegistry metrics;
+  FillRegistry(&metrics);
+  std::string text = OpenMetricsText(metrics);
+  std::string golden = ReadFile(SSJOIN_OPENMETRICS_GOLDEN_FILE);
+  EXPECT_EQ(text, golden)
+      << "OpenMetrics rendering drifted from the committed golden; if the "
+         "change is intentional, regenerate tests/obs/goldens/"
+         "openmetrics.golden";
+}
+
+TEST(OpenMetricsTest, WriteOpenMetricsRoundTrips) {
+  auto dir = util::ScopedTempDir::Create();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->path() + "/metrics.om";
+  MetricsRegistry metrics;
+  FillRegistry(&metrics);
+  ASSERT_TRUE(WriteOpenMetrics(metrics, path).ok());
+  EXPECT_EQ(ReadFile(path), OpenMetricsText(metrics));
+}
+
+}  // namespace
+}  // namespace ssjoin::obs

@@ -78,14 +78,17 @@ STABILITY_HEADER = ("src", "obs", "stability.h")
 # Methods/functions whose first string-literal argument is a telemetry
 # name: JoinTelemetry (Phase/Time/Sample/PhaseAttr/Attr/Event/AddCount/
 # SetGauge), Tracer (StartSpan/SetAttr/AddEvent), MetricsRegistry
-# (counter/gauge/histogram), and the explain seams (SetParam/Predict/
-# Actual + their null-safe Record* wrappers). Calls that pass a
+# (counter/gauge/histogram), the explain seams (SetParam/Predict/
+# Actual + their null-safe Record* wrappers), and the structured-log
+# seams (Logger::Log / the null-safe LogEvent wrapper, whose event name
+# is the first literal after the level). Calls that pass a
 # names:: constant (or any non-literal) are skipped — they are registered
 # by construction.
 TELEMETRY_CALL_RE = re.compile(
     r"(?<![\w:])(?:StartSpan|PhaseAttr|AddCount|SetGauge|SetAttr|AddEvent|"
-    r"Attr|Event|Sample|Phase|Time|counter|gauge|histogram|RecordParam|"
-    r"RecordPrediction|RecordActual|SetParam|Predict|Actual)\s*\(")
+    r"Attr|LogEvent|Log|Event|Sample|Phase|Time|counter|gauge|histogram|"
+    r"RecordParam|RecordPrediction|RecordActual|SetParam|Predict|Actual)"
+    r"\s*\(")
 STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 # no-raw-timing applies only below this prefix, minus the exempt files —

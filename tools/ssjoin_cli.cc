@@ -19,6 +19,7 @@
 //   ssjoin weighted --input addr.txt --gamma 0.8 --algo wen
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <memory>
@@ -39,7 +40,10 @@
 #include "data/serialization.h"
 #include "obs/explain.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/sql_ssjoin.h"
 #include "text/idf.h"
@@ -115,6 +119,23 @@ observability flags (signature-based algorithms):
                         when the advisor ran, and the estimate-vs-actual
                         drift table — as deterministic JSONL; with
                         --report the human rendering also goes to stderr
+  --metrics-format jsonl|openmetrics
+                        format for --metrics-out: the deterministic JSONL
+                        stream (default) or the OpenMetrics/Prometheus
+                        text exposition of every metric
+  --log-out <file>      (jaccard / weighted) append structured JSONL log
+                        records — join lifecycle, spill degradation and
+                        retries, progress heartbeats; "-" logs to stderr
+  --log-level debug|info|warn|error
+                        minimum level for --log-out (default info;
+                        join_start events are debug)
+  --progress-interval-ms <n>
+                        (jaccard / weighted) emit a "progress" heartbeat
+                        record every n milliseconds while the join runs:
+                        live metric values plus guardrail budget readings
+                        (phase, memory/disk charge, elapsed). Goes to
+                        --log-out, or stderr without one. SIGUSR1 forces
+                        an immediate beat.
 Traces and metrics are still written when a guardrail trips — the trip
 cause appears as a span event and a guard.trips.* counter.
 
@@ -252,11 +273,23 @@ struct ObsFlags {
   std::string trace_out;
   std::string metrics_out;
   std::string explain_out;
+  std::string log_out;
   bool report = false;
+  bool openmetrics = false;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  int64_t progress_interval_ms = 0;
 
   bool tracing() const { return !trace_out.empty() || report; }
-  bool metering() const { return !metrics_out.empty() || report; }
+  // The heartbeat snapshots the registry, so asking for progress also
+  // turns metering on.
+  bool metering() const {
+    return !metrics_out.empty() || report || progressing();
+  }
   bool explaining() const { return !explain_out.empty(); }
+  // Progress records need a log stream; without --log-out they go to
+  // stderr.
+  bool logging() const { return !log_out.empty() || progressing(); }
+  bool progressing() const { return progress_interval_ms > 0; }
 };
 
 Result<ObsFlags> ParseObsFlags(Flags& flags) {
@@ -267,7 +300,69 @@ Result<ObsFlags> ParseObsFlags(Flags& flags) {
   SSJOIN_ASSIGN_OR_RETURN(out.explain_out,
                           flags.GetString("explain-out", ""));
   SSJOIN_ASSIGN_OR_RETURN(out.report, flags.GetBool("report", false));
+  SSJOIN_ASSIGN_OR_RETURN(out.log_out, flags.GetString("log-out", ""));
+  SSJOIN_ASSIGN_OR_RETURN(std::string level,
+                          flags.GetString("log-level", "info"));
+  if (!obs::ParseLogLevel(level, &out.log_level)) {
+    return Status::InvalidArgument(
+        "--log-level must be debug, info, warn or error");
+  }
+  SSJOIN_ASSIGN_OR_RETURN(out.progress_interval_ms,
+                          flags.GetInt("progress-interval-ms", 0));
+  if (out.progress_interval_ms < 0) {
+    return Status::InvalidArgument("--progress-interval-ms must be >= 0");
+  }
+  SSJOIN_ASSIGN_OR_RETURN(std::string format,
+                          flags.GetString("metrics-format", "jsonl"));
+  if (format == "openmetrics") {
+    out.openmetrics = true;
+  } else if (format != "jsonl") {
+    return Status::InvalidArgument(
+        "--metrics-format must be jsonl or openmetrics");
+  }
   return out;
+}
+
+// Builds the structured log sink requested by `obs_flags` (null when no
+// logging was asked for). "-" and the progress-without---log-out default
+// borrow stderr; any other path is opened for appending. When a metrics
+// registry is live the logger publishes its log.lines.* accounting into
+// it.
+Result<std::unique_ptr<obs::Logger>> MakeLogger(
+    const ObsFlags& obs_flags, obs::MetricsRegistry* metrics) {
+  if (!obs_flags.logging()) return std::unique_ptr<obs::Logger>();
+  obs::LoggerOptions options;
+  options.min_level = obs_flags.log_level;
+  std::unique_ptr<obs::Logger> logger;
+  if (obs_flags.log_out.empty() || obs_flags.log_out == "-") {
+    logger = std::make_unique<obs::Logger>(stderr, options);
+  } else {
+    SSJOIN_ASSIGN_OR_RETURN(logger,
+                            obs::Logger::Open(obs_flags.log_out, options));
+  }
+  logger->BindMetrics(metrics);
+  return logger;
+}
+
+#ifdef SIGUSR1
+extern "C" void HandleProgressSignal(int) {
+  obs::ProgressReporter::NotifySignalTarget();
+}
+#endif
+
+// Arms the heartbeat for one join run: builds the reporter, installs it
+// as the SIGUSR1 target, and starts the background thread. The reporter
+// must be stopped (or destroyed) before the logger goes away.
+void StartProgress(const ObsFlags& obs_flags, obs::Logger* logger,
+                   obs::MetricsRegistry* metrics, const ExecutionGuard* guard,
+                   std::optional<obs::ProgressReporter>& progress) {
+  if (!obs_flags.progressing() || logger == nullptr) return;
+  progress.emplace(logger, metrics, guard, obs_flags.progress_interval_ms);
+  obs::ProgressReporter::InstallSignalTarget(&*progress);
+#ifdef SIGUSR1
+  (void)std::signal(SIGUSR1, HandleProgressSignal);
+#endif
+  progress->Start();
 }
 
 // Instantiates the sinks requested by `obs_flags` and attaches them to
@@ -298,8 +393,13 @@ Status WriteObsOutputs(const ObsFlags& obs_flags,
     SSJOIN_RETURN_NOT_OK(obs::WriteTraceAuto(*tracer, obs_flags.trace_out));
   }
   if (!obs_flags.metrics_out.empty()) {
-    SSJOIN_RETURN_NOT_OK(
-        obs::WriteMetricsJsonl(*metrics, obs_flags.metrics_out));
+    if (obs_flags.openmetrics) {
+      SSJOIN_RETURN_NOT_OK(
+          obs::WriteOpenMetrics(*metrics, obs_flags.metrics_out));
+    } else {
+      SSJOIN_RETURN_NOT_OK(
+          obs::WriteMetricsJsonl(*metrics, obs_flags.metrics_out));
+    }
   }
   if (obs_flags.report) {
     std::fprintf(stderr, "%s",
@@ -409,6 +509,12 @@ Status RunJaccard(Flags& flags) {
   std::optional<obs::MetricsRegistry> metrics;
   AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
                  &options.metrics);
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<obs::Logger> logger,
+                          MakeLogger(obs_flags, options.metrics));
+  options.log = logger.get();
+  std::optional<obs::ProgressReporter> progress;
+  StartProgress(obs_flags, logger.get(), options.metrics, options.guard,
+                progress);
   std::optional<obs::ExplainReport> explain;
   if (obs_flags.explaining()) {
     explain.emplace();
@@ -445,9 +551,14 @@ Status RunJaccard(Flags& flags) {
     if (explain) obs::AttachAdvisorTrace(&*explain, advisor_trace);
     auto scheme = LshScheme::Create(params);
     if (!scheme.ok()) return scheme.status();
-    std::fprintf(stderr,
-                 "note: LSH is approximate (configured recall %.0f%%)\n",
-                 accuracy * 100);
+    if (logger != nullptr) {
+      obs::LogEvent(logger.get(), obs::LogLevel::kWarn, "approximate_algo",
+                    {{"algo", algo}, {"recall", accuracy}});
+    } else {
+      std::fprintf(stderr,
+                   "note: LSH is approximate (configured recall %.0f%%)\n",
+                   accuracy * 100);
+    }
     result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else if (algo == "probecount") {
     if (guard_flags.enabled) {
@@ -463,6 +574,12 @@ Status RunJaccard(Flags& flags) {
     result = PairCountSelfJoin(input, predicate);
   } else {
     return Status::InvalidArgument("unknown --algo " + algo);
+  }
+  if (progress) {
+    // Final beat: even a join faster than one interval leaves a progress
+    // record with the finished counters.
+    progress->DumpNow();
+    progress->Stop();
   }
   MaybePrintStats(time, result.stats);
   SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics,
@@ -485,6 +602,11 @@ Status RunEdit(Flags& flags) {
   if (obs_flags.explaining()) {
     return Status::InvalidArgument(
         "--explain-out applies to jaccard / weighted joins");
+  }
+  if (obs_flags.logging()) {
+    return Status::InvalidArgument(
+        "--log-out / --progress-interval-ms apply to jaccard / weighted "
+        "joins");
   }
   SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> strings,
                           LoadStrings(input));
@@ -534,6 +656,12 @@ Status RunWeighted(Flags& flags) {
   std::optional<obs::MetricsRegistry> metrics;
   AttachObsSinks(obs_flags, tracer, metrics, &options.tracer,
                  &options.metrics);
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<obs::Logger> logger,
+                          MakeLogger(obs_flags, options.metrics));
+  options.log = logger.get();
+  std::optional<obs::ProgressReporter> progress;
+  StartProgress(obs_flags, logger.get(), options.metrics, options.guard,
+                progress);
   std::optional<obs::ExplainReport> explain;
   if (obs_flags.explaining()) {
     explain.emplace();
@@ -573,13 +701,24 @@ Status RunWeighted(Flags& flags) {
     LshParams params = LshParams::ForAccuracy(gamma, 1.0 - accuracy, 3);
     auto scheme = WeightedLshScheme::Create(params, weights);
     if (!scheme.ok()) return scheme.status();
-    std::fprintf(stderr,
-                 "note: weighted LSH is approximate (configured recall "
-                 "~%.0f%%)\n",
-                 accuracy * 100);
+    if (logger != nullptr) {
+      obs::LogEvent(logger.get(), obs::LogLevel::kWarn, "approximate_algo",
+                    {{"algo", algo}, {"recall", accuracy}});
+    } else {
+      std::fprintf(stderr,
+                   "note: weighted LSH is approximate (configured recall "
+                   "~%.0f%%)\n",
+                   accuracy * 100);
+    }
     result = FacadeSelfJoin(input, *scheme, predicate, options);
   } else {
     return Status::InvalidArgument("unknown --algo " + algo);
+  }
+  if (progress) {
+    // Final beat: even a join faster than one interval leaves a progress
+    // record with the finished counters.
+    progress->DumpNow();
+    progress->Stop();
   }
   MaybePrintStats(time, result.stats);
   SSJOIN_RETURN_NOT_OK(WriteObsOutputs(obs_flags, tracer, metrics,
